@@ -1,0 +1,210 @@
+// Package advdet is a library reproduction of "Adaptive Vehicle
+// Detection for Real-time Autonomous Driving System" (Hemmati,
+// Biglari-Abhari, Niar — DATE 2019).
+//
+// It provides:
+//
+//   - the three detection pipelines the paper switches between
+//     (HOG+SVM for day and dusk, a DBN-based taillight-pair detector
+//     for dark) together with their trainers,
+//   - a multi-scale HOG+SVM pedestrian detector (the static
+//     partition),
+//   - a cycle-approximate Zynq SoC model with the paper's partial
+//     reconfiguration controllers (PCAP, AXI HWICAP, ZyCAP-style, and
+//     the paper's DMA-ICAP controller), and
+//   - the adaptive system tying them together: a light-condition
+//     monitor with hysteresis, two partial configurations staged in
+//     PL-side DDR, and reconfiguration that drops exactly one vehicle
+//     frame at 50 fps while pedestrian detection keeps running.
+//
+// Quick start:
+//
+//	dets, err := advdet.TrainDetectors(1, advdet.Fast)
+//	if err != nil { ... }
+//	sys, err := advdet.NewSystem(dets, advdet.DefaultSystemOptions())
+//	if err != nil { ... }
+//	scene := advdet.RenderScene(2, 640, 360, advdet.Dark)
+//	res := sys.ProcessFrame(scene)
+//
+// The synthetic dataset and scene generators stand in for the UPM,
+// SYSU and iROADS datasets of the paper; see DESIGN.md for the
+// substitution rationale.
+package advdet
+
+import (
+	"advdet/internal/adaptive"
+	"advdet/internal/dbn"
+	"advdet/internal/eval"
+	"advdet/internal/hog"
+	"advdet/internal/img"
+	"advdet/internal/pipeline"
+	"advdet/internal/pr"
+	"advdet/internal/soc"
+	"advdet/internal/svm"
+	"advdet/internal/synth"
+	"advdet/internal/track"
+)
+
+// Lighting conditions.
+type Condition = synth.Condition
+
+// The three conditions of the paper.
+const (
+	Day  = synth.Day
+	Dusk = synth.Dusk
+	Dark = synth.Dark
+)
+
+// Re-exported core types. The aliases expose the full method sets of
+// the internal implementations.
+type (
+	// Detection is one detected object (vehicle or pedestrian).
+	Detection = pipeline.Detection
+	// Rect is an axis-aligned box in frame coordinates.
+	Rect = img.Rect
+	// Scene is a rendered frame with ground truth and a sensor value.
+	Scene = synth.Scene
+	// Scenario is a timed multi-segment drive.
+	Scenario = synth.Scenario
+	// System is the adaptive detection system.
+	System = adaptive.System
+	// Detectors bundles the trained models a System switches between.
+	Detectors = adaptive.Detectors
+	// SystemOptions configures a System.
+	SystemOptions = adaptive.Options
+	// FrameResult is the per-frame output of a System.
+	FrameResult = adaptive.FrameResult
+	// Confusion holds TP/TN/FP/FN counts with the paper's accuracy
+	// definition (Eq. 1).
+	Confusion = eval.Confusion
+	// Track is one tracked object (when tracking is enabled).
+	Track = track.Track
+	// Drive is a temporally coherent scene sequence for tracking.
+	Drive = synth.Drive
+)
+
+// DefaultSystemOptions returns the paper's operating point: 50 fps,
+// ~8 MB partial bitstreams, booting in day condition.
+func DefaultSystemOptions() SystemOptions { return adaptive.DefaultOptions() }
+
+// NewSystem boots an adaptive system with both partial bitstreams
+// staged in PL-side DDR.
+func NewSystem(dets Detectors, opt SystemOptions) (*System, error) {
+	return adaptive.New(dets, opt)
+}
+
+// Quality selects a training budget.
+type Quality int
+
+const (
+	// Fast trains on small synthetic sets — seconds, good enough for
+	// examples and smoke tests.
+	Fast Quality = iota
+	// Full trains on the Table I-scale sets the benchmarks use.
+	Full
+)
+
+// TrainDetectors trains every model the adaptive system needs from
+// synthetic data: the day, dusk and combined HOG+SVM vehicle models,
+// the pedestrian model (mixed conditions, as the static path runs day
+// and night), and the dark pipeline's DBN and pair SVM.
+//
+// The returned Detectors uses the day model for day and the dusk
+// model for dusk, mirroring the paper's two-models-in-BRAM design.
+func TrainDetectors(seed uint64, q Quality) (Detectors, error) {
+	nTrain, nWin := 80, 100
+	if q == Full {
+		nTrain, nWin = 300, 250
+	}
+
+	hogCfg := hog.DefaultConfig()
+	svmOpts := svm.DefaultOptions()
+
+	dayDS := synth.DayDataset(seed, 64, 64, nTrain, nTrain)
+	duskDS := synth.DuskDataset(seed+1, 64, 64, nTrain, nTrain, 0)
+
+	dayModel, err := pipeline.TrainVehicleSVM(dayDS, hogCfg, svmOpts)
+	if err != nil {
+		return Detectors{}, err
+	}
+	duskModel, err := pipeline.TrainVehicleSVM(duskDS, hogCfg, svmOpts)
+	if err != nil {
+		return Detectors{}, err
+	}
+
+	pedDay := synth.PedestrianDataset(seed+2, pipeline.PedWindowW, pipeline.PedWindowH, nTrain*5/8, nTrain*5/8, synth.Day)
+	pedDusk := synth.PedestrianDataset(seed+3, pipeline.PedWindowW, pipeline.PedWindowH, nTrain*3/8, nTrain*3/8, synth.Dusk)
+	pedDark := synth.PedestrianDataset(seed+4, pipeline.PedWindowW, pipeline.PedWindowH, nTrain*3/8, nTrain*3/8, synth.Dark)
+	pedAll := pipeline.CombineDatasets("ped-all",
+		pipeline.CombineDatasets("ped-dd", pedDay, pedDusk), pedDark)
+	pedModel, err := pipeline.TrainPedestrianSVM(pedAll, hogCfg, svmOpts)
+	if err != nil {
+		return Detectors{}, err
+	}
+
+	dbnCfg := dbn.DefaultConfig()
+	if q == Fast {
+		dbnCfg.PretrainOpts.Epochs = 4
+		dbnCfg.FineTuneIter = 30
+	}
+	darkDet, err := pipeline.TrainDarkDetector(seed+5, pipeline.DefaultDarkConfig(), dbnCfg, nWin)
+	if err != nil {
+		return Detectors{}, err
+	}
+
+	return Detectors{
+		Day:        pipeline.NewDayDuskDetector(dayModel),
+		Dusk:       pipeline.NewDayDuskDetector(duskModel),
+		Dark:       darkDet,
+		Pedestrian: pipeline.NewPedestrianDetector(pedModel),
+	}, nil
+}
+
+// RenderScene renders one synthetic road scene of the given size and
+// condition with ground-truth boxes and a sensor reading.
+func RenderScene(seed uint64, w, h int, cond Condition) *Scene {
+	return synth.RenderScene(synth.NewRNG(seed), synth.DefaultSceneConfig(w, h, cond))
+}
+
+// TunnelTransit returns the paper's motivating drive scenario:
+// day -> lit tunnel (dusk) -> day -> sunset -> dark.
+func TunnelTransit(seed uint64, w, h, fps int) *Scenario {
+	return synth.TunnelTransit(seed, w, h, fps)
+}
+
+// NightHighway returns an all-dark drive scenario.
+func NightHighway(seed uint64, w, h, fps int) *Scenario {
+	return synth.NightHighway(seed, w, h, fps)
+}
+
+// NewDrive returns a temporally coherent drive: the same vehicles and
+// pedestrians persist frame to frame, enabling tracking.
+func NewDrive(seed uint64, w, h int, cond Condition, nVehicles, nPeds int) *Drive {
+	return synth.NewDrive(seed, w, h, cond, nVehicles, nPeds)
+}
+
+// MatchBoxes IoU-matches detections against ground truth.
+func MatchBoxes(truth, detected []Rect, iouThresh float64) Confusion {
+	return eval.MatchBoxes(truth, detected, iouThresh)
+}
+
+// ReconfigThroughputs measures all four reconfiguration controllers
+// on a bitstream of the given size and reports MB/s by controller
+// name — the §IV-A comparison.
+func ReconfigThroughputs(bytes int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, ctrl := range pr.All() {
+		res, err := pr.Measure(ctrl, bytes)
+		if err != nil {
+			return nil, err
+		}
+		out[res.Controller] = res.MBPerSec
+	}
+	return out, nil
+}
+
+// PipelineFPS returns the modeled detection frame rate for a frame
+// size on the 125 MHz fabric (~50 fps at 1920x1080).
+func PipelineFPS(w, h int) float64 {
+	return soc.NewDetectionPipeline("vehicle").FPS(w, h)
+}

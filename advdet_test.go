@@ -1,0 +1,149 @@
+package advdet
+
+import (
+	"testing"
+
+	"advdet/internal/synth"
+)
+
+// sharedDets trains the Fast detector bundle once for all API tests.
+var sharedDets *Detectors
+
+func getDets(t *testing.T) Detectors {
+	t.Helper()
+	if sharedDets == nil {
+		d, err := TrainDetectors(42, Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDets = &d
+	}
+	return *sharedDets
+}
+
+func TestTrainDetectorsProducesAllModels(t *testing.T) {
+	d := getDets(t)
+	if d.Day == nil || d.Dusk == nil || d.Dark == nil || d.Pedestrian == nil {
+		t.Fatal("missing detector in bundle")
+	}
+}
+
+func TestEndToEndDayFrame(t *testing.T) {
+	d := getDets(t)
+	sys, err := NewSystem(d, DefaultSystemOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := RenderScene(7, 320, 180, Day)
+	res := sys.ProcessFrame(sc)
+	if res.Cond != Day {
+		t.Fatalf("condition %v", res.Cond)
+	}
+	if res.VehicleDropped {
+		t.Fatal("steady-state day frame dropped")
+	}
+}
+
+func TestEndToEndDarkTransition(t *testing.T) {
+	d := getDets(t)
+	opt := DefaultSystemOptions()
+	opt.Initial = Dusk
+	opt.RunDetectors = false
+	sys, err := NewSystem(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for i := 0; i < 12; i++ {
+		sc := RenderScene(uint64(100+i), 64, 36, Dark)
+		if sys.ProcessFrame(sc).VehicleDropped {
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Fatalf("transition dropped %d frames, want 1", drops)
+	}
+}
+
+func TestReconfigThroughputsAPI(t *testing.T) {
+	th, err := ReconfigThroughputs(8_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th) != 4 {
+		t.Fatalf("controllers measured: %d", len(th))
+	}
+	if !(th["axi-hwicap"] < th["pcap"] && th["pcap"] < th["zycap"] && th["zycap"] < th["dma-icap"]) {
+		t.Fatalf("throughput ordering wrong: %v", th)
+	}
+}
+
+func TestPipelineFPSAPI(t *testing.T) {
+	if fps := PipelineFPS(1920, 1080); fps < 48 || fps > 55 {
+		t.Fatalf("FPS %v", fps)
+	}
+}
+
+func TestScenarioHelpers(t *testing.T) {
+	tt := TunnelTransit(1, 64, 36, 10)
+	if tt.TotalFrames() == 0 {
+		t.Fatal("empty tunnel scenario")
+	}
+	nh := NightHighway(1, 64, 36, 10)
+	c, _ := nh.CondAt(0)
+	if c != synth.Dark {
+		t.Fatal("night highway not dark")
+	}
+}
+
+func TestTrackingThroughReconfiguration(t *testing.T) {
+	// End-to-end: with tracking enabled, the system maintains track
+	// identity across the dusk->dark reconfiguration's dropped frame.
+	d := getDets(t)
+	opt := DefaultSystemOptions()
+	opt.Initial = Dusk
+	opt.EnableTracking = true
+	sys, err := NewSystem(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duskDrive := NewDrive(31, 640, 360, Dusk, 1, 0)
+	darkDrive := NewDrive(31, 640, 360, Dark, 1, 0)
+	persist := map[int]int{}
+	droppedSeen := false
+	for i := 0; i < 30; i++ {
+		var sc *Scene
+		if i < 15 {
+			sc = duskDrive.Frame(i)
+		} else {
+			sc = darkDrive.Frame(i)
+		}
+		res := sys.ProcessFrame(sc)
+		if res.VehicleDropped {
+			droppedSeen = true
+		}
+		for _, tr := range res.Tracks {
+			persist[tr.ID]++
+		}
+	}
+	if !droppedSeen {
+		t.Fatal("transition did not drop a frame; scenario broken")
+	}
+	long := 0
+	for _, n := range persist {
+		if n >= 10 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("no track persisted 10+ frames across the transition")
+	}
+}
+
+func TestMatchBoxesAPI(t *testing.T) {
+	truth := []Rect{{X0: 0, Y0: 0, X1: 10, Y1: 10}}
+	c := MatchBoxes(truth, truth, 0.5)
+	if c.TP != 1 {
+		t.Fatalf("MatchBoxes = %+v", c)
+	}
+}

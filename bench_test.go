@@ -1,0 +1,551 @@
+package advdet
+
+// The benchmark harness: one benchmark per table/figure of the paper
+// plus the ablations called out in DESIGN.md. Reproduction metrics
+// (accuracy, MB/s, fps, ms) are attached via b.ReportMetric, so
+// `go test -bench . -benchmem` regenerates the evaluation alongside
+// the usual time/op numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"advdet/internal/dbn"
+	"advdet/internal/eval"
+	"advdet/internal/experiments"
+	"advdet/internal/fpga"
+	"advdet/internal/hog"
+	"advdet/internal/img"
+	"advdet/internal/pipeline"
+	"advdet/internal/pr"
+	"advdet/internal/soc"
+	"advdet/internal/svm"
+	"advdet/internal/synth"
+)
+
+// Shared trained state, built lazily so cheap benches stay cheap.
+var (
+	benchOnce sync.Once
+	benchDay  *pipeline.DayDuskDetector
+	benchDark *pipeline.DarkDetector
+	benchPed  *pipeline.PedestrianDetector
+)
+
+func benchDetectors(b *testing.B) (*pipeline.DayDuskDetector, *pipeline.DarkDetector, *pipeline.PedestrianDetector) {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds := synth.DayDataset(1, 64, 64, 100, 100)
+		m, err := pipeline.TrainVehicleSVM(ds, hog.DefaultConfig(), svm.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDay = pipeline.NewDayDuskDetector(m)
+
+		cfg := pipeline.DefaultDarkConfig()
+		cfg.Downsample = 1
+		dbnCfg := dbn.DefaultConfig()
+		dbnCfg.PretrainOpts.Epochs = 4
+		dbnCfg.FineTuneIter = 30
+		benchDark, err = pipeline.TrainDarkDetector(2, cfg, dbnCfg, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		pd := synth.PedestrianDataset(3, pipeline.PedWindowW, pipeline.PedWindowH, 100, 100, synth.Day)
+		pm, err := pipeline.TrainPedestrianSVM(pd, hog.DefaultConfig(), svm.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPed = pipeline.NewPedestrianDetector(pm)
+	})
+	return benchDay, benchDark, benchPed
+}
+
+// BenchmarkTableI regenerates Table I at reduced size each iteration
+// and reports the headline accuracies. The full-size table is
+// `cmd/benchrepro -table1`.
+func BenchmarkTableI(b *testing.B) {
+	var rows []experiments.TableIRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TableI(experiments.TableIOptions{Seed: 11, TrainN: 60, PaperCounts: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if errs := experiments.TableIShapeErrors(rows); len(errs) > 0 {
+			b.Fatalf("Table I shape violated: %v", errs)
+		}
+	}
+	for _, r := range rows {
+		if r.Model == "day" && r.Test == "day" {
+			b.ReportMetric(100*r.Got.Accuracy(), "day/day_acc_%")
+		}
+		if r.Model == "dusk" && r.Test == "day" {
+			b.ReportMetric(100*r.Got.Accuracy(), "dusk/day_acc_%")
+		}
+		if r.Model == "combined" && r.Test == "dusk" {
+			b.ReportMetric(100*r.Got.Accuracy(), "comb/dusk_acc_%")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the resource-utilization table and
+// asserts it matches the paper when rounded.
+func BenchmarkTableII(b *testing.B) {
+	var rows []fpga.UtilRow
+	for i := 0; i < b.N; i++ {
+		rows = fpga.TableII()
+	}
+	b.ReportMetric(rows[4].Util[0], "total_LUT_%")
+	b.ReportMetric(rows[4].Util[3], "total_DSP_%")
+}
+
+// BenchmarkFig1Training measures the Fig. 1 flow: HOG extraction over
+// a training set plus LibLINEAR-style SVM training.
+func BenchmarkFig1Training(b *testing.B) {
+	ds := synth.DayDataset(7, 64, 64, 60, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.TrainVehicleSVM(ds, hog.DefaultConfig(), svm.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2DayDuskPipeline runs the day/dusk detector over a
+// 640x360 frame (software path) and reports the SoC model's frame
+// rate for the hardware pipeline at 1080p.
+func BenchmarkFig2DayDuskPipeline(b *testing.B) {
+	day, _, _ := benchDetectors(b)
+	sc := synth.RenderScene(synth.NewRNG(9), synth.DefaultSceneConfig(640, 360, synth.Day))
+	gray := img.RGBToGray(sc.Frame)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(day.Detect(gray))
+	}
+	_ = n
+	b.ReportMetric(soc.NewDetectionPipeline("vehicle").FPS(1920, 1080), "modeled_fps_1080p")
+}
+
+// BenchmarkFig34DarkPipeline runs the full dark pipeline (threshold,
+// downsample, closing, DBN scan, pair matching) over a 640x360 night
+// frame.
+func BenchmarkFig34DarkPipeline(b *testing.B) {
+	_, dark, _ := benchDetectors(b)
+	sc := synth.RenderScene(synth.NewRNG(10),
+		synth.SceneConfig{W: 640, H: 360, Cond: synth.Dark, NumVehicles: 2, RoadLights: 3, OncomingHeadlights: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dark.Detect(sc.Frame)
+	}
+}
+
+// BenchmarkFig5NightQualitative renders a night frame, detects and
+// draws overlays — the Fig. 5 output path.
+func BenchmarkFig5NightQualitative(b *testing.B) {
+	_, dark, _ := benchDetectors(b)
+	scenario := synth.NightHighway(12, 640, 360, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := scenario.FrameAt(i % scenario.TotalFrames())
+		dets := dark.Detect(sc.Frame)
+		overlay := sc.Frame.Clone()
+		for _, d := range dets {
+			img.DrawRect(overlay, d.Box, 255, 60, 60, 2)
+		}
+	}
+}
+
+// BenchmarkFig6SystemFrame streams one 1080p frame through the Fig. 6
+// platform (input DMA over HP, pipeline, result DMA, IRQ) and reports
+// the modeled frame rate.
+func BenchmarkFig6SystemFrame(b *testing.B) {
+	var fps float64
+	for i := 0; i < b.N; i++ {
+		z := soc.NewZynq()
+		finish := z.StreamFrame(z.VehiclePipe, 1920, 1080, 3, z.HP0, soc.IRQVehicleDMA, nil)
+		z.Sim.Run()
+		fps = 1 / soc.Seconds(finish)
+	}
+	b.ReportMetric(fps, "modeled_fps")
+}
+
+// BenchmarkFig7PRController reconfigures with the paper's DMA-ICAP
+// controller (Fig. 7) and reports throughput and latency.
+func BenchmarkFig7PRController(b *testing.B) {
+	bytes := fpga.DefaultFloorplan().PartialBitstreamBytes()
+	var res pr.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = pr.Measure(pr.NewDMAICAP(), bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MBPerSec, "MB/s")
+	b.ReportMetric(soc.Seconds(res.PS)*1e3, "reconfig_ms")
+}
+
+// BenchmarkReconfigThroughput measures all four controllers (§IV-A).
+func BenchmarkReconfigThroughput(b *testing.B) {
+	bytes := fpga.DefaultFloorplan().PartialBitstreamBytes()
+	for _, name := range []string{"axi-hwicap", "pcap", "zycap", "dma-icap"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var res pr.Result
+			for i := 0; i < b.N; i++ {
+				ctrl := controllerByName(b, name)
+				var err error
+				res, err = pr.Measure(ctrl, bytes)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MBPerSec, "MB/s")
+			b.ReportMetric(experiments.PaperThroughputs[name], "paper_MB/s")
+		})
+	}
+}
+
+func controllerByName(b *testing.B, name string) pr.Controller {
+	b.Helper()
+	for _, c := range pr.All() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	b.Fatalf("unknown controller %q", name)
+	return nil
+}
+
+// BenchmarkReconfigLatency measures the §IV-B transition cost on the
+// adaptive system: ~20 ms and one dropped vehicle frame at 50 fps.
+func BenchmarkReconfigLatency(b *testing.B) {
+	var ms float64
+	var dropped int
+	for i := 0; i < b.N; i++ {
+		var err error
+		ms, dropped, err = experiments.TransitionCost()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ms, "reconfig_ms")
+	b.ReportMetric(float64(dropped), "frames_dropped")
+}
+
+// BenchmarkDarkAccuracy evaluates the dark pipeline on very dark
+// crops (§III-B reports 95%).
+func BenchmarkDarkAccuracy(b *testing.B) {
+	_, dark, _ := benchDetectors(b)
+	ds := synth.NewDarkDataset(20, 96, 96, 40, 40)
+	var c eval.Confusion
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c = eval.Confusion{}
+		for _, p := range ds.Pos {
+			c.Record(true, dark.ClassifyCrop(p))
+		}
+		for _, n := range ds.Neg {
+			c.Record(false, dark.ClassifyCrop(n))
+		}
+	}
+	b.ReportMetric(100*c.Accuracy(), "dark_acc_%")
+}
+
+// BenchmarkFrameRate reports the §V frame-rate model.
+func BenchmarkFrameRate(b *testing.B) {
+	var fps float64
+	for i := 0; i < b.N; i++ {
+		fps = experiments.FrameRate()
+	}
+	b.ReportMetric(fps, "fps_1080p")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// darkWithConfig retrains nothing: it clones the shared dark detector
+// and flips pipeline switches.
+func darkWithConfig(b *testing.B, mutate func(*pipeline.DarkConfig)) *pipeline.DarkDetector {
+	_, dark, _ := benchDetectors(b)
+	cp := *dark
+	mutate(&cp.Cfg)
+	return &cp
+}
+
+func darkFalsePositives(det *pipeline.DarkDetector, n int) int {
+	fp := 0
+	for s := uint64(0); s < uint64(n); s++ {
+		crop := synth.NegativeCrop(synth.NewRNG(7000+s), 96, 96, synth.Dark)
+		if det.ClassifyCrop(crop) {
+			fp++
+		}
+	}
+	return fp
+}
+
+func darkRecallCount(det *pipeline.DarkDetector, n int) int {
+	tp := 0
+	for s := uint64(0); s < uint64(n); s++ {
+		crop := synth.VehicleCrop(synth.NewRNG(8000+s), 96, 96, synth.Dark)
+		if det.ClassifyCrop(crop) {
+			tp++
+		}
+	}
+	return tp
+}
+
+// BenchmarkAblationThreshold compares the dual (chroma+luma)
+// threshold against luma-only: white headlights/street lights pass a
+// luma-only gate and inflate false pairs.
+func BenchmarkAblationThreshold(b *testing.B) {
+	full := darkWithConfig(b, func(*pipeline.DarkConfig) {})
+	lumaOnly := darkWithConfig(b, func(c *pipeline.DarkConfig) { c.UseChroma = false })
+	var fpFull, fpLuma int
+	for i := 0; i < b.N; i++ {
+		fpFull = darkFalsePositives(full, 30)
+		fpLuma = darkFalsePositives(lumaOnly, 30)
+	}
+	b.ReportMetric(float64(fpFull), "fp_dual/30")
+	b.ReportMetric(float64(fpLuma), "fp_luma_only/30")
+}
+
+// BenchmarkAblationClosing compares recall with and without the
+// morphological closing stage.
+func BenchmarkAblationClosing(b *testing.B) {
+	with := darkWithConfig(b, func(*pipeline.DarkConfig) {})
+	without := darkWithConfig(b, func(c *pipeline.DarkConfig) { c.UseClosing = false })
+	var tpWith, tpWithout int
+	for i := 0; i < b.N; i++ {
+		tpWith = darkRecallCount(with, 30)
+		tpWithout = darkRecallCount(without, 30)
+	}
+	b.ReportMetric(float64(tpWith), "tp_closing/30")
+	b.ReportMetric(float64(tpWithout), "tp_no_closing/30")
+}
+
+// BenchmarkAblationPairMatch compares the trained pair SVM against
+// the fixed geometric gate.
+func BenchmarkAblationPairMatch(b *testing.B) {
+	svmGate := darkWithConfig(b, func(*pipeline.DarkConfig) {})
+	geoGate := darkWithConfig(b, func(c *pipeline.DarkConfig) { c.UsePairSVM = false })
+	var accSVM, accGeo float64
+	for i := 0; i < b.N; i++ {
+		tp1, fp1 := darkRecallCount(svmGate, 30), darkFalsePositives(svmGate, 30)
+		tp2, fp2 := darkRecallCount(geoGate, 30), darkFalsePositives(geoGate, 30)
+		accSVM = float64(tp1+30-fp1) / 60
+		accGeo = float64(tp2+30-fp2) / 60
+	}
+	b.ReportMetric(100*accSVM, "acc_svm_%")
+	b.ReportMetric(100*accGeo, "acc_geom_%")
+}
+
+// BenchmarkAblationDBNSize trains DBNs of three hidden geometries and
+// reports held-out window accuracy for each (the paper picked 20-8).
+func BenchmarkAblationDBNSize(b *testing.B) {
+	sizes := [][]int{{10, 4}, {20, 8}, {40, 16}}
+	testX, testL := synth.TaillightWindowSet(999, 50)
+	accs := make([]float64, len(sizes))
+	for i := 0; i < b.N; i++ {
+		for j, hidden := range sizes {
+			cfg := dbn.DefaultConfig()
+			cfg.Hidden = hidden
+			cfg.PretrainOpts.Epochs = 3
+			cfg.FineTuneIter = 20
+			X, labels := synth.TaillightWindowSet(50, 80)
+			net, err := dbn.Train(X, labels, cfg, synth.NewRNG(51))
+			if err != nil {
+				b.Fatal(err)
+			}
+			accs[j] = net.Accuracy(testX, testL)
+		}
+	}
+	b.ReportMetric(100*accs[0], "acc_10-4_%")
+	b.ReportMetric(100*accs[1], "acc_20-8_%")
+	b.ReportMetric(100*accs[2], "acc_40-16_%")
+}
+
+// BenchmarkAblationPRSource compares bitstream sourcing: PS DDR via
+// the central interconnect (PCAP) vs PL DDR via the local DMA (the
+// design choice at the heart of §IV-A).
+func BenchmarkAblationPRSource(b *testing.B) {
+	bytes := fpga.DefaultFloorplan().PartialBitstreamBytes()
+	var psSide, plSide pr.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		psSide, err = pr.Measure(&pr.PCAP{}, bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plSide, err = pr.Measure(pr.NewDMAICAP(), bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(psSide.MBPerSec, "ps-ddr_MB/s")
+	b.ReportMetric(plSide.MBPerSec, "pl-ddr_MB/s")
+	b.ReportMetric(plSide.MBPerSec/psSide.MBPerSec, "speedup")
+}
+
+// --- Baseline comparisons (related-work implementations) ---
+
+// BenchmarkBaselineDarkDBNvsHaar compares the paper's DBN dark
+// pipeline with a VeDANt-style AdaBoost+Haar baseline (related work
+// [11]) on identical very dark crops.
+func BenchmarkBaselineDarkDBNvsHaar(b *testing.B) {
+	var dbnC, haarC eval.Confusion
+	for i := 0; i < b.N; i++ {
+		var err error
+		dbnC, haarC, err = experiments.BaselineDark(41, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*dbnC.Accuracy(), "dbn_acc_%")
+	b.ReportMetric(100*haarC.Accuracy(), "haar_acc_%")
+}
+
+// BenchmarkFeatureHOGvsPIHOG compares plain HOG with the
+// position/intensity-augmented PIHOG (related work [8]) at dusk.
+func BenchmarkFeatureHOGvsPIHOG(b *testing.B) {
+	var hogC, piC eval.Confusion
+	for i := 0; i < b.N; i++ {
+		var err error
+		hogC, piC, err = experiments.FeatureComparison(43, 60, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*hogC.Accuracy(), "hog_acc_%")
+	b.ReportMetric(100*piC.Accuracy(), "pihog_acc_%")
+}
+
+// BenchmarkTrackingGain measures scene-level recall with and without
+// the tracking layer on a coherent dark drive.
+func BenchmarkTrackingGain(b *testing.B) {
+	var detR, trkR float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		detR, trkR, err = experiments.TrackingGain(45, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*detR, "detector_recall_%")
+	b.ReportMetric(100*trkR, "tracked_recall_%")
+}
+
+// BenchmarkAdaptiveVsFixed runs the system-level strategy comparison:
+// recall per condition for the adaptive system vs each fixed pipeline.
+func BenchmarkAdaptiveVsFixed(b *testing.B) {
+	var rows []experiments.AdaptiveVsFixedRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AdaptiveVsFixed(61, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Strategy {
+		case "adaptive":
+			b.ReportMetric(100*r.Overall, "adaptive_recall_%")
+		case "day-only":
+			b.ReportMetric(100*r.Overall, "day_only_recall_%")
+		case "dark-only":
+			b.ReportMetric(100*r.Overall, "dark_only_recall_%")
+		}
+	}
+}
+
+// BenchmarkROIGating measures the dark pipeline's window gating: the
+// fraction of DBN evaluations the foreground gate eliminates, the
+// mechanism that keeps the DBN stage inside the 50 fps budget.
+func BenchmarkROIGating(b *testing.B) {
+	_, dark, _ := benchDetectors(b)
+	sc := synth.RenderScene(synth.NewRNG(77),
+		synth.SceneConfig{W: 640, H: 360, Cond: synth.Dark, NumVehicles: 2, RoadLights: 3, OncomingHeadlights: 1})
+	bin := dark.Preprocess(sc.Frame)
+	var stats pipeline.ScanStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats = dark.ScanLightsStats(bin)
+	}
+	b.ReportMetric(100*stats.GatedFraction(), "gated_%")
+	b.ReportMetric(float64(stats.Evaluated), "dbn_evals")
+}
+
+// BenchmarkQuantizationLoss compares the float reference datapath
+// with the Q16.16 fixed-point SVM stage the PL computes in.
+func BenchmarkQuantizationLoss(b *testing.B) {
+	var res experiments.QuantizationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.QuantizationLoss(51, 50, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.FloatAcc.Accuracy(), "float_acc_%")
+	b.ReportMetric(100*res.FixedAcc.Accuracy(), "fixed_acc_%")
+	b.ReportMetric(res.MaxMarginErr, "max_margin_err")
+	b.ReportMetric(float64(res.Disagreement), "disagreements")
+}
+
+// --- Component micro-benchmarks ---
+
+// BenchmarkHOGExtract measures one 64x64 HOG descriptor.
+func BenchmarkHOGExtract(b *testing.B) {
+	g := img.RGBToGray(synth.VehicleCrop(synth.NewRNG(60), 64, 64, synth.Day))
+	cfg := hog.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Extract(g)
+	}
+}
+
+// BenchmarkSVMPredict measures one 1764-dim linear classification.
+func BenchmarkSVMPredict(b *testing.B) {
+	day, _, _ := benchDetectors(b)
+	g := img.RGBToGray(synth.VehicleCrop(synth.NewRNG(61), 64, 64, synth.Day))
+	f := day.HOG.Extract(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day.Model.Margin(f)
+	}
+}
+
+// BenchmarkDBNForward measures one 9x9 window classification.
+func BenchmarkDBNForward(b *testing.B) {
+	_, dark, _ := benchDetectors(b)
+	w := synth.TaillightWindow(synth.NewRNG(62), synth.WindowMedium)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dark.Net.Classify(w)
+	}
+}
+
+// BenchmarkSceneRender measures frame synthesis at the dark pipeline's
+// working resolution.
+func BenchmarkSceneRender(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		synth.RenderScene(synth.NewRNG(uint64(i)), synth.DefaultSceneConfig(640, 360, synth.Dark))
+	}
+}
+
+// BenchmarkAdaptiveFrame measures one timing-mode frame through the
+// adaptive system.
+func BenchmarkAdaptiveFrame(b *testing.B) {
+	opt := DefaultSystemOptions()
+	opt.RunDetectors = false
+	sys, err := NewSystem(Detectors{}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := synth.RenderScene(synth.NewRNG(63), synth.DefaultSceneConfig(64, 36, synth.Day))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ProcessFrame(sc)
+	}
+}

@@ -1,0 +1,116 @@
+// Command socsim runs a timing-mode drive through the adaptive system
+// and reports the platform's event timeline — the software analogue of
+// the Vivado ILA captures and ARM event counters the paper uses for
+// its measurements (§IV-A).
+//
+// Usage:
+//
+//	socsim [-frames 200] [-fps 50] [-csv trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"advdet/internal/adaptive"
+	"advdet/internal/pipeline"
+	"advdet/internal/soc"
+	"advdet/internal/svm"
+	"advdet/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socsim: ")
+
+	frames := flag.Int("frames", 200, "frames to simulate")
+	fps := flag.Int("fps", 50, "camera frame rate")
+	csvPath := flag.String("csv", "", "write the full event trace as CSV")
+	flag.Parse()
+
+	opt := adaptive.DefaultOptions()
+	opt.FPS = *fps
+	opt.RunDetectors = false
+	opt.Initial = synth.Day
+	// Placeholder models so the BRAM model bank is instantiated and
+	// its register traffic appears in the trace; timing mode never
+	// evaluates them.
+	dets := adaptive.Detectors{
+		Day:  pipeline.NewDayDuskDetector(&svm.Model{W: make([]float64, 1)}),
+		Dusk: pipeline.NewDayDuskDetector(&svm.Model{W: make([]float64, 1)}),
+	}
+	sys, err := adaptive.New(dets, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A drive that exercises both a free model switch and a real
+	// reconfiguration: day -> dusk -> dark -> day.
+	seg := *frames / 4
+	condAt := func(i int) (synth.Condition, float64) {
+		switch {
+		case i < seg:
+			return synth.Day, 10000
+		case i < 2*seg:
+			return synth.Dusk, 300
+		case i < 3*seg:
+			return synth.Dark, 5
+		default:
+			return synth.Day, 10000
+		}
+	}
+
+	rng := synth.NewRNG(1)
+	for i := 0; i < *frames; i++ {
+		cond, lux := condAt(i)
+		sc := synth.RenderScene(rng.Split(), synth.SceneConfig{W: 64, H: 36, Cond: cond})
+		sc.Lux = lux
+		sys.ProcessFrame(sc)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("simulated %d frames at %d fps (%.2f s of driving, %.2f ms simulated/frame slot)\n",
+		st.Frames, *fps, float64(st.Frames)/float64(*fps), 1000/float64(*fps))
+	fmt.Printf("model switches: %d, reconfigurations: %d, vehicle frames dropped: %d\n",
+		st.ModelSwitches, len(st.Reconfigs), st.VehicleDropped)
+
+	// Event summary by (source, name).
+	type key struct{ src, name string }
+	counts := map[key]int{}
+	var firstPS, lastPS uint64
+	events := sys.Z.Trace.Events()
+	for i, e := range events {
+		counts[key{e.Source, e.Name}]++
+		if i == 0 {
+			firstPS = e.PS
+		}
+		lastPS = e.PS
+	}
+	fmt.Printf("\ntrace: %d events spanning %.2f ms\n", len(events), soc.Seconds(lastPS-firstPS)*1e3)
+	fmt.Printf("  %-12s %-24s %s\n", "source", "event", "count")
+	for k, n := range counts {
+		fmt.Printf("  %-12s %-24s %d\n", k.src, k.name, n)
+	}
+
+	// Reconfiguration spans measured from the trace, the ILA-style
+	// measurement of §IV-A.
+	if ps, ok := sys.Z.Trace.Span("dma-icap", "reconfig-start", "reconfig-done"); ok {
+		fmt.Printf("\nreconfiguration span from trace: %.2f ms\n", soc.Seconds(ps)*1e3)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Z.Trace.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("full trace written to %s\n", *csvPath)
+	}
+}

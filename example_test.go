@@ -1,0 +1,45 @@
+package advdet_test
+
+import (
+	"fmt"
+
+	"advdet"
+)
+
+// Example demonstrates the timing behaviour of the adaptive system:
+// entering darkness swaps the vehicle-detection bitstream, costing
+// exactly one vehicle frame at 50 fps, while the pedestrian pipeline
+// never stops. Detection itself is disabled (RunDetectors: false) so
+// the example runs in milliseconds; see examples/quickstart for the
+// full path.
+func Example() {
+	opt := advdet.DefaultSystemOptions()
+	opt.Initial = advdet.Dusk
+	opt.RunDetectors = false
+	sys, err := advdet.NewSystem(advdet.Detectors{}, opt)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// Five dusk frames, then darkness falls.
+	for i := 0; i < 5; i++ {
+		sc := advdet.RenderScene(uint64(i), 64, 36, advdet.Dusk)
+		sys.ProcessFrame(sc)
+	}
+	for i := 0; i < 15; i++ {
+		sc := advdet.RenderScene(uint64(100+i), 64, 36, advdet.Dark)
+		sys.ProcessFrame(sc)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("reconfigurations: %d\n", len(st.Reconfigs))
+	fmt.Printf("vehicle frames dropped: %d\n", st.VehicleDropped)
+	fmt.Printf("pedestrian frames processed: %d of %d\n", st.PedestrianFrames, st.Frames)
+	fmt.Printf("loaded configuration: %s\n", sys.Loaded())
+	// Output:
+	// reconfigurations: 1
+	// vehicle frames dropped: 1
+	// pedestrian frames processed: 20 of 20
+	// loaded configuration: dark
+}

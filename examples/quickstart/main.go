@@ -1,0 +1,53 @@
+// Quickstart: train the detectors, boot the adaptive system, process
+// one frame of each lighting condition and print what was found.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"advdet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training detectors (Fast quality, fully synthetic data)...")
+	dets, err := advdet.TrainDetectors(1, advdet.Fast)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cond := range []advdet.Condition{advdet.Day, advdet.Dusk, advdet.Dark} {
+		// Each condition gets its own freshly booted system so no
+		// reconfiguration is pending when the frame arrives.
+		opt := advdet.DefaultSystemOptions()
+		opt.Initial = cond
+		sys, err := advdet.NewSystem(dets, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		scene := advdet.RenderScene(uint64(10+cond), 640, 360, cond)
+		res := sys.ProcessFrame(scene)
+
+		fmt.Printf("\n%s frame (sensor %.0f lux, config %s):\n", cond, scene.Lux, sys.Loaded())
+		fmt.Printf("  ground truth: %d vehicle(s), %d pedestrian(s)\n",
+			len(scene.Vehicles), len(scene.Pedestrians))
+		fmt.Printf("  detected:     %d vehicle(s), %d pedestrian(s)\n",
+			len(res.Vehicles), len(res.Pedestrians))
+		for _, d := range res.Vehicles {
+			fmt.Printf("    vehicle at %v (score %.2f)\n", d.Box, d.Score)
+		}
+		m := advdet.MatchBoxes(scene.Vehicles, boxes(res.Vehicles), 0.2)
+		fmt.Printf("  vehicle match vs ground truth: %s\n", m)
+	}
+}
+
+func boxes(dets []advdet.Detection) []advdet.Rect {
+	out := make([]advdet.Rect, len(dets))
+	for i, d := range dets {
+		out[i] = d.Box
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module advdet
+
+go 1.22

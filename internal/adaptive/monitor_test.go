@@ -1,0 +1,93 @@
+package adaptive
+
+import (
+	"testing"
+
+	"advdet/internal/synth"
+)
+
+func feedN(m *Monitor, lux float64, n int) synth.Condition {
+	var c synth.Condition
+	for i := 0; i < n; i++ {
+		c = m.Update(lux)
+	}
+	return c
+}
+
+func TestMonitorStartsInInitial(t *testing.T) {
+	m := NewMonitor(synth.Dusk)
+	if m.Current() != synth.Dusk {
+		t.Fatal("wrong initial condition")
+	}
+}
+
+func TestMonitorDebounce(t *testing.T) {
+	m := NewMonitor(synth.Day)
+	// Two dark samples are not enough with Debounce=3.
+	if got := feedN(m, 10, 2); got != synth.Day {
+		t.Fatalf("switched after 2 samples: %v", got)
+	}
+	if got := feedN(m, 10, 1); got != synth.Dark {
+		t.Fatalf("did not switch after 3 samples: %v", got)
+	}
+}
+
+func TestMonitorTransitionsThroughAllConditions(t *testing.T) {
+	m := NewMonitor(synth.Day)
+	if got := feedN(m, 500, 3); got != synth.Dusk {
+		t.Fatalf("day->dusk failed: %v", got)
+	}
+	if got := feedN(m, 5, 3); got != synth.Dark {
+		t.Fatalf("dusk->dark failed: %v", got)
+	}
+	if got := feedN(m, 500, 3); got != synth.Dusk {
+		t.Fatalf("dark->dusk failed: %v", got)
+	}
+	if got := feedN(m, 10000, 3); got != synth.Day {
+		t.Fatalf("dusk->day failed: %v", got)
+	}
+}
+
+func TestMonitorHysteresisNoChatter(t *testing.T) {
+	// A reading between the down and up thresholds must not cause a
+	// switch in either direction.
+	m := NewMonitor(synth.Day)
+	if got := feedN(m, 3000, 10); got != synth.Day {
+		t.Fatalf("day lost at mid-band: %v", got)
+	}
+	m2 := NewMonitor(synth.Dusk)
+	if got := feedN(m2, 3000, 10); got != synth.Dusk {
+		t.Fatalf("dusk lost at mid-band: %v", got)
+	}
+}
+
+func TestMonitorDirectDayToDark(t *testing.T) {
+	// Driving into an unlit tunnel: lux collapses straight past the
+	// dusk band.
+	m := NewMonitor(synth.Day)
+	if got := feedN(m, 2, 3); got != synth.Dark {
+		t.Fatalf("day->dark failed: %v", got)
+	}
+}
+
+func TestMonitorNoiseSpikeIgnored(t *testing.T) {
+	m := NewMonitor(synth.Dark)
+	m.Update(5)
+	m.Update(500) // single headlight flash
+	m.Update(5)
+	m.Update(5)
+	if m.Current() != synth.Dark {
+		t.Fatal("single spike flipped the condition")
+	}
+}
+
+func TestMonitorInvalidBandsPanic(t *testing.T) {
+	m := NewMonitor(synth.Day)
+	m.DayDuskDown = 10_000 // above DayDuskUp
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bands did not panic")
+		}
+	}()
+	m.Update(100)
+}

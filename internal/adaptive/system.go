@@ -1,0 +1,337 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"advdet/internal/fpga"
+	"advdet/internal/img"
+	"advdet/internal/pipeline"
+	"advdet/internal/pr"
+	"advdet/internal/soc"
+	"advdet/internal/synth"
+	"advdet/internal/track"
+)
+
+// ConfigID names the two partial configurations of §IV: day and dusk
+// share one bitstream (same HOG+SVM hardware, two models in BRAM);
+// dark has its own.
+type ConfigID int
+
+const (
+	CfgDayDusk ConfigID = iota
+	CfgDark
+)
+
+func (c ConfigID) String() string {
+	if c == CfgDark {
+		return "dark"
+	}
+	return "day-dusk"
+}
+
+// configFor maps a lighting condition to the partial configuration
+// implementing its detector.
+func configFor(c synth.Condition) ConfigID {
+	if c == synth.Dark {
+		return CfgDark
+	}
+	return CfgDayDusk
+}
+
+// Detectors bundles the trained detectors the system switches between.
+type Detectors struct {
+	Day        *pipeline.DayDuskDetector
+	Dusk       *pipeline.DayDuskDetector
+	Dark       *pipeline.DarkDetector
+	Pedestrian *pipeline.PedestrianDetector
+}
+
+// Options configures the system.
+type Options struct {
+	// FPS is the camera frame rate (50 in the paper).
+	FPS int
+	// BitstreamBytes is the partial bitstream size (defaults to the
+	// floorplan model's ~8 MB).
+	BitstreamBytes int
+	// Initial is the boot lighting condition.
+	Initial synth.Condition
+	// RunDetectors enables actual software detection per frame; when
+	// false the system models timing and reconfiguration only (for
+	// long timing-focused scenarios).
+	RunDetectors bool
+	// SenseFromImage estimates ambient light from the frame pixels
+	// (EstimateLux) instead of reading the scene's sensor value —
+	// the fallback for platforms without the paper's external light
+	// signal.
+	SenseFromImage bool
+	// EnableTracking runs a Kalman/Hungarian tracker over the
+	// detections. Confirmed tracks appear in FrameResult.Tracks and
+	// coast through the one-frame reconfiguration dropout.
+	EnableTracking bool
+}
+
+// DefaultOptions returns the paper's operating point.
+func DefaultOptions() Options {
+	return Options{
+		FPS:            50,
+		BitstreamBytes: fpga.DefaultFloorplan().PartialBitstreamBytes(),
+		Initial:        synth.Day,
+		RunDetectors:   true,
+	}
+}
+
+// Reconfiguration records one partial reconfiguration of the vehicle
+// detection block.
+type Reconfiguration struct {
+	Frame    int
+	From, To ConfigID
+	StartPS  uint64
+	DonePS   uint64 // zero until complete
+}
+
+// Stats accumulates system-level counters.
+type Stats struct {
+	Frames           int
+	VehicleDropped   int // vehicle-detection frames lost to reconfiguration
+	PedestrianFrames int // pedestrian frames processed (never drops)
+	ModelSwitches    int // day<->dusk BRAM model selects (free: no reconfig)
+	// SlotOverruns counts frames whose hardware processing (DMA +
+	// pipeline) finished after the frame slot ended — the soft
+	// real-time violations that would eventually drop frames. Zero at
+	// the paper's 50 fps operating point.
+	SlotOverruns int
+	Reconfigs    []Reconfiguration
+}
+
+// FrameResult is the output for one input frame.
+type FrameResult struct {
+	Index       int
+	Cond        synth.Condition
+	Vehicles    []pipeline.Detection
+	Pedestrians []pipeline.Detection
+	// Tracks holds the confirmed tracks after this frame when
+	// tracking is enabled (nil otherwise).
+	Tracks          []*track.Track
+	VehicleDropped  bool
+	ReconfigStarted bool
+}
+
+// System is the adaptive detection unit: the SoC platform, the PR
+// controller with both bitstreams staged in PL DDR, the condition
+// monitor and the detector set.
+type System struct {
+	Z       *soc.Zynq
+	PR      *pr.DMAICAP
+	Monitor *Monitor
+	Dets    Detectors
+	Opt     Options
+
+	loaded        ConfigID
+	reconfiguring bool
+	frameIdx      int
+	stats         Stats
+	tracker       *track.Tracker
+	bank          *ModelBank
+}
+
+// New boots the system: it builds the platform, stages both partial
+// bitstreams into the PL-dedicated DDR (the paper's one-time boot
+// cost) and loads the configuration for the initial condition.
+func New(dets Detectors, opt Options) (*System, error) {
+	if opt.FPS <= 0 {
+		return nil, fmt.Errorf("adaptive: FPS must be positive, got %d", opt.FPS)
+	}
+	if opt.BitstreamBytes <= 0 {
+		return nil, fmt.Errorf("adaptive: bitstream size must be positive, got %d", opt.BitstreamBytes)
+	}
+	s := &System{
+		Z:       soc.NewZynq(),
+		PR:      pr.NewDMAICAP(),
+		Monitor: NewMonitor(opt.Initial),
+		Dets:    dets,
+		Opt:     opt,
+		loaded:  configFor(opt.Initial),
+	}
+	if opt.EnableTracking {
+		s.tracker = track.NewTracker(track.DefaultConfig())
+	}
+	if dets.Day != nil && dets.Dusk != nil {
+		s.bank = NewModelBank(s.Z.Sim, s.Z.GP0, dets.Day.Model, dets.Dusk.Model)
+		if opt.Initial == synth.Dusk {
+			_ = s.bank.Select(1)
+		}
+	}
+	s.PR.Stage(s.Z, CfgDayDusk.String(), opt.BitstreamBytes, nil)
+	s.PR.Stage(s.Z, CfgDark.String(), opt.BitstreamBytes, nil)
+	s.Z.Sim.Run() // complete boot staging before frame 0
+	return s, nil
+}
+
+// framePeriodPS returns one frame slot in picoseconds.
+func (s *System) framePeriodPS() uint64 {
+	return uint64(1e12 / float64(s.Opt.FPS))
+}
+
+// Loaded returns the currently loaded partial configuration.
+func (s *System) Loaded() ConfigID { return s.loaded }
+
+// Reconfiguring reports whether a partial reconfiguration is in
+// flight.
+func (s *System) Reconfiguring() bool { return s.reconfiguring }
+
+// Stats returns a copy of the accumulated counters.
+func (s *System) Stats() Stats {
+	cp := s.stats
+	cp.Reconfigs = append([]Reconfiguration(nil), s.stats.Reconfigs...)
+	return cp
+}
+
+// ProcessFrame advances simulated time by one frame slot and processes
+// the scene: the monitor classifies the sensor reading, a
+// reconfiguration is launched if the needed configuration differs from
+// the loaded one, vehicle detection runs (or is dropped during
+// reconfiguration), and pedestrian detection always runs.
+func (s *System) ProcessFrame(sc *synth.Scene) FrameResult {
+	// Advance the platform to this frame's slot; pending DMA and
+	// reconfiguration completions scheduled earlier fire here.
+	slotStart := uint64(s.frameIdx) * s.framePeriodPS()
+	s.Z.Sim.RunUntil(slotStart)
+
+	res := FrameResult{Index: s.frameIdx}
+	lux := sc.Lux
+	if s.Opt.SenseFromImage {
+		lux = EstimateLux(sc.Frame)
+	}
+	cond := s.Monitor.Update(lux)
+	res.Cond = cond
+	need := configFor(cond)
+
+	if need != s.loaded && !s.reconfiguring {
+		s.startReconfig(need)
+		res.ReconfigStarted = true
+	}
+
+	// Day<->dusk is a BRAM model select on the running configuration:
+	// one AXI-Lite write, no reconfiguration, no dropped frame.
+	if s.bank != nil && need == CfgDayDusk {
+		slot := 0
+		if cond == synth.Dusk {
+			slot = 1
+		}
+		before := s.bank.Switches
+		if err := s.bank.Select(slot); err == nil && s.bank.Switches > before {
+			s.stats.ModelSwitches++
+			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "model-select", cond.String())
+		}
+	}
+
+	// Vehicle detection: the reconfigurable partition is unusable
+	// while its bitstream is being rewritten, and useless if the
+	// loaded algorithm does not match the condition. Frames are
+	// buffered in DDR by the input DMA, so a reconfiguration that
+	// spills slightly into the next slot does not cost that next
+	// frame: the drop decision is taken at mid-slot, which makes an
+	// ~20.5 ms reconfiguration cost exactly one frame at 50 fps, as
+	// the paper reports.
+	s.Z.Sim.RunUntil(slotStart + s.framePeriodPS()/2)
+	// A pipeline sustains the camera rate only if each frame's
+	// processing (DMA + pipeline, including any port queueing) fits
+	// one slot period; longer processing is a soft real-time overrun
+	// that would accumulate into dropped frames.
+	period := s.framePeriodPS()
+	stream := func(pipe soc.PipelineModel, hp *soc.BurstLink, irq int) {
+		start := s.Z.Sim.Now()
+		finish := s.Z.StreamFrame(pipe, sc.Frame.W, sc.Frame.H, 3, hp, irq, nil)
+		if finish-start > period {
+			s.stats.SlotOverruns++
+			s.Z.Trace.Record(start, "adaptive", "slot-overrun", pipe.Name)
+		}
+	}
+	if s.reconfiguring || need != s.loaded {
+		res.VehicleDropped = true
+		s.stats.VehicleDropped++
+		s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "vehicle-frame-dropped",
+			fmt.Sprintf("frame %d", s.frameIdx))
+	} else {
+		stream(s.Z.VehiclePipe, s.Z.HP0, soc.IRQVehicleDMA)
+		if s.Opt.RunDetectors {
+			res.Vehicles = s.detectVehicles(sc, cond)
+		}
+	}
+
+	// Pedestrian detection: static partition, never interrupted.
+	stream(s.Z.PedestrianPipe, s.Z.HP1, soc.IRQPedestrianDMA)
+	if s.Opt.RunDetectors && s.Dets.Pedestrian != nil {
+		res.Pedestrians = s.Dets.Pedestrian.Detect(img.RGBToGray(sc.Frame))
+	}
+	s.stats.PedestrianFrames++
+
+	// Tracking: feed this frame's detections (a dropped vehicle frame
+	// contributes only pedestrians; vehicle tracks coast through it on
+	// their Kalman predictions).
+	if s.tracker != nil {
+		all := append(append([]pipeline.Detection(nil), res.Vehicles...), res.Pedestrians...)
+		s.tracker.Update(all)
+		res.Tracks = s.tracker.Confirmed()
+	}
+
+	s.stats.Frames++
+	s.frameIdx++
+	return res
+}
+
+// detectVehicles dispatches to the condition's detector.
+func (s *System) detectVehicles(sc *synth.Scene, cond synth.Condition) []pipeline.Detection {
+	gray := func() *img.Gray { return img.RGBToGray(sc.Frame) }
+	switch cond {
+	case synth.Day:
+		if s.Dets.Day != nil {
+			return s.Dets.Day.Detect(gray())
+		}
+	case synth.Dusk:
+		if s.Dets.Dusk != nil {
+			return s.Dets.Dusk.Detect(gray())
+		}
+	case synth.Dark:
+		if s.Dets.Dark != nil {
+			return s.Dets.Dark.Detect(sc.Frame)
+		}
+	}
+	return nil
+}
+
+// startReconfig launches the partial reconfiguration for the target
+// configuration through the DMA-ICAP controller.
+func (s *System) startReconfig(target ConfigID) {
+	rec := Reconfiguration{
+		Frame:   s.frameIdx,
+		From:    s.loaded,
+		To:      target,
+		StartPS: s.Z.Sim.Now(),
+	}
+	idx := len(s.stats.Reconfigs)
+	s.stats.Reconfigs = append(s.stats.Reconfigs, rec)
+	s.reconfiguring = true
+	err := s.PR.ReconfigureStaged(s.Z, target.String(), func() {
+		s.loaded = target
+		s.reconfiguring = false
+		s.stats.Reconfigs[idx].DonePS = s.Z.Sim.Now()
+	})
+	if err != nil {
+		// Unreachable by construction (both bitstreams staged in New,
+		// overlap guarded by s.reconfiguring); surface loudly if the
+		// invariant breaks.
+		panic(fmt.Sprintf("adaptive: reconfiguration failed: %v", err))
+	}
+}
+
+// RunScenario drives a whole synthetic drive through the system,
+// returning the per-frame results.
+func (s *System) RunScenario(sc *synth.Scenario) []FrameResult {
+	n := sc.TotalFrames()
+	out := make([]FrameResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.ProcessFrame(sc.FrameAt(i)))
+	}
+	return out
+}

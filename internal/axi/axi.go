@@ -1,0 +1,161 @@
+// Package axi models the AXI infrastructure of Fig. 6 at the
+// driver-visible level: AXI-Lite register files through which the PS
+// controls the accelerators, and AXI DMA engines that move stream
+// data between memory and the detection pipelines ("Processing system
+// initiates the DMA data transfer by writing to its registers and
+// defining the size of data", §IV).
+package axi
+
+import (
+	"fmt"
+
+	"advdet/internal/soc"
+)
+
+// AXI DMA register offsets (subset of the Xilinx AXI DMA map used by
+// the paper's drivers).
+const (
+	RegDMACR   = 0x00 // control: bit 0 = run/stop
+	RegDMASR   = 0x04 // status: bit 0 = halted, bit 1 = idle
+	RegSrcAddr = 0x18 // source address
+	RegLength  = 0x28 // transfer length in bytes; writing starts the DMA
+)
+
+// Status bits of RegDMASR.
+const (
+	StatusHalted = 1 << 0
+	StatusIdle   = 1 << 1
+	StatusIOCIrq = 1 << 12 // interrupt-on-complete latched
+)
+
+// DMA is a one-channel AXI DMA engine bound to a transfer link. The
+// PS (or an on-PL master) programs it through the register interface;
+// writing the length register launches the transfer, and completion
+// raises the bound IRQ line.
+type DMA struct {
+	Name string
+
+	sim  *soc.Sim
+	link *soc.BurstLink
+	irq  func()
+
+	regs        map[uint32]uint32
+	busy        bool
+	transferred uint64
+	completions int
+}
+
+// NewDMA builds a DMA on the simulator moving data over link; irq
+// (optional) is invoked at each transfer completion.
+func NewDMA(name string, sim *soc.Sim, link *soc.BurstLink, irq func()) *DMA {
+	return &DMA{
+		Name: name,
+		sim:  sim,
+		link: link,
+		irq:  irq,
+		regs: map[uint32]uint32{RegDMASR: StatusHalted},
+	}
+}
+
+// WriteReg models an AXI-Lite write. Writing RegLength while the
+// engine is running launches a transfer of that many bytes.
+func (d *DMA) WriteReg(addr, val uint32) error {
+	switch addr {
+	case RegDMACR:
+		d.regs[RegDMACR] = val
+		if val&1 == 1 {
+			d.regs[RegDMASR] &^= StatusHalted
+			d.regs[RegDMASR] |= StatusIdle
+		} else {
+			d.regs[RegDMASR] |= StatusHalted
+		}
+	case RegSrcAddr:
+		d.regs[RegSrcAddr] = val
+	case RegLength:
+		if d.regs[RegDMACR]&1 == 0 {
+			return fmt.Errorf("axi: %s: length written while halted", d.Name)
+		}
+		if d.busy {
+			return fmt.Errorf("axi: %s: transfer already in flight", d.Name)
+		}
+		if val == 0 {
+			return fmt.Errorf("axi: %s: zero-length transfer", d.Name)
+		}
+		d.regs[RegLength] = val
+		d.start(int(val))
+	default:
+		return fmt.Errorf("axi: %s: write to unmapped register %#x", d.Name, addr)
+	}
+	return nil
+}
+
+// ReadReg models an AXI-Lite read.
+func (d *DMA) ReadReg(addr uint32) (uint32, error) {
+	v, ok := d.regs[addr]
+	if !ok {
+		return 0, fmt.Errorf("axi: %s: read from unmapped register %#x", d.Name, addr)
+	}
+	return v, nil
+}
+
+func (d *DMA) start(bytes int) {
+	d.busy = true
+	d.regs[RegDMASR] &^= StatusIdle
+	d.link.Start(d.sim, bytes, func() {
+		d.busy = false
+		d.transferred += uint64(bytes)
+		d.completions++
+		d.regs[RegDMASR] |= StatusIdle | StatusIOCIrq
+		if d.irq != nil {
+			d.irq()
+		}
+	})
+}
+
+// Busy reports whether a transfer is in flight.
+func (d *DMA) Busy() bool { return d.busy }
+
+// Transferred returns the total bytes moved.
+func (d *DMA) Transferred() uint64 { return d.transferred }
+
+// Completions returns the number of finished transfers.
+func (d *DMA) Completions() int { return d.completions }
+
+// AckIRQ clears the latched interrupt-on-complete status bit, as the
+// driver's interrupt handler does.
+func (d *DMA) AckIRQ() { d.regs[RegDMASR] &^= StatusIOCIrq }
+
+// Lite is a generic AXI-Lite register file for accelerator parameter
+// blocks ("Parameters of detection modules are also accessible by PS
+// and could be updated through AXI-Lite interface"). Each access
+// costs one GP-port transaction of simulated time.
+type Lite struct {
+	Name string
+	sim  *soc.Sim
+	port *soc.BurstLink
+	regs map[uint32]uint32
+	// accessPS accumulates the simulated time spent on register I/O.
+	accessPS uint64
+}
+
+// NewLite builds a register file accessed through the given GP port.
+func NewLite(name string, sim *soc.Sim, port *soc.BurstLink) *Lite {
+	return &Lite{Name: name, sim: sim, port: port, regs: map[uint32]uint32{}}
+}
+
+// Write stores a register value, charging one 4-byte GP transaction.
+func (l *Lite) Write(addr, val uint32) {
+	l.accessPS += l.port.TransferPS(4)
+	l.regs[addr] = val
+}
+
+// Read returns a register value (zero if never written), charging one
+// GP transaction.
+func (l *Lite) Read(addr uint32) uint32 {
+	l.accessPS += l.port.TransferPS(4)
+	return l.regs[addr]
+}
+
+// AccessPS returns the cumulative simulated time spent on this
+// register file's I/O.
+func (l *Lite) AccessPS() uint64 { return l.accessPS }

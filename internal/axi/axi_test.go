@@ -1,0 +1,147 @@
+package axi
+
+import (
+	"testing"
+
+	"advdet/internal/soc"
+)
+
+func newTestDMA(irq func()) (*soc.Sim, *DMA) {
+	sim := &soc.Sim{}
+	link := soc.NewICAPLink()
+	return sim, NewDMA("test", sim, link, irq)
+}
+
+func TestDMAResetState(t *testing.T) {
+	_, d := newTestDMA(nil)
+	sr, err := d.ReadReg(RegDMASR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr&StatusHalted == 0 {
+		t.Fatal("DMA should come up halted")
+	}
+	if d.Busy() {
+		t.Fatal("fresh DMA busy")
+	}
+}
+
+func TestDMARejectsLengthWhileHalted(t *testing.T) {
+	_, d := newTestDMA(nil)
+	if err := d.WriteReg(RegLength, 1024); err == nil {
+		t.Fatal("length accepted while halted")
+	}
+}
+
+func TestDMARejectsZeroLength(t *testing.T) {
+	_, d := newTestDMA(nil)
+	if err := d.WriteReg(RegDMACR, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(RegLength, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestDMATransferLifecycle(t *testing.T) {
+	irqs := 0
+	sim, d := newTestDMA(func() { irqs++ })
+	if err := d.WriteReg(RegDMACR, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(RegSrcAddr, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(RegLength, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Busy() {
+		t.Fatal("DMA not busy after launch")
+	}
+	sr, _ := d.ReadReg(RegDMASR)
+	if sr&StatusIdle != 0 {
+		t.Fatal("status idle during transfer")
+	}
+	sim.Run()
+	if d.Busy() {
+		t.Fatal("DMA busy after completion")
+	}
+	if irqs != 1 {
+		t.Fatalf("irqs = %d", irqs)
+	}
+	if d.Transferred() != 4096 || d.Completions() != 1 {
+		t.Fatalf("transferred %d in %d completions", d.Transferred(), d.Completions())
+	}
+	sr, _ = d.ReadReg(RegDMASR)
+	if sr&StatusIOCIrq == 0 {
+		t.Fatal("IOC bit not latched")
+	}
+	d.AckIRQ()
+	sr, _ = d.ReadReg(RegDMASR)
+	if sr&StatusIOCIrq != 0 {
+		t.Fatal("IOC bit not cleared by ack")
+	}
+}
+
+func TestDMARejectsOverlappingTransfers(t *testing.T) {
+	_, d := newTestDMA(nil)
+	if err := d.WriteReg(RegDMACR, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(RegLength, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(RegLength, 1024); err == nil {
+		t.Fatal("overlapping transfer accepted")
+	}
+}
+
+func TestDMAUnmappedRegister(t *testing.T) {
+	_, d := newTestDMA(nil)
+	if err := d.WriteReg(0xFF, 1); err == nil {
+		t.Fatal("unmapped write accepted")
+	}
+	if _, err := d.ReadReg(0xFF); err == nil {
+		t.Fatal("unmapped read accepted")
+	}
+}
+
+func TestDMATransferTiming(t *testing.T) {
+	// 4 MB over the 400 MB/s ICAP link must take ~10 ms of simulated
+	// time.
+	sim, d := newTestDMA(nil)
+	var doneAt uint64
+	d2 := NewDMA("timed", sim, soc.NewICAPLink(), func() { doneAt = sim.Now() })
+	_ = d
+	if err := d2.WriteReg(RegDMACR, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.WriteReg(RegLength, 4_000_000); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	ms := soc.Seconds(doneAt) * 1e3
+	if ms < 9.9 || ms > 10.1 {
+		t.Fatalf("4 MB over ICAP took %.3f ms, want ~10", ms)
+	}
+}
+
+func TestLiteRegisterFile(t *testing.T) {
+	sim := &soc.Sim{}
+	l := NewLite("params", sim, soc.NewGPPort("gp"))
+	l.Write(0x10, 42)
+	if got := l.Read(0x10); got != 42 {
+		t.Fatalf("Read = %d", got)
+	}
+	if got := l.Read(0x20); got != 0 {
+		t.Fatalf("unwritten register = %d", got)
+	}
+	if l.AccessPS() == 0 {
+		t.Fatal("register I/O cost no simulated time")
+	}
+	// 3 accesses x one 4-byte GP transaction (21 cfg cycles = 210 ns).
+	want := 3 * soc.NewGPPort("gp").TransferPS(4)
+	if l.AccessPS() != want {
+		t.Fatalf("AccessPS = %d, want %d", l.AccessPS(), want)
+	}
+}

@@ -1,0 +1,116 @@
+package axi
+
+import "fmt"
+
+// StreamFIFO models an AXI4-Stream FIFO between a producer and a
+// consumer running at different sustained rates — the buffers sitting
+// between the DMA engines and the detection pipelines in Fig. 6. The
+// model answers the sizing question the RTL designer faces: how deep
+// must the FIFO be so a rate mismatch over a burst never backpressures
+// the camera?
+type StreamFIFO struct {
+	Name  string
+	Depth int // capacity in words
+
+	count     int
+	pushed    uint64
+	popped    uint64
+	stalls    uint64 // producer words refused (TREADY low)
+	underruns uint64 // consumer pops from empty (TVALID low)
+	maxFill   int
+}
+
+// NewStreamFIFO returns an empty FIFO of the given depth.
+func NewStreamFIFO(name string, depth int) *StreamFIFO {
+	if depth <= 0 {
+		panic(fmt.Sprintf("axi: FIFO %q depth %d", name, depth))
+	}
+	return &StreamFIFO{Name: name, Depth: depth}
+}
+
+// Push offers n words; returns how many were accepted. Refused words
+// count as producer stalls.
+func (f *StreamFIFO) Push(n int) int {
+	if n < 0 {
+		panic("axi: negative push")
+	}
+	space := f.Depth - f.count
+	acc := n
+	if acc > space {
+		acc = space
+	}
+	f.count += acc
+	f.pushed += uint64(acc)
+	f.stalls += uint64(n - acc)
+	if f.count > f.maxFill {
+		f.maxFill = f.count
+	}
+	return acc
+}
+
+// Pop requests n words; returns how many were delivered. Missing
+// words count as consumer underruns.
+func (f *StreamFIFO) Pop(n int) int {
+	if n < 0 {
+		panic("axi: negative pop")
+	}
+	got := n
+	if got > f.count {
+		got = f.count
+	}
+	f.count -= got
+	f.popped += uint64(got)
+	f.underruns += uint64(n - got)
+	return got
+}
+
+// Level returns the current occupancy.
+func (f *StreamFIFO) Level() int { return f.count }
+
+// MaxFill returns the high-water mark.
+func (f *StreamFIFO) MaxFill() int { return f.maxFill }
+
+// Stalls returns total producer words refused.
+func (f *StreamFIFO) Stalls() uint64 { return f.stalls }
+
+// Underruns returns total consumer words not delivered.
+func (f *StreamFIFO) Underruns() uint64 { return f.underruns }
+
+// Conserved checks the FIFO invariant: pushed = popped + level.
+func (f *StreamFIFO) Conserved() bool {
+	return f.pushed == f.popped+uint64(f.count)
+}
+
+// RateSimResult summarizes a rate-mismatch simulation.
+type RateSimResult struct {
+	ProducerStalls uint64
+	Underruns      uint64
+	MaxFill        int
+}
+
+// SimulateRates streams totalWords through the FIFO with a producer
+// that offers prodPerCycle words per cycle in bursts of burstLen
+// cycles followed by gapLen idle cycles, against a consumer draining
+// consPerCycle words every cycle. It reports the stalls, underruns and
+// the high-water mark — the numbers that size the Fig. 6 FIFOs.
+func (f *StreamFIFO) SimulateRates(totalWords, prodPerCycle, burstLen, gapLen, consPerCycle int) RateSimResult {
+	remaining := totalWords
+	cycle := 0
+	for remaining > 0 || f.count > 0 {
+		inBurst := gapLen == 0 || cycle%(burstLen+gapLen) < burstLen
+		if remaining > 0 && inBurst {
+			offer := prodPerCycle
+			if offer > remaining {
+				offer = remaining
+			}
+			accepted := f.Push(offer)
+			remaining -= accepted
+		}
+		f.Pop(consPerCycle)
+		cycle++
+		if cycle > 100*totalWords+1000 {
+			break // safety: pathological configurations terminate
+		}
+	}
+	return RateSimResult{ProducerStalls: f.stalls, Underruns: f.underruns, MaxFill: f.maxFill}
+}

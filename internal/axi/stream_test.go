@@ -1,0 +1,96 @@
+package axi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOPushPop(t *testing.T) {
+	f := NewStreamFIFO("t", 4)
+	if got := f.Push(3); got != 3 {
+		t.Fatalf("push accepted %d", got)
+	}
+	if f.Level() != 3 {
+		t.Fatalf("level %d", f.Level())
+	}
+	if got := f.Push(3); got != 1 {
+		t.Fatalf("overfull push accepted %d, want 1", got)
+	}
+	if f.Stalls() != 2 {
+		t.Fatalf("stalls %d", f.Stalls())
+	}
+	if got := f.Pop(10); got != 4 {
+		t.Fatalf("pop got %d", got)
+	}
+	if f.Underruns() != 6 {
+		t.Fatalf("underruns %d", f.Underruns())
+	}
+	if f.MaxFill() != 4 {
+		t.Fatalf("max fill %d", f.MaxFill())
+	}
+}
+
+func TestFIFOConservation(t *testing.T) {
+	fn := func(ops []uint8) bool {
+		f := NewStreamFIFO("p", 16)
+		for _, op := range ops {
+			if op%2 == 0 {
+				f.Push(int(op % 8))
+			} else {
+				f.Pop(int(op % 8))
+			}
+		}
+		return f.Conserved() && f.Level() >= 0 && f.Level() <= 16
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero depth accepted")
+		}
+	}()
+	NewStreamFIFO("bad", 0)
+}
+
+func TestSimulateMatchedRatesNoStalls(t *testing.T) {
+	f := NewStreamFIFO("m", 8)
+	res := f.SimulateRates(10000, 1, 1, 0, 1)
+	if res.ProducerStalls != 0 {
+		t.Fatalf("matched rates stalled %d words", res.ProducerStalls)
+	}
+	if res.MaxFill > 2 {
+		t.Fatalf("matched rates filled to %d", res.MaxFill)
+	}
+}
+
+func TestSimulateBurstyProducerNeedsDepth(t *testing.T) {
+	// Producer: 2 words/cycle for 16 cycles, then 16 idle (mean rate
+	// 1). Consumer: 1 word/cycle. A shallow FIFO stalls the producer;
+	// a FIFO covering the per-burst surplus (16 words) plus one word
+	// of push-before-pop skew does not.
+	shallow := NewStreamFIFO("s", 4)
+	deep := NewStreamFIFO("d", 17)
+	resS := shallow.SimulateRates(4096, 2, 16, 16, 1)
+	resD := deep.SimulateRates(4096, 2, 16, 16, 1)
+	if resS.ProducerStalls == 0 {
+		t.Fatal("shallow FIFO absorbed a 2x burst without stalls")
+	}
+	if resD.ProducerStalls != 0 {
+		t.Fatalf("17-deep FIFO stalled %d words", resD.ProducerStalls)
+	}
+	if resD.MaxFill != 17 {
+		t.Fatalf("deep FIFO high-water %d, want 17", resD.MaxFill)
+	}
+}
+
+func TestSimulateSlowConsumerAlwaysStalls(t *testing.T) {
+	f := NewStreamFIFO("sc", 32)
+	res := f.SimulateRates(2048, 2, 1, 0, 1)
+	if res.ProducerStalls == 0 {
+		t.Fatal("2x producer vs 1x consumer must stall regardless of depth")
+	}
+}

@@ -1,0 +1,126 @@
+// Package eval provides the detection metrics of the paper's
+// evaluation: the confusion counts and the accuracy definition of
+// Eq. (1), plus IoU-based box matching for full-frame detection.
+package eval
+
+import (
+	"fmt"
+
+	"advdet/internal/img"
+)
+
+// Confusion holds classification counts in the paper's terminology.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Total returns the number of evaluated samples.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Accuracy is Eq. (1): (TP+TN) / (TP+TN+FP+FN).
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision is TP / (TP+FP).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP+FN).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Add accumulates other into c.
+func (c *Confusion) Add(other Confusion) {
+	c.TP += other.TP
+	c.TN += other.TN
+	c.FP += other.FP
+	c.FN += other.FN
+}
+
+// Record tallies one binary decision given the ground truth.
+func (c *Confusion) Record(truth, predicted bool) {
+	switch {
+	case truth && predicted:
+		c.TP++
+	case truth && !predicted:
+		c.FN++
+	case !truth && predicted:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("acc=%.2f%% TP=%d TN=%d FP=%d FN=%d",
+		100*c.Accuracy(), c.TP, c.TN, c.FP, c.FN)
+}
+
+// Classifier is a binary decision over a grayscale crop.
+type Classifier func(*img.Gray) bool
+
+// EvaluateCrops runs a classifier over positive and negative crop sets
+// and tallies the confusion counts, as the Table I evaluation does.
+func EvaluateCrops(classify Classifier, pos, neg []*img.Gray) Confusion {
+	var c Confusion
+	for _, p := range pos {
+		c.Record(true, classify(p))
+	}
+	for _, n := range neg {
+		c.Record(false, classify(n))
+	}
+	return c
+}
+
+// MatchBoxes greedily matches detections to ground-truth boxes at the
+// given IoU threshold and returns the resulting counts (matched
+// detections are TP, unmatched detections FP, unmatched truths FN).
+func MatchBoxes(truth, detected []img.Rect, iouThresh float64) Confusion {
+	var c Confusion
+	usedDet := make([]bool, len(detected))
+	for _, t := range truth {
+		best, bestIoU := -1, iouThresh
+		for j, d := range detected {
+			if usedDet[j] {
+				continue
+			}
+			if iou := t.IoU(d); iou >= bestIoU {
+				best, bestIoU = j, iou
+			}
+		}
+		if best >= 0 {
+			usedDet[best] = true
+			c.TP++
+		} else {
+			c.FN++
+		}
+	}
+	for _, u := range usedDet {
+		if !u {
+			c.FP++
+		}
+	}
+	return c
+}

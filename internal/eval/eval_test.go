@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advdet/internal/img"
+)
+
+func TestAccuracyMatchesPaperRow(t *testing.T) {
+	// Table I day/day row: 195 TP, 21 TN, 4 FP, 5 FN -> 96.00%.
+	c := Confusion{TP: 195, TN: 21, FP: 4, FN: 5}
+	if got := c.Accuracy(); math.Abs(got-0.96) > 1e-9 {
+		t.Fatalf("accuracy = %v, want 0.96", got)
+	}
+	// Dusk/dusk row: 744+751 / (744+751+1+319) = 82.37%.
+	c = Confusion{TP: 744, TN: 751, FP: 1, FN: 319}
+	if got := 100 * c.Accuracy(); math.Abs(got-82.37) > 0.01 {
+		t.Fatalf("accuracy = %v, want 82.37", got)
+	}
+}
+
+func TestEmptyConfusion(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion should report zero metrics")
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 2, TN: 10}
+	if c.Precision() != 0.8 || c.Recall() != 0.8 {
+		t.Fatalf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+	if math.Abs(c.F1()-0.8) > 1e-12 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+}
+
+func TestRecordAndAdd(t *testing.T) {
+	var c Confusion
+	c.Record(true, true)
+	c.Record(true, false)
+	c.Record(false, true)
+	c.Record(false, false)
+	if c != (Confusion{TP: 1, FN: 1, FP: 1, TN: 1}) {
+		t.Fatalf("Record tally wrong: %+v", c)
+	}
+	var sum Confusion
+	sum.Add(c)
+	sum.Add(c)
+	if sum.Total() != 8 {
+		t.Fatalf("Add total = %d", sum.Total())
+	}
+}
+
+func TestAccuracyBounds(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		a := c.Accuracy()
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateCrops(t *testing.T) {
+	bright := img.NewGray(4, 4)
+	bright.Fill(200)
+	dark := img.NewGray(4, 4)
+	classify := func(g *img.Gray) bool { return g.Mean() > 100 }
+	c := EvaluateCrops(classify,
+		[]*img.Gray{bright, bright, dark}, // 2 TP, 1 FN
+		[]*img.Gray{dark, bright})         // 1 TN, 1 FP
+	want := Confusion{TP: 2, FN: 1, TN: 1, FP: 1}
+	if c != want {
+		t.Fatalf("EvaluateCrops = %+v, want %+v", c, want)
+	}
+}
+
+func TestMatchBoxesExact(t *testing.T) {
+	truth := []img.Rect{{X0: 0, Y0: 0, X1: 10, Y1: 10}, {X0: 50, Y0: 50, X1: 60, Y1: 60}}
+	det := []img.Rect{{X0: 1, Y0: 1, X1: 11, Y1: 11}} // overlaps first truth well
+	c := MatchBoxes(truth, det, 0.5)
+	if c.TP != 1 || c.FN != 1 || c.FP != 0 {
+		t.Fatalf("MatchBoxes = %+v", c)
+	}
+}
+
+func TestMatchBoxesFalsePositive(t *testing.T) {
+	truth := []img.Rect{{X0: 0, Y0: 0, X1: 10, Y1: 10}}
+	det := []img.Rect{{X0: 100, Y0: 100, X1: 110, Y1: 110}}
+	c := MatchBoxes(truth, det, 0.5)
+	if c.TP != 0 || c.FN != 1 || c.FP != 1 {
+		t.Fatalf("MatchBoxes = %+v", c)
+	}
+}
+
+func TestMatchBoxesNoDoubleCounting(t *testing.T) {
+	// Two detections on one truth: one TP, one FP.
+	truth := []img.Rect{{X0: 0, Y0: 0, X1: 10, Y1: 10}}
+	det := []img.Rect{
+		{X0: 0, Y0: 0, X1: 10, Y1: 10},
+		{X0: 1, Y0: 1, X1: 11, Y1: 11},
+	}
+	c := MatchBoxes(truth, det, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 0 {
+		t.Fatalf("MatchBoxes = %+v", c)
+	}
+}
+
+func TestMatchBoxesPrefersBestOverlap(t *testing.T) {
+	truth := []img.Rect{{X0: 0, Y0: 0, X1: 10, Y1: 10}}
+	det := []img.Rect{
+		{X0: 4, Y0: 4, X1: 14, Y1: 14}, // weaker overlap
+		{X0: 0, Y0: 0, X1: 10, Y1: 10}, // perfect
+	}
+	c := MatchBoxes(truth, det, 0.2)
+	if c.TP != 1 || c.FP != 1 {
+		t.Fatalf("MatchBoxes = %+v", c)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	s := Confusion{TP: 1, TN: 1, FP: 1, FN: 1}.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

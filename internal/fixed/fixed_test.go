@@ -1,0 +1,175 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 0.5, -0.25, 123.456, -999.999} {
+		q := FromFloat(f)
+		if d := math.Abs(q.Float() - f); d > 1.0/(1<<16) {
+			t.Errorf("round trip of %v drifted by %v", f, d)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(1e12) != Q(math.MaxInt32) {
+		t.Fatal("positive overflow did not saturate")
+	}
+	if FromFloat(-1e12) != Q(math.MinInt32) {
+		t.Fatal("negative overflow did not saturate")
+	}
+}
+
+func TestMulDivAdd(t *testing.T) {
+	a, b := FromFloat(3.5), FromFloat(2.0)
+	if got := a.Mul(b).Float(); math.Abs(got-7) > 1e-4 {
+		t.Fatalf("3.5*2 = %v", got)
+	}
+	if got := a.Div(b).Float(); math.Abs(got-1.75) > 1e-4 {
+		t.Fatalf("3.5/2 = %v", got)
+	}
+	if got := a.Add(b).Float(); math.Abs(got-5.5) > 1e-4 {
+		t.Fatalf("3.5+2 = %v", got)
+	}
+}
+
+func TestDivByZeroSaturates(t *testing.T) {
+	if FromFloat(1).Div(0) != Q(math.MaxInt32) {
+		t.Fatal("positive/0 should saturate high")
+	}
+	if FromFloat(-1).Div(0) != Q(math.MinInt32) {
+		t.Fatal("negative/0 should saturate low")
+	}
+}
+
+func TestArithmeticMatchesFloatProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		// Scale inputs so products stay inside Q16.16 (no saturation).
+		fa, fb := float64(a)/256, float64(b)/256
+		qa, qb := FromFloat(fa), FromFloat(fb)
+		if math.Abs(qa.Mul(qb).Float()-fa*fb) > 0.01 {
+			return false
+		}
+		if math.Abs(qa.Add(qb).Float()-(fa+fb)) > 0.001 {
+			return false
+		}
+		if fb != 0 && math.Abs(fa/fb) < 30000 {
+			if math.Abs(qa.Div(qb).Float()-fa/fb) > 0.01*math.Max(1, math.Abs(fa/fb)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrt32Exact(t *testing.T) {
+	cases := map[uint32]uint32{0: 0, 1: 1, 4: 2, 15: 3, 16: 4, 1 << 30: 1 << 15, 4294836225: 65535}
+	for v, want := range cases {
+		if got := Sqrt32(v); got != want {
+			t.Errorf("Sqrt32(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSqrt32Property(t *testing.T) {
+	f := func(v uint32) bool {
+		r := uint64(Sqrt32(v))
+		return r*r <= uint64(v) && (r+1)*(r+1) > uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtQ(t *testing.T) {
+	for _, f := range []float64{0, 1, 2, 4, 0.25, 100, 10000} {
+		got := SqrtQ(FromFloat(f)).Float()
+		if math.Abs(got-math.Sqrt(f)) > 0.001*math.Max(1, math.Sqrt(f)) {
+			t.Errorf("SqrtQ(%v) = %v, want %v", f, got, math.Sqrt(f))
+		}
+	}
+	if SqrtQ(FromFloat(-3)) != 0 {
+		t.Fatal("negative sqrt should clamp to 0")
+	}
+}
+
+func TestDotMatchesFloat(t *testing.T) {
+	a := []float64{0.5, -0.25, 1.5, 2}
+	b := []float64{1, 2, -0.5, 0.125}
+	want := 0.0
+	for i := range a {
+		want += a[i] * b[i]
+	}
+	got := Dot(QuantizeVec(a), QuantizeVec(b)).Float()
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("Dot = %v, want %v", got, want)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Dot(make([]Q, 2), make([]Q, 3))
+}
+
+func TestQuantizeDequantizeVec(t *testing.T) {
+	v := []float64{0.1, -0.9, 3.25}
+	back := DequantizeVec(QuantizeVec(v))
+	for i := range v {
+		if math.Abs(back[i]-v[i]) > 1e-4 {
+			t.Fatalf("vector round trip drifted at %d", i)
+		}
+	}
+}
+
+func TestL2NormalizeQUnitNorm(t *testing.T) {
+	v := QuantizeVec([]float64{3, 4, 0, 0})
+	L2NormalizeQ(v, FromFloat(1))
+	var ss float64
+	for _, q := range v {
+		ss += q.Float() * q.Float()
+	}
+	if math.Abs(math.Sqrt(ss)-1) > 0.01 {
+		t.Fatalf("norm after normalization = %v", math.Sqrt(ss))
+	}
+	if math.Abs(v[0].Float()-0.6) > 0.01 || math.Abs(v[1].Float()-0.8) > 0.01 {
+		t.Fatalf("direction changed: %v %v", v[0], v[1])
+	}
+}
+
+func TestL2NormalizeQClipping(t *testing.T) {
+	v := QuantizeVec([]float64{10, 0.01, 0.01})
+	clip := FromFloat(0.2)
+	L2NormalizeQ(v, clip)
+	// After clip+renormalize the dominant value is bounded near 1 but
+	// the small values gained relative mass.
+	if v[0].Float() > 1.01 {
+		t.Fatalf("clipped value %v exceeds unit", v[0].Float())
+	}
+}
+
+func TestL2NormalizeQZeroVector(t *testing.T) {
+	v := make([]Q, 4)
+	L2NormalizeQ(v, One) // must not panic or produce garbage
+	for _, q := range v {
+		if q != 0 {
+			t.Fatal("zero vector changed")
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if FromFloat(1.5).String() != "1.5" {
+		t.Fatalf("String = %q", FromFloat(1.5).String())
+	}
+}

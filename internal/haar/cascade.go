@@ -1,0 +1,138 @@
+package haar
+
+import (
+	"fmt"
+
+	"advdet/internal/img"
+)
+
+// Cascade is an attentional cascade of boosted stages, the structure
+// Viola-Jones detectors (and the VeDANt-style classifiers of the
+// paper's related work) use in practice: early, cheap stages reject
+// the overwhelming majority of background windows so the expensive
+// stages run only on promising ones. Each stage's bias is calibrated
+// to pass (at least) a target fraction of the training positives.
+type Cascade struct {
+	Stages []*Classifier
+}
+
+// CascadeOptions configures training.
+type CascadeOptions struct {
+	// StageRounds lists the boosting rounds per stage, cheapest
+	// first (default {4, 10, 30}).
+	StageRounds []int
+	// MinStageRecall is the fraction of training positives every
+	// stage must pass (default 0.99).
+	MinStageRecall float64
+	// FeatureStep is the candidate-pool density (default 4).
+	FeatureStep int
+}
+
+// DefaultCascadeOptions returns a three-stage 4/10/30 configuration.
+func DefaultCascadeOptions() CascadeOptions {
+	return CascadeOptions{StageRounds: []int{4, 10, 30}, MinStageRecall: 0.99, FeatureStep: 4}
+}
+
+// TrainCascade builds the cascade: each stage is trained on the
+// positives plus the negatives surviving the previous stages, then
+// its bias is lowered until the stage passes MinStageRecall of the
+// positives.
+func TrainCascade(pos, neg []*img.Gray, o CascadeOptions) (*Cascade, error) {
+	if len(o.StageRounds) == 0 {
+		o.StageRounds = []int{4, 10, 30}
+	}
+	if o.MinStageRecall <= 0 || o.MinStageRecall > 1 {
+		o.MinStageRecall = 0.99
+	}
+	if o.FeatureStep <= 0 {
+		o.FeatureStep = 4
+	}
+	c := &Cascade{}
+	curNeg := neg
+	for si, rounds := range o.StageRounds {
+		if len(curNeg) == 0 {
+			break // earlier stages already reject every training negative
+		}
+		stage, err := Train(pos, curNeg, TrainOptions{Rounds: rounds, FeatureStep: o.FeatureStep})
+		if err != nil {
+			return nil, fmt.Errorf("haar: cascade stage %d: %w", si, err)
+		}
+		calibrateStage(stage, pos, o.MinStageRecall)
+		c.Stages = append(c.Stages, stage)
+		// Keep only the negatives this stage passes (false positives)
+		// as the next stage's training set.
+		var survivors []*img.Gray
+		for _, n := range curNeg {
+			if stage.Classify(n) {
+				survivors = append(survivors, n)
+			}
+		}
+		curNeg = survivors
+	}
+	if len(c.Stages) == 0 {
+		return nil, fmt.Errorf("haar: cascade trained no stages")
+	}
+	return c, nil
+}
+
+// calibrateStage lowers the stage bias until at least minRecall of
+// the positives pass.
+func calibrateStage(s *Classifier, pos []*img.Gray, minRecall float64) {
+	scores := make([]float64, 0, len(pos))
+	for _, p := range pos {
+		g := p
+		if g.W != s.WinW || g.H != s.WinH {
+			g = img.ResizeGray(g, s.WinW, s.WinH)
+		}
+		scores = append(scores, s.Score(NewIntegral(g), 0, 0)+s.Bias) // raw ensemble sum
+	}
+	// Choose the bias as the score quantile that keeps minRecall of
+	// positives above it (selection sort of the needed order statistic
+	// keeps this dependency-free).
+	k := int(float64(len(scores)) * (1 - minRecall))
+	if k >= len(scores) {
+		k = len(scores) - 1
+	}
+	for i := 0; i <= k; i++ {
+		min := i
+		for j := i + 1; j < len(scores); j++ {
+			if scores[j] < scores[min] {
+				min = j
+			}
+		}
+		scores[i], scores[min] = scores[min], scores[i]
+	}
+	// Margin check is "> 0" downstream, so sit the bias just below the
+	// k-th lowest positive score.
+	s.Bias = scores[k] - 1e-9
+}
+
+// Classify runs the window through all stages; any rejection is
+// final.
+func (c *Cascade) Classify(g *img.Gray) bool {
+	for _, s := range c.Stages {
+		if !s.Classify(g) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalStats reports the average number of stages evaluated per window
+// over a set — the work-saving the cascade exists for.
+func (c *Cascade) EvalStats(windows []*img.Gray) float64 {
+	if len(windows) == 0 {
+		return 0
+	}
+	total := 0
+	for _, g := range windows {
+		for si, s := range c.Stages {
+			total++
+			if !s.Classify(g) {
+				break
+			}
+			_ = si
+		}
+	}
+	return float64(total) / float64(len(windows))
+}

@@ -1,0 +1,105 @@
+package haar
+
+import "fmt"
+
+// FeatureKind is the Haar template shape.
+type FeatureKind int
+
+const (
+	// EdgeH is a two-rectangle horizontal edge (top vs bottom).
+	EdgeH FeatureKind = iota
+	// EdgeV is a two-rectangle vertical edge (left vs right).
+	EdgeV
+	// LineH is a three-rectangle horizontal line (middle vs outer).
+	LineH
+	// LineV is a three-rectangle vertical line.
+	LineV
+	// Center is a four-rectangle center-surround — the template that
+	// responds to compact bright blobs such as taillights.
+	Center
+	numKinds
+)
+
+func (k FeatureKind) String() string {
+	switch k {
+	case EdgeH:
+		return "edge-h"
+	case EdgeV:
+		return "edge-v"
+	case LineH:
+		return "line-h"
+	case LineV:
+		return "line-v"
+	case Center:
+		return "center"
+	}
+	return "invalid"
+}
+
+// Feature is one Haar-like feature instance: a template at a position
+// and size inside the detection window.
+type Feature struct {
+	Kind       FeatureKind
+	X, Y, W, H int
+}
+
+// Eval computes the feature response on an integral image, offset by
+// (ox, oy) — the window origin. Responses are normalized by area so
+// thresholds transfer across feature sizes.
+func (f Feature) Eval(it *Integral, ox, oy int) float64 {
+	x0, y0 := ox+f.X, oy+f.Y
+	x1, y1 := x0+f.W, y0+f.H
+	switch f.Kind {
+	case EdgeH:
+		mid := y0 + f.H/2
+		return float64(it.Sum(x0, y0, x1, mid)-it.Sum(x0, mid, x1, y1)) / float64(f.W*f.H)
+	case EdgeV:
+		mid := x0 + f.W/2
+		return float64(it.Sum(x0, y0, mid, y1)-it.Sum(mid, y0, x1, y1)) / float64(f.W*f.H)
+	case LineH:
+		third := f.H / 3
+		outer := it.Sum(x0, y0, x1, y0+third) + it.Sum(x0, y1-third, x1, y1)
+		inner := it.Sum(x0, y0+third, x1, y1-third)
+		return float64(inner-outer) / float64(f.W*f.H)
+	case LineV:
+		third := f.W / 3
+		outer := it.Sum(x0, y0, x0+third, y1) + it.Sum(x1-third, y0, x1, y1)
+		inner := it.Sum(x0+third, y0, x1-third, y1)
+		return float64(inner-outer) / float64(f.W*f.H)
+	case Center:
+		qx, qy := f.W/4, f.H/4
+		inner := it.Sum(x0+qx, y0+qy, x1-qx, y1-qy)
+		whole := it.Sum(x0, y0, x1, y1)
+		return float64(2*inner-whole) / float64(f.W*f.H)
+	default:
+		panic(fmt.Sprintf("haar: invalid feature kind %d", f.Kind))
+	}
+}
+
+// GenerateFeatures enumerates a feature pool for a winW x winH window
+// on a coarse grid (step controls density; smaller = more features).
+func GenerateFeatures(winW, winH, step int) []Feature {
+	if step < 1 {
+		step = 1
+	}
+	var pool []Feature
+	for kind := FeatureKind(0); kind < numKinds; kind++ {
+		minW, minH := 4, 4
+		if kind == LineV {
+			minW = 6
+		}
+		if kind == LineH {
+			minH = 6
+		}
+		for w := minW; w <= winW; w += 2 * step {
+			for h := minH; h <= winH; h += 2 * step {
+				for x := 0; x+w <= winW; x += step {
+					for y := 0; y+h <= winH; y += step {
+						pool = append(pool, Feature{Kind: kind, X: x, Y: y, W: w, H: h})
+					}
+				}
+			}
+		}
+	}
+	return pool
+}

@@ -1,0 +1,250 @@
+package hog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advdet/internal/img"
+)
+
+func TestDescriptorLenStandardWindow(t *testing.T) {
+	c := DefaultConfig()
+	// 64x64: 8x8 cells, 7x7 blocks, 36 values per block.
+	if got := c.DescriptorLen(64, 64); got != 7*7*36 {
+		t.Fatalf("DescriptorLen(64,64) = %d, want %d", got, 7*7*36)
+	}
+	// 64x128 pedestrian window: 7x15 blocks.
+	if got := c.DescriptorLen(64, 128); got != 7*15*36 {
+		t.Fatalf("DescriptorLen(64,128) = %d, want %d", got, 7*15*36)
+	}
+}
+
+func TestBlocksForTooSmallWindow(t *testing.T) {
+	c := DefaultConfig()
+	bw, bh := c.BlocksFor(8, 8) // single cell: no 2x2 block fits
+	if bw != 0 || bh != 0 {
+		t.Fatalf("BlocksFor(8,8) = %d,%d, want 0,0", bw, bh)
+	}
+	if c.DescriptorLen(8, 8) != 0 {
+		t.Fatal("descriptor of too-small window should be empty")
+	}
+}
+
+func TestGradientsFlatImageIsZero(t *testing.T) {
+	g := img.NewGray(16, 16)
+	g.Fill(100)
+	mag, _ := Gradients(g)
+	for i, m := range mag {
+		if m != 0 {
+			t.Fatalf("flat image gradient %v at %d", m, i)
+		}
+	}
+}
+
+func TestGradientsVerticalEdge(t *testing.T) {
+	// Left half dark, right half bright: gradient is horizontal (gx),
+	// orientation ~0 degrees, strongest at the boundary columns.
+	g := img.NewGray(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			g.Set(x, y, 200)
+		}
+	}
+	mag, ang := Gradients(g)
+	i := 8*16 + 8 // a boundary pixel
+	if mag[i] == 0 {
+		t.Fatal("no gradient at vertical edge")
+	}
+	if ang[i] != 0 {
+		t.Fatalf("vertical edge orientation = %v, want 0", ang[i])
+	}
+}
+
+func TestGradientsHorizontalEdge(t *testing.T) {
+	g := img.NewGray(16, 16)
+	for y := 8; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			g.Set(x, y, 200)
+		}
+	}
+	mag, ang := Gradients(g)
+	i := 8*16 + 8
+	if mag[i] == 0 {
+		t.Fatal("no gradient at horizontal edge")
+	}
+	if math.Abs(float64(ang[i])-90) > 1e-6 {
+		t.Fatalf("horizontal edge orientation = %v, want 90", ang[i])
+	}
+}
+
+func TestGradientsOrientationRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(seed)
+		g := img.NewGray(12, 12)
+		for i := range g.Pix {
+			g.Pix[i] = uint8(rng.next() % 256)
+		}
+		_, ang := Gradients(g)
+		for _, a := range ang {
+			if a < 0 || a >= 180 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellHistogramsEnergyConservation(t *testing.T) {
+	// The summed histogram mass must equal the summed gradient
+	// magnitude over the covered cells (interpolation redistributes,
+	// never creates or destroys votes).
+	g := img.NewGray(32, 32)
+	rng := newTestRNG(7)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.next() % 256)
+	}
+	c := DefaultConfig()
+	hist := c.CellHistograms(g)
+	var histSum float64
+	for _, h := range hist {
+		histSum += h
+	}
+	mag, _ := Gradients(g)
+	var magSum float64
+	for _, m := range mag {
+		magSum += float64(m)
+	}
+	if math.Abs(histSum-magSum)/magSum > 1e-9 {
+		t.Fatalf("energy not conserved: hist %v vs mag %v", histSum, magSum)
+	}
+}
+
+func TestCellHistogramsLocality(t *testing.T) {
+	// An edge confined to one cell must only populate that cell.
+	g := img.NewGray(32, 32)
+	for y := 10; y <= 12; y++ {
+		for x := 10; x <= 12; x++ {
+			g.Set(x, y, 255)
+		}
+	}
+	c := DefaultConfig()
+	hist := c.CellHistograms(g)
+	cw, _ := c.CellsFor(32, 32)
+	for cy := 0; cy < 4; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			var sum float64
+			base := (cy*cw + cx) * c.Bins
+			for b := 0; b < c.Bins; b++ {
+				sum += hist[base+b]
+			}
+			near := cx >= 1 && cx <= 1 && cy >= 1 && cy <= 1
+			if !near {
+				continue
+			}
+			if sum == 0 {
+				t.Fatalf("cell (%d,%d) containing the blob has empty histogram", cx, cy)
+			}
+		}
+	}
+}
+
+func TestExtractDescriptorProperties(t *testing.T) {
+	c := DefaultConfig()
+	g := img.NewGray(64, 64)
+	rng := newTestRNG(11)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.next() % 256)
+	}
+	d := c.Extract(g)
+	if len(d) != c.DescriptorLen(64, 64) {
+		t.Fatalf("descriptor length %d", len(d))
+	}
+	for i, v := range d {
+		if v < 0 || v > c.ClipL2Hys+1e-9 {
+			// After renormalization values can slightly exceed the
+			// clip; they must never exceed 1.
+			if v > 1 {
+				t.Fatalf("descriptor value %v at %d out of range", v, i)
+			}
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("descriptor value %v at %d not finite", v, i)
+		}
+	}
+	// Each 36-value block must have (near-)unit L2 norm, unless the
+	// block was entirely flat.
+	for b := 0; b+36 <= len(d); b += 36 {
+		var ss float64
+		for _, v := range d[b : b+36] {
+			ss += v * v
+		}
+		if ss > 1e-6 && math.Abs(math.Sqrt(ss)-1) > 1e-6 {
+			t.Fatalf("block at %d has norm %v", b, math.Sqrt(ss))
+		}
+	}
+}
+
+func TestExtractFlatImageIsZeroVector(t *testing.T) {
+	c := DefaultConfig()
+	g := img.NewGray(32, 32)
+	g.Fill(77)
+	for i, v := range c.Extract(g) {
+		if v != 0 {
+			t.Fatalf("flat-image descriptor nonzero at %d: %v", i, v)
+		}
+	}
+}
+
+func TestExtractIlluminationInvariance(t *testing.T) {
+	// Scaling intensities by a constant factor must leave the
+	// normalized descriptor (nearly) unchanged — the property that
+	// motivates block normalization.
+	c := DefaultConfig()
+	g := img.NewGray(32, 32)
+	rng := newTestRNG(13)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.next()%100 + 40)
+	}
+	dim := g.Clone()
+	for i := range dim.Pix {
+		dim.Pix[i] = dim.Pix[i] / 2
+	}
+	a := c.Extract(g)
+	b := c.Extract(dim)
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	cos := dot / math.Sqrt(na*nb)
+	if cos < 0.95 {
+		t.Fatalf("descriptor cosine under dimming = %v, want > 0.95", cos)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Config{CellSize: 0, BlockCells: 2, BlockStride: 1, Bins: 9}.Extract(img.NewGray(16, 16))
+}
+
+// newTestRNG is a tiny deterministic generator so the tests do not
+// depend on math/rand ordering.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed int64) *testRNG { return &testRNG{uint64(seed)*2 + 1} }
+
+func (r *testRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}

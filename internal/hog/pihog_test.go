@@ -1,0 +1,102 @@
+package hog
+
+import (
+	"math"
+	"testing"
+
+	"advdet/internal/img"
+)
+
+func TestPIHOGDescriptorLen(t *testing.T) {
+	p := DefaultPIHOG()
+	// 64x64: 7x7 blocks, 2x2 cells, (9+3) per cell.
+	want := 7 * 7 * 4 * 12
+	if got := p.DescriptorLen(64, 64); got != want {
+		t.Fatalf("DescriptorLen = %d, want %d", got, want)
+	}
+	if got := len(p.Extract(img.NewGray(64, 64))); got != want {
+		t.Fatalf("Extract length = %d, want %d", got, want)
+	}
+}
+
+func TestPIHOGFiniteAndBounded(t *testing.T) {
+	p := DefaultPIHOG()
+	g := img.NewGray(32, 32)
+	rng := newTestRNG(3)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.next() % 256)
+	}
+	for i, v := range p.Extract(g) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			t.Fatalf("value %v at %d out of range", v, i)
+		}
+	}
+}
+
+func TestPIHOGDistinguishesIntensity(t *testing.T) {
+	// Two images with identical gradients but different absolute
+	// brightness: plain HOG cannot tell them apart, PIHOG must.
+	bright := img.NewGray(32, 32)
+	bright.Fill(200)
+	dark := img.NewGray(32, 32)
+	dark.Fill(20)
+
+	c := DefaultConfig()
+	hb, hd := c.Extract(bright), c.Extract(dark)
+	for i := range hb {
+		if hb[i] != hd[i] {
+			t.Fatal("plain HOG should be identical on flat images")
+		}
+	}
+	p := DefaultPIHOG()
+	pb, pd := p.Extract(bright), p.Extract(dark)
+	var diff float64
+	for i := range pb {
+		diff += math.Abs(pb[i] - pd[i])
+	}
+	if diff == 0 {
+		t.Fatal("PIHOG failed to encode absolute intensity")
+	}
+}
+
+func TestPIHOGDistinguishesPosition(t *testing.T) {
+	// A small blob in the top-left of a cell vs the bottom-right of
+	// the same cell: same histogram, different centroid channels.
+	a := img.NewGray(16, 16)
+	b := img.NewGray(16, 16)
+	a.Set(1, 1, 255)
+	b.Set(6, 6, 255)
+
+	p := DefaultPIHOG()
+	pa, pb := p.Extract(a), p.Extract(b)
+	var diff float64
+	for i := range pa {
+		diff += math.Abs(pa[i] - pb[i])
+	}
+	if diff == 0 {
+		t.Fatal("PIHOG failed to encode gradient position")
+	}
+}
+
+func TestPIHOGEmptyCellCentroidNeutral(t *testing.T) {
+	// On a flat image, centroids default to the cell center (0.5) and
+	// survive normalization without NaN.
+	p := DefaultPIHOG()
+	g := img.NewGray(16, 16)
+	g.Fill(128)
+	d := p.Extract(g)
+	nonzero := 0
+	for _, v := range d {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in flat-image PIHOG")
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	// Unlike plain HOG, the intensity/position channels keep the
+	// descriptor nonzero on flat input.
+	if nonzero == 0 {
+		t.Fatal("flat-image PIHOG should be nonzero (aux channels)")
+	}
+}

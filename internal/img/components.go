@@ -1,0 +1,148 @@
+package img
+
+import "sort"
+
+// Blob is a 4-connected foreground component extracted from a binary
+// image: the taillight candidates the DBN stage classifies.
+type Blob struct {
+	Box    Rect
+	Area   int     // number of foreground pixels
+	CX, CY float64 // centroid
+	Label  int     // 1-based component label
+}
+
+// AspectRatio returns width/height of the bounding box.
+func (b Blob) AspectRatio() float64 {
+	h := b.Box.H()
+	if h == 0 {
+		return 0
+	}
+	return float64(b.Box.W()) / float64(h)
+}
+
+// Fill returns the fraction of the bounding box covered by foreground
+// pixels, a shape cue distinguishing compact lamps from streaks.
+func (b Blob) Fill() float64 {
+	a := b.Box.Area()
+	if a == 0 {
+		return 0
+	}
+	return float64(b.Area) / float64(a)
+}
+
+// Components labels 4-connected foreground components using a two-pass
+// union-find pass (the same algorithm the streaming RTL labeler
+// implements with a one-line delay buffer) and returns one Blob per
+// component, ordered by descending area then raster position.
+func Components(b *Binary) []Blob {
+	w, h := b.W, b.H
+	labels := make([]int32, w*h)
+	parent := make([]int32, 1, 64) // parent[0] unused; labels start at 1
+
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, c int32) {
+		ra, rc := find(a), find(c)
+		if ra != rc {
+			if ra < rc {
+				parent[rc] = ra
+			} else {
+				parent[ra] = rc
+			}
+		}
+	}
+
+	next := int32(1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if b.Pix[i] == 0 {
+				continue
+			}
+			var up, left int32
+			if y > 0 {
+				up = labels[i-w]
+			}
+			if x > 0 {
+				left = labels[i-1]
+			}
+			switch {
+			case up == 0 && left == 0:
+				parent = append(parent, next)
+				labels[i] = next
+				next++
+			case up != 0 && left == 0:
+				labels[i] = up
+			case up == 0 && left != 0:
+				labels[i] = left
+			default:
+				labels[i] = up
+				union(up, left)
+			}
+		}
+	}
+
+	// Second pass: resolve labels, accumulate blob statistics.
+	type acc struct {
+		box        Rect
+		area       int
+		sumX, sumY int64
+	}
+	stats := map[int32]*acc{}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			l := labels[y*w+x]
+			if l == 0 {
+				continue
+			}
+			r := find(l)
+			a := stats[r]
+			if a == nil {
+				a = &acc{box: Rect{x, y, x + 1, y + 1}}
+				stats[r] = a
+			}
+			a.box = a.box.Union(Rect{x, y, x + 1, y + 1})
+			a.area++
+			a.sumX += int64(x)
+			a.sumY += int64(y)
+		}
+	}
+
+	blobs := make([]Blob, 0, len(stats))
+	for l, a := range stats {
+		blobs = append(blobs, Blob{
+			Box:   a.box,
+			Area:  a.area,
+			CX:    float64(a.sumX) / float64(a.area),
+			CY:    float64(a.sumY) / float64(a.area),
+			Label: int(l),
+		})
+	}
+	sort.Slice(blobs, func(i, j int) bool {
+		if blobs[i].Area != blobs[j].Area {
+			return blobs[i].Area > blobs[j].Area
+		}
+		if blobs[i].Box.Y0 != blobs[j].Box.Y0 {
+			return blobs[i].Box.Y0 < blobs[j].Box.Y0
+		}
+		return blobs[i].Box.X0 < blobs[j].Box.X0
+	})
+	return blobs
+}
+
+// FilterBlobs returns the blobs whose area lies in [minArea, maxArea],
+// the size gate applied before DBN classification.
+func FilterBlobs(blobs []Blob, minArea, maxArea int) []Blob {
+	out := blobs[:0:0]
+	for _, b := range blobs {
+		if b.Area >= minArea && b.Area <= maxArea {
+			out = append(out, b)
+		}
+	}
+	return out
+}

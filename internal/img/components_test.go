@@ -1,0 +1,147 @@
+package img
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentsEmpty(t *testing.T) {
+	b := NewBinary(8, 8)
+	if got := Components(b); len(got) != 0 {
+		t.Fatalf("empty image produced %d blobs", len(got))
+	}
+}
+
+func TestComponentsSingleBlob(t *testing.T) {
+	b := NewBinary(10, 10)
+	for y := 2; y < 5; y++ {
+		for x := 3; x < 7; x++ {
+			b.Set(x, y, 1)
+		}
+	}
+	blobs := Components(b)
+	if len(blobs) != 1 {
+		t.Fatalf("got %d blobs, want 1", len(blobs))
+	}
+	bl := blobs[0]
+	if bl.Box != (Rect{3, 2, 7, 5}) {
+		t.Fatalf("box = %v", bl.Box)
+	}
+	if bl.Area != 12 {
+		t.Fatalf("area = %d, want 12", bl.Area)
+	}
+	if bl.CX != 4.5 || bl.CY != 3 {
+		t.Fatalf("centroid = (%v,%v)", bl.CX, bl.CY)
+	}
+	if bl.Fill() != 1 {
+		t.Fatalf("fill = %v, want 1", bl.Fill())
+	}
+}
+
+func TestComponentsTwoSeparateBlobs(t *testing.T) {
+	b := NewBinary(12, 6)
+	b.Set(1, 1, 1)
+	b.Set(1, 2, 1)
+	b.Set(9, 4, 1)
+	blobs := Components(b)
+	if len(blobs) != 2 {
+		t.Fatalf("got %d blobs, want 2", len(blobs))
+	}
+	// Sorted by area descending.
+	if blobs[0].Area != 2 || blobs[1].Area != 1 {
+		t.Fatalf("areas = %d,%d", blobs[0].Area, blobs[1].Area)
+	}
+}
+
+func TestComponentsDiagonalNotConnected(t *testing.T) {
+	// 4-connectivity: diagonal neighbors are separate components.
+	b := NewBinary(4, 4)
+	b.Set(1, 1, 1)
+	b.Set(2, 2, 1)
+	if got := len(Components(b)); got != 2 {
+		t.Fatalf("diagonal pixels merged: %d blobs", got)
+	}
+}
+
+func TestComponentsUShape(t *testing.T) {
+	// A U-shape forces a label merge in the two-pass algorithm.
+	b := NewBinary(7, 5)
+	for y := 0; y < 4; y++ {
+		b.Set(1, y, 1)
+		b.Set(5, y, 1)
+	}
+	for x := 1; x <= 5; x++ {
+		b.Set(x, 4, 1)
+	}
+	blobs := Components(b)
+	if len(blobs) != 1 {
+		t.Fatalf("U-shape split into %d blobs", len(blobs))
+	}
+	if blobs[0].Area != 13 {
+		t.Fatalf("U-shape area = %d, want 13", blobs[0].Area)
+	}
+}
+
+func TestComponentsAreaConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBinary(20, 20)
+		for i := range b.Pix {
+			if rng.Intn(3) == 0 {
+				b.Pix[i] = 1
+			}
+		}
+		total := 0
+		for _, bl := range Components(b) {
+			total += bl.Area
+		}
+		return total == b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsBoxesContainCentroids(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBinary(15, 15)
+		for i := range b.Pix {
+			if rng.Intn(4) == 0 {
+				b.Pix[i] = 1
+			}
+		}
+		for _, bl := range Components(b) {
+			if bl.CX < float64(bl.Box.X0)-0.5 || bl.CX > float64(bl.Box.X1) ||
+				bl.CY < float64(bl.Box.Y0)-0.5 || bl.CY > float64(bl.Box.Y1) {
+				return false
+			}
+			if bl.Area > bl.Box.Area() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterBlobs(t *testing.T) {
+	blobs := []Blob{{Area: 5}, {Area: 20}, {Area: 100}}
+	got := FilterBlobs(blobs, 10, 50)
+	if len(got) != 1 || got[0].Area != 20 {
+		t.Fatalf("FilterBlobs = %+v", got)
+	}
+}
+
+func TestBlobAspectRatio(t *testing.T) {
+	b := Blob{Box: Rect{0, 0, 8, 4}}
+	if b.AspectRatio() != 2 {
+		t.Fatalf("aspect = %v, want 2", b.AspectRatio())
+	}
+	if (Blob{}).AspectRatio() != 0 {
+		t.Fatal("degenerate blob aspect should be 0")
+	}
+}

@@ -1,0 +1,77 @@
+package img
+
+// Color conversion follows full-range BT.601, computed in fixed point the
+// way the RTL color-space converter does (16-bit intermediate, rounding
+// shift), so software and the SoC model agree bit-for-bit.
+
+func clamp8(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// RGBToYCbCr converts an interleaved RGB image to planar full-range
+// BT.601 YCbCr.
+func RGBToYCbCr(m *RGB) *YCbCr {
+	out := NewYCbCr(m.W, m.H)
+	n := m.W * m.H
+	for i := 0; i < n; i++ {
+		r := int32(m.Pix[3*i])
+		g := int32(m.Pix[3*i+1])
+		b := int32(m.Pix[3*i+2])
+		// Coefficients scaled by 2^16 with rounding, as in the
+		// image/color standard-library conversion.
+		y := (19595*r + 38470*g + 7471*b + 1<<15) >> 16
+		cb := (-11056*r - 21712*g + 32768*b + 1<<15>>0) >> 16
+		cr := (32768*r - 27440*g - 5328*b + 1<<15) >> 16
+		out.Y[i] = clamp8(y)
+		out.Cb[i] = clamp8(cb + 128)
+		out.Cr[i] = clamp8(cr + 128)
+	}
+	return out
+}
+
+// YCbCrToRGB converts planar full-range BT.601 YCbCr back to
+// interleaved RGB.
+func YCbCrToRGB(c *YCbCr) *RGB {
+	out := NewRGB(c.W, c.H)
+	n := c.W * c.H
+	for i := 0; i < n; i++ {
+		y := int32(c.Y[i]) << 16
+		cb := int32(c.Cb[i]) - 128
+		cr := int32(c.Cr[i]) - 128
+		r := (y + 91881*cr + 1<<15) >> 16
+		g := (y - 22554*cb - 46802*cr + 1<<15) >> 16
+		b := (y + 116130*cb + 1<<15) >> 16
+		out.Pix[3*i] = clamp8(r)
+		out.Pix[3*i+1] = clamp8(g)
+		out.Pix[3*i+2] = clamp8(b)
+	}
+	return out
+}
+
+// RGBToGray converts to 8-bit luma using the BT.601 weights.
+func RGBToGray(m *RGB) *Gray {
+	out := NewGray(m.W, m.H)
+	n := m.W * m.H
+	for i := 0; i < n; i++ {
+		r := int32(m.Pix[3*i])
+		g := int32(m.Pix[3*i+1])
+		b := int32(m.Pix[3*i+2])
+		out.Pix[i] = clamp8((19595*r + 38470*g + 7471*b + 1<<15) >> 16)
+	}
+	return out
+}
+
+// GrayToRGB expands a grayscale image to three identical channels.
+func GrayToRGB(g *Gray) *RGB {
+	out := NewRGB(g.W, g.H)
+	for i, p := range g.Pix {
+		out.Pix[3*i], out.Pix[3*i+1], out.Pix[3*i+2] = p, p, p
+	}
+	return out
+}

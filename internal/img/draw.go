@@ -1,0 +1,93 @@
+package img
+
+// Drawing helpers used by the example programs to render detection
+// overlays (the Fig. 5 analogue) into PPM files.
+
+// DrawRect strokes the rectangle outline on m with the given color and
+// stroke thickness, clipping to the image bounds.
+func DrawRect(m *RGB, r Rect, cr, cg, cb uint8, thick int) {
+	if thick < 1 {
+		thick = 1
+	}
+	for t := 0; t < thick; t++ {
+		drawHLine(m, r.X0-t, r.X1+t, r.Y0-t, cr, cg, cb)
+		drawHLine(m, r.X0-t, r.X1+t, r.Y1-1+t, cr, cg, cb)
+		drawVLine(m, r.X0-t, r.Y0-t, r.Y1+t, cr, cg, cb)
+		drawVLine(m, r.X1-1+t, r.Y0-t, r.Y1+t, cr, cg, cb)
+	}
+}
+
+func drawHLine(m *RGB, x0, x1, y int, cr, cg, cb uint8) {
+	if y < 0 || y >= m.H {
+		return
+	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 > m.W {
+		x1 = m.W
+	}
+	for x := x0; x < x1; x++ {
+		m.Set(x, y, cr, cg, cb)
+	}
+}
+
+func drawVLine(m *RGB, x, y0, y1 int, cr, cg, cb uint8) {
+	if x < 0 || x >= m.W {
+		return
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > m.H {
+		y1 = m.H
+	}
+	for y := y0; y < y1; y++ {
+		m.Set(x, y, cr, cg, cb)
+	}
+}
+
+// FillRect fills the rectangle on m with a solid color, clipped.
+func FillRect(m *RGB, r Rect, cr, cg, cb uint8) {
+	r = r.Intersect(Rect{0, 0, m.W, m.H})
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			m.Set(x, y, cr, cg, cb)
+		}
+	}
+}
+
+// FillRectGray fills the rectangle on g with a solid intensity, clipped.
+func FillRectGray(g *Gray, r Rect, v uint8) {
+	r = r.Intersect(Rect{0, 0, g.W, g.H})
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			g.Set(x, y, v)
+		}
+	}
+}
+
+// FillEllipse fills the axis-aligned ellipse inscribed in r, used by
+// the scene generator to render lamps and wheels.
+func FillEllipse(m *RGB, r Rect, cr, cg, cb uint8) {
+	if r.Empty() {
+		return
+	}
+	cx := float64(r.X0+r.X1-1) / 2
+	cy := float64(r.Y0+r.Y1-1) / 2
+	rx := float64(r.W()) / 2
+	ry := float64(r.H()) / 2
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	clip := r.Intersect(Rect{0, 0, m.W, m.H})
+	for y := clip.Y0; y < clip.Y1; y++ {
+		dy := (float64(y) - cy) / ry
+		for x := clip.X0; x < clip.X1; x++ {
+			dx := (float64(x) - cx) / rx
+			if dx*dx+dy*dy <= 1 {
+				m.Set(x, y, cr, cg, cb)
+			}
+		}
+	}
+}

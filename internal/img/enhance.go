@@ -1,0 +1,66 @@
+package img
+
+import "math"
+
+// Intensity enhancement operators used by night-vision front ends.
+
+// AdjustGamma applies the power-law transform out = 255*(in/255)^gamma
+// via a lookup table, as the camera ISP's gamma block does. gamma < 1
+// brightens shadows (night de-gamma), gamma > 1 deepens them.
+func AdjustGamma(g *Gray, gamma float64) *Gray {
+	if gamma <= 0 {
+		panic("img: AdjustGamma with non-positive gamma")
+	}
+	var lut [256]uint8
+	for v := 0; v < 256; v++ {
+		lut[v] = clamp8(int32(math.Round(255 * math.Pow(float64(v)/255, gamma))))
+	}
+	out := NewGray(g.W, g.H)
+	for i, p := range g.Pix {
+		out.Pix[i] = lut[p]
+	}
+	return out
+}
+
+// Equalize performs global histogram equalization: the CDF of the
+// input becomes the transfer function, spreading the used intensity
+// range across [0, 255]. A classic low-light enhancement; the dark
+// pipeline deliberately does NOT use it (it amplifies sensor noise
+// into the threshold stage), which the tests demonstrate.
+func Equalize(g *Gray) *Gray {
+	var hist [256]int
+	for _, p := range g.Pix {
+		hist[p]++
+	}
+	total := len(g.Pix)
+	out := NewGray(g.W, g.H)
+	if total == 0 {
+		return out
+	}
+	var cdf [256]int
+	run := 0
+	cdfMin := -1
+	for v := 0; v < 256; v++ {
+		run += hist[v]
+		cdf[v] = run
+		if cdfMin < 0 && hist[v] > 0 {
+			cdfMin = cdf[v]
+		}
+	}
+	denom := total - cdfMin
+	var lut [256]uint8
+	if denom <= 0 {
+		// Constant image: equalization is the identity.
+		for v := 0; v < 256; v++ {
+			lut[v] = uint8(v)
+		}
+	} else {
+		for v := 0; v < 256; v++ {
+			lut[v] = uint8((cdf[v] - cdfMin) * 255 / denom)
+		}
+	}
+	for i, p := range g.Pix {
+		out.Pix[i] = lut[p]
+	}
+	return out
+}

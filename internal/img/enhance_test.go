@@ -1,0 +1,146 @@
+package img
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdjustGammaEndpointsFixed(t *testing.T) {
+	g := NewGray(2, 1)
+	g.Pix = []uint8{0, 255}
+	for _, gamma := range []float64{0.4, 1.0, 2.2} {
+		out := AdjustGamma(g, gamma)
+		if out.Pix[0] != 0 || out.Pix[1] != 255 {
+			t.Fatalf("gamma %v moved the endpoints: %v", gamma, out.Pix)
+		}
+	}
+}
+
+func TestAdjustGammaIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randGray(rng, 16, 16)
+	out := AdjustGamma(g, 1.0)
+	for i := range g.Pix {
+		if out.Pix[i] != g.Pix[i] {
+			t.Fatal("gamma 1.0 is not the identity")
+		}
+	}
+}
+
+func TestAdjustGammaBrightensShadows(t *testing.T) {
+	g := NewGray(1, 1)
+	g.Pix[0] = 40
+	if got := AdjustGamma(g, 0.45).Pix[0]; got <= 40 {
+		t.Fatalf("gamma 0.45 mapped 40 -> %d, want brighter", got)
+	}
+	if got := AdjustGamma(g, 2.2).Pix[0]; got >= 40 {
+		t.Fatalf("gamma 2.2 mapped 40 -> %d, want darker", got)
+	}
+}
+
+func TestAdjustGammaMonotone(t *testing.T) {
+	f := func(a, b uint8, gsel bool) bool {
+		if a > b {
+			a, b = b, a
+		}
+		gamma := 0.5
+		if gsel {
+			gamma = 2.0
+		}
+		g := NewGray(2, 1)
+		g.Pix = []uint8{a, b}
+		out := AdjustGamma(g, gamma)
+		return out.Pix[0] <= out.Pix[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjustGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gamma 0 accepted")
+		}
+	}()
+	AdjustGamma(NewGray(1, 1), 0)
+}
+
+func TestEqualizeSpreadsRange(t *testing.T) {
+	// A low-contrast image confined to [100, 120] must span ~[0, 255]
+	// after equalization.
+	g := NewGray(64, 1)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(100 + i%21)
+	}
+	out := Equalize(g)
+	var lo, hi uint8 = 255, 0
+	for _, p := range out.Pix {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if lo != 0 || hi != 255 {
+		t.Fatalf("equalized range [%d, %d], want [0, 255]", lo, hi)
+	}
+}
+
+func TestEqualizeConstantImage(t *testing.T) {
+	g := NewGray(8, 8)
+	g.Fill(77)
+	out := Equalize(g)
+	for _, p := range out.Pix {
+		if p != 77 {
+			t.Fatalf("constant image changed to %d", p)
+		}
+	}
+}
+
+func TestEqualizePreservesOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randGray(rng, 12, 12)
+		out := Equalize(g)
+		// Equalization is monotone: pixel order must be preserved.
+		for i := 0; i < len(g.Pix); i++ {
+			for j := i + 1; j < len(g.Pix); j += 17 {
+				if (g.Pix[i] < g.Pix[j]) && (out.Pix[i] > out.Pix[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualizeAmplifiesNightNoise(t *testing.T) {
+	// Why the dark pipeline skips equalization: on a nearly black
+	// frame with mild sensor noise, equalization blows the noise up
+	// to full range, destroying the luminance threshold's meaning.
+	rng := rand.New(rand.NewSource(5))
+	g := NewGray(64, 64)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(10 + rng.Intn(8)) // noise floor
+	}
+	g.Set(32, 32, 250) // one lamp pixel
+	eq := Equalize(g)
+	noiseHigh := 0
+	for _, p := range eq.Pix {
+		if p > 128 {
+			noiseHigh++
+		}
+	}
+	// Equalization pushes a large share of pure-noise pixels above
+	// mid-range; the raw image keeps them all far below any sane lamp
+	// threshold.
+	if noiseHigh < 100 {
+		t.Fatalf("expected equalization to amplify noise, only %d pixels above 128", noiseHigh)
+	}
+}

@@ -1,0 +1,224 @@
+package img
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGrayPanicsOnBadSize(t *testing.T) {
+	for _, c := range []struct{ w, h int }{{0, 1}, {1, 0}, {-3, 4}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGray(%d,%d) did not panic", c.w, c.h)
+				}
+			}()
+			NewGray(c.w, c.h)
+		}()
+	}
+}
+
+func TestGraySetAt(t *testing.T) {
+	g := NewGray(4, 3)
+	g.Set(2, 1, 200)
+	if got := g.At(2, 1); got != 200 {
+		t.Fatalf("At(2,1) = %d, want 200", got)
+	}
+	if got := g.At(1, 2); got != 0 {
+		t.Fatalf("At(1,2) = %d, want 0", got)
+	}
+}
+
+func TestGrayAtClamped(t *testing.T) {
+	g := NewGray(3, 3)
+	g.Set(0, 0, 10)
+	g.Set(2, 2, 20)
+	cases := []struct {
+		x, y int
+		want uint8
+	}{
+		{-5, -5, 10}, {0, -1, 10}, {-1, 0, 10},
+		{5, 5, 20}, {2, 9, 20}, {9, 2, 20},
+		{1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := g.AtClamped(c.x, c.y); got != c.want {
+			t.Errorf("AtClamped(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestGrayCloneIndependent(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Set(0, 0, 7)
+	c := g.Clone()
+	c.Set(0, 0, 9)
+	if g.At(0, 0) != 7 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestGraySubImage(t *testing.T) {
+	g := NewGray(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			g.Set(x, y, uint8(10*y+x))
+		}
+	}
+	s := g.SubImage(Rect{2, 3, 5, 6})
+	if s.W != 3 || s.H != 3 {
+		t.Fatalf("SubImage size %dx%d, want 3x3", s.W, s.H)
+	}
+	if got := s.At(0, 0); got != 32 {
+		t.Fatalf("SubImage origin = %d, want 32", got)
+	}
+	if got := s.At(2, 2); got != 54 {
+		t.Fatalf("SubImage corner = %d, want 54", got)
+	}
+}
+
+func TestGraySubImageClips(t *testing.T) {
+	g := NewGray(4, 4)
+	s := g.SubImage(Rect{-2, -2, 2, 2})
+	if s.W != 2 || s.H != 2 {
+		t.Fatalf("clipped SubImage size %dx%d, want 2x2", s.W, s.H)
+	}
+	empty := g.SubImage(Rect{10, 10, 12, 12})
+	if empty.W != 1 || empty.H != 1 {
+		t.Fatalf("empty SubImage should be 1x1, got %dx%d", empty.W, empty.H)
+	}
+}
+
+func TestGrayMean(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Pix = []uint8{0, 100, 200, 100}
+	if got := g.Mean(); got != 100 {
+		t.Fatalf("Mean = %v, want 100", got)
+	}
+}
+
+func TestRGBSetAt(t *testing.T) {
+	m := NewRGB(3, 2)
+	m.Set(2, 1, 1, 2, 3)
+	r, g, b := m.At(2, 1)
+	if r != 1 || g != 2 || b != 3 {
+		t.Fatalf("At = (%d,%d,%d), want (1,2,3)", r, g, b)
+	}
+	if m.Bytes() != 18 {
+		t.Fatalf("Bytes = %d, want 18", m.Bytes())
+	}
+}
+
+func TestBinarySetNormalizes(t *testing.T) {
+	b := NewBinary(2, 2)
+	b.Set(0, 0, 200)
+	if b.At(0, 0) != 1 {
+		t.Fatal("Set should normalize nonzero values to 1")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", b.Count())
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	a := NewBinary(2, 1)
+	b := NewBinary(2, 1)
+	a.Pix = []uint8{1, 0}
+	b.Pix = []uint8{1, 1}
+	and := And(a, b)
+	or := Or(a, b)
+	if and.Pix[0] != 1 || and.Pix[1] != 0 {
+		t.Fatalf("And = %v", and.Pix)
+	}
+	if or.Pix[0] != 1 || or.Pix[1] != 1 {
+		t.Fatalf("Or = %v", or.Pix)
+	}
+}
+
+func TestAndPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched sizes did not panic")
+		}
+	}()
+	And(NewBinary(2, 2), NewBinary(3, 2))
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{2, 3, 7, 8}
+	if r.W() != 5 || r.H() != 5 || r.Area() != 25 {
+		t.Fatalf("W/H/Area = %d/%d/%d", r.W(), r.H(), r.Area())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported Empty")
+	}
+	if !(Rect{5, 5, 5, 9}).Empty() {
+		t.Fatal("degenerate rect not Empty")
+	}
+	if !r.Contains(2, 3) || r.Contains(7, 8) {
+		t.Fatal("Contains half-open bounds wrong")
+	}
+	cx, cy := r.Center()
+	if cx != 4 || cy != 5 {
+		t.Fatalf("Center = (%d,%d)", cx, cy)
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	i := a.Intersect(b)
+	if i != (Rect{2, 2, 4, 4}) {
+		t.Fatalf("Intersect = %v", i)
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 6, 6}) {
+		t.Fatalf("Union = %v", u)
+	}
+	if !a.Intersect(Rect{10, 10, 12, 12}).Empty() {
+		t.Fatal("disjoint Intersect not empty")
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Fatalf("Union with empty = %v, want %v", got, a)
+	}
+}
+
+func TestRectIoU(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	if got := a.IoU(a); got != 1 {
+		t.Fatalf("self IoU = %v", got)
+	}
+	if got := a.IoU(Rect{4, 4, 8, 8}); got != 0 {
+		t.Fatalf("disjoint IoU = %v", got)
+	}
+	b := Rect{2, 0, 6, 4}
+	// intersection 8, union 24 -> 1/3
+	if got := a.IoU(b); got < 0.333 || got > 0.334 {
+		t.Fatalf("IoU = %v, want 1/3", got)
+	}
+}
+
+func TestRectIoUProperties(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := Rect{int(ax0), int(ay0), int(ax0) + int(aw%32) + 1, int(ay0) + int(ah%32) + 1}
+		b := Rect{int(bx0), int(by0), int(bx0) + int(bw%32) + 1, int(by0) + int(bh%32) + 1}
+		iou := a.IoU(b)
+		return iou >= 0 && iou <= 1 && a.IoU(b) == b.IoU(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectionWithinBoth(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := Rect{int(ax0), int(ay0), int(ax0) + int(aw), int(ay0) + int(ah)}
+		b := Rect{int(bx0), int(by0), int(bx0) + int(bw), int(by0) + int(bh)}
+		i := a.Intersect(b)
+		return i.Area() <= a.Area() && i.Area() <= b.Area() &&
+			a.Union(b).Area() >= a.Area() && a.Union(b).Area() >= b.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package img
+
+// Binary morphology with a square structuring element of the given
+// radius (the (2r+1)x(2r+1) box the closing stage of the dark pipeline
+// uses to remove threshold noise and seal small holes in light blobs).
+// Pixels outside the image are treated as background.
+
+// Dilate grows foreground regions by the structuring-element radius.
+func Dilate(b *Binary, radius int) *Binary {
+	if radius <= 0 {
+		return b.Clone()
+	}
+	// Separable: horizontal max then vertical max.
+	tmp := NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		row := y * b.W
+		for x := 0; x < b.W; x++ {
+			v := uint8(0)
+			for dx := -radius; dx <= radius; dx++ {
+				xx := x + dx
+				if xx >= 0 && xx < b.W && b.Pix[row+xx] != 0 {
+					v = 1
+					break
+				}
+			}
+			tmp.Pix[row+x] = v
+		}
+	}
+	out := NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			v := uint8(0)
+			for dy := -radius; dy <= radius; dy++ {
+				yy := y + dy
+				if yy >= 0 && yy < b.H && tmp.Pix[yy*b.W+x] != 0 {
+					v = 1
+					break
+				}
+			}
+			out.Pix[y*b.W+x] = v
+		}
+	}
+	return out
+}
+
+// Erode shrinks foreground regions by the structuring-element radius.
+func Erode(b *Binary, radius int) *Binary {
+	if radius <= 0 {
+		return b.Clone()
+	}
+	tmp := NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		row := y * b.W
+		for x := 0; x < b.W; x++ {
+			v := uint8(1)
+			for dx := -radius; dx <= radius; dx++ {
+				xx := x + dx
+				if xx < 0 || xx >= b.W || b.Pix[row+xx] == 0 {
+					v = 0
+					break
+				}
+			}
+			tmp.Pix[row+x] = v
+		}
+	}
+	out := NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			v := uint8(1)
+			for dy := -radius; dy <= radius; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= b.H || tmp.Pix[yy*b.W+x] == 0 {
+					v = 0
+					break
+				}
+			}
+			out.Pix[y*b.W+x] = v
+		}
+	}
+	return out
+}
+
+// Close performs dilation followed by erosion: it fills holes and
+// joins nearby fragments without (much) growing blob extents. The
+// paper's pipeline (Fig. 4) applies closing right after downsampling.
+func Close(b *Binary, radius int) *Binary {
+	return Erode(Dilate(b, radius), radius)
+}
+
+// Open performs erosion followed by dilation, removing isolated
+// foreground specks smaller than the structuring element.
+func Open(b *Binary, radius int) *Binary {
+	return Dilate(Erode(b, radius), radius)
+}

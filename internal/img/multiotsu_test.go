@@ -1,0 +1,81 @@
+package img
+
+import "testing"
+
+func TestMultiOtsuTwoClassesMatchesOtsu(t *testing.T) {
+	g := NewGray(100, 1)
+	for i := 0; i < 50; i++ {
+		g.Pix[i] = 30
+	}
+	for i := 50; i < 100; i++ {
+		g.Pix[i] = 220
+	}
+	th := MultiOtsu(g, 2)
+	if len(th) != 1 {
+		t.Fatalf("thresholds = %v", th)
+	}
+	if th[0] != OtsuThreshold(g) {
+		t.Fatalf("MultiOtsu(2) = %d, Otsu = %d", th[0], OtsuThreshold(g))
+	}
+}
+
+func TestMultiOtsuThreeClassesTrimodal(t *testing.T) {
+	// Three modes at 20, 120, 230 — the thresholds must land in the
+	// two gaps.
+	g := NewGray(300, 1)
+	for i := 0; i < 100; i++ {
+		g.Pix[i] = 20
+	}
+	for i := 100; i < 200; i++ {
+		g.Pix[i] = 120
+	}
+	for i := 200; i < 300; i++ {
+		g.Pix[i] = 230
+	}
+	th := MultiOtsu(g, 3)
+	if len(th) != 2 {
+		t.Fatalf("thresholds = %v", th)
+	}
+	if !(th[0] > 20 && th[0] <= 120) {
+		t.Fatalf("t1 = %d not between the low modes", th[0])
+	}
+	if !(th[1] > 120 && th[1] <= 230) {
+		t.Fatalf("t2 = %d not between the high modes", th[1])
+	}
+	if th[0] >= th[1] {
+		t.Fatal("thresholds not ascending")
+	}
+}
+
+func TestMultiOtsuNightScene(t *testing.T) {
+	// A night-like histogram: mostly black road, a mid band (glow),
+	// saturated lamps. The top class must isolate the lamps.
+	g := NewGray(64, 64)
+	for i := range g.Pix {
+		g.Pix[i] = 12
+	}
+	FillRectGray(g, Rect{10, 10, 20, 16}, 130) // glow
+	FillRectGray(g, Rect{30, 10, 36, 14}, 250) // lamp
+	th := MultiOtsu(g, 3)
+	lamp := ThresholdBand(g, th[1], 255)
+	if lamp.Count() != 6*4 {
+		t.Fatalf("top class selected %d pixels, want the 24 lamp pixels", lamp.Count())
+	}
+}
+
+func TestMultiOtsuPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MultiOtsu(4) did not panic")
+		}
+	}()
+	MultiOtsu(NewGray(4, 4), 4)
+}
+
+func TestMultiOtsuEmptyImageSafe(t *testing.T) {
+	g := &Gray{W: 1, H: 1, Pix: []uint8{}}
+	th := MultiOtsu(g, 3)
+	if len(th) != 2 {
+		t.Fatalf("thresholds = %v", th)
+	}
+}

@@ -1,0 +1,62 @@
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Netpbm encoders for dumping frames and detection overlays. Binary
+// PPM (P6) and PGM (P5) are universally viewable and need no external
+// dependencies.
+
+// EncodePPM writes m to w in binary PPM (P6) format.
+func EncodePPM(w io.Writer, m *RGB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(m.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EncodePGM writes g to w in binary PGM (P5) format.
+func EncodePGM(w io.Writer, g *Gray) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(g.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePPM saves m to the named file in PPM format.
+func WritePPM(path string, m *RGB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodePPM(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePGM saves g to the named file in PGM format.
+func WritePGM(path string, g *Gray) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodePGM(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,96 @@
+package img
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodePPMHeaderAndPayload(t *testing.T) {
+	m := NewRGB(2, 1)
+	m.Set(0, 0, 1, 2, 3)
+	m.Set(1, 0, 4, 5, 6)
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !strings.HasPrefix(string(out), "P6\n2 1\n255\n") {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	payload := out[len("P6\n2 1\n255\n"):]
+	if !bytes.Equal(payload, []byte{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("payload = %v", payload)
+	}
+}
+
+func TestEncodePGM(t *testing.T) {
+	g := NewGray(3, 1)
+	g.Pix = []uint8{9, 8, 7}
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n3 1\n255\n") {
+		t.Fatalf("bad header: %q", buf.String())
+	}
+}
+
+func TestWritePPMRoundTrip(t *testing.T) {
+	m := NewRGB(4, 4)
+	m.Fill(10, 20, 30)
+	path := t.TempDir() + "/frame.ppm"
+	if err := WritePPM(path, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrawRectClipsAndStrokes(t *testing.T) {
+	m := NewRGB(10, 10)
+	DrawRect(m, Rect{2, 2, 8, 8}, 255, 0, 0, 1)
+	r, _, _ := m.At(2, 2)
+	if r != 255 {
+		t.Fatal("corner not stroked")
+	}
+	r, _, _ = m.At(5, 5)
+	if r != 0 {
+		t.Fatal("interior was filled by stroke")
+	}
+	// Clipping: drawing beyond bounds must not panic.
+	DrawRect(m, Rect{-5, -5, 20, 20}, 0, 255, 0, 2)
+}
+
+func TestFillRect(t *testing.T) {
+	m := NewRGB(5, 5)
+	FillRect(m, Rect{1, 1, 4, 4}, 9, 9, 9)
+	if r, _, _ := m.At(2, 2); r != 9 {
+		t.Fatal("interior not filled")
+	}
+	if r, _, _ := m.At(0, 0); r != 0 {
+		t.Fatal("outside filled")
+	}
+	FillRect(m, Rect{-3, -3, 100, 100}, 1, 1, 1) // must clip, not panic
+}
+
+func TestFillEllipseInsideRect(t *testing.T) {
+	m := NewRGB(20, 20)
+	FillEllipse(m, Rect{5, 5, 15, 15}, 200, 0, 0)
+	if r, _, _ := m.At(10, 10); r != 200 {
+		t.Fatal("ellipse center not filled")
+	}
+	if r, _, _ := m.At(5, 5); r != 0 {
+		t.Fatal("rect corner should be outside the ellipse")
+	}
+	FillEllipse(m, Rect{18, 18, 30, 30}, 1, 1, 1) // clipped corner case
+}
+
+func TestFillRectGray(t *testing.T) {
+	g := NewGray(4, 4)
+	FillRectGray(g, Rect{1, 1, 3, 3}, 77)
+	if g.At(1, 1) != 77 || g.At(2, 2) != 77 {
+		t.Fatal("gray rect not filled")
+	}
+	if g.At(0, 0) != 0 {
+		t.Fatal("outside modified")
+	}
+}

@@ -1,0 +1,114 @@
+package img
+
+// ResizeGray scales g to (w, h) using bilinear interpolation in fixed
+// point (16.16), matching the hardware downscaler in the dark pipeline
+// that reduces the 1920x1080 capture to 640x360.
+func ResizeGray(g *Gray, w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic("img: ResizeGray to non-positive size")
+	}
+	out := NewGray(w, h)
+	if g.W == w && g.H == h {
+		copy(out.Pix, g.Pix)
+		return out
+	}
+	// Scale factors in 16.16 fixed point, sampling pixel centers.
+	sx := (int64(g.W) << 16) / int64(w)
+	sy := (int64(g.H) << 16) / int64(h)
+	for y := 0; y < h; y++ {
+		fy := (int64(y)*sy + sy/2) - 1<<15
+		if fy < 0 {
+			fy = 0
+		}
+		y0 := int(fy >> 16)
+		wy := int32(fy & 0xffff)
+		y1 := y0 + 1
+		if y1 >= g.H {
+			y1 = g.H - 1
+		}
+		for x := 0; x < w; x++ {
+			fx := (int64(x)*sx + sx/2) - 1<<15
+			if fx < 0 {
+				fx = 0
+			}
+			x0 := int(fx >> 16)
+			wx := int32(fx & 0xffff)
+			x1 := x0 + 1
+			if x1 >= g.W {
+				x1 = g.W - 1
+			}
+			p00 := int32(g.Pix[y0*g.W+x0])
+			p01 := int32(g.Pix[y0*g.W+x1])
+			p10 := int32(g.Pix[y1*g.W+x0])
+			p11 := int32(g.Pix[y1*g.W+x1])
+			top := p00 + ((p01-p00)*wx)>>16
+			bot := p10 + ((p11-p10)*wx)>>16
+			out.Pix[y*w+x] = clamp8(top + ((bot-top)*wy)>>16)
+		}
+	}
+	return out
+}
+
+// ResizeRGB scales m to (w, h) channel by channel using the same
+// bilinear kernel as ResizeGray.
+func ResizeRGB(m *RGB, w, h int) *RGB {
+	out := NewRGB(w, h)
+	for c := 0; c < 3; c++ {
+		plane := NewGray(m.W, m.H)
+		for i := 0; i < m.W*m.H; i++ {
+			plane.Pix[i] = m.Pix[3*i+c]
+		}
+		scaled := ResizeGray(plane, w, h)
+		for i := 0; i < w*h; i++ {
+			out.Pix[3*i+c] = scaled.Pix[i]
+		}
+	}
+	return out
+}
+
+// DownsampleBinary reduces b by an integer factor using an OR-reduce
+// over each factor x factor tile: a tile is foreground if any source
+// pixel is. This is the decimation the dark-pipeline RTL applies after
+// thresholding, chosen so that small taillight blobs survive.
+func DownsampleBinary(b *Binary, factor int) *Binary {
+	if factor <= 0 {
+		panic("img: DownsampleBinary non-positive factor")
+	}
+	if factor == 1 {
+		return b.Clone()
+	}
+	w := (b.W + factor - 1) / factor
+	h := (b.H + factor - 1) / factor
+	out := NewBinary(w, h)
+	for y := 0; y < b.H; y++ {
+		oy := y / factor
+		row := y * b.W
+		orow := oy * w
+		for x := 0; x < b.W; x++ {
+			if b.Pix[row+x] != 0 {
+				out.Pix[orow+x/factor] = 1
+			}
+		}
+	}
+	return out
+}
+
+// PyramidGray returns successively downscaled copies of g, each level
+// smaller by the given per-level scale (> 1), until the image no longer
+// covers (minW, minH). Level 0 is a copy of g itself. The multi-scale
+// pedestrian detector scans every level with a fixed-size window.
+func PyramidGray(g *Gray, scale float64, minW, minH int) []*Gray {
+	if scale <= 1 {
+		panic("img: PyramidGray scale must exceed 1")
+	}
+	var levels []*Gray
+	w, h := g.W, g.H
+	fw, fh := float64(w), float64(h)
+	for w >= minW && h >= minH {
+		levels = append(levels, ResizeGray(g, w, h))
+		fw /= scale
+		fh /= scale
+		w, h = int(fw), int(fh)
+	}
+	return levels
+}

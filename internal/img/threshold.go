@@ -1,0 +1,131 @@
+package img
+
+// Threshold binarizes g: pixels >= t become foreground. This is the
+// luminance-channel threshold stage of the dark pipeline.
+func Threshold(g *Gray, t uint8) *Binary {
+	out := NewBinary(g.W, g.H)
+	for i, p := range g.Pix {
+		if p >= t {
+			out.Pix[i] = 1
+		}
+	}
+	return out
+}
+
+// ThresholdBand binarizes g into the closed band [lo, hi]. The chroma
+// threshold in the dark pipeline selects the red-shifted Cr band that
+// distinguishes taillights from white road lights and headlights.
+func ThresholdBand(g *Gray, lo, hi uint8) *Binary {
+	out := NewBinary(g.W, g.H)
+	for i, p := range g.Pix {
+		if p >= lo && p <= hi {
+			out.Pix[i] = 1
+		}
+	}
+	return out
+}
+
+// OtsuThreshold returns the global threshold maximizing between-class
+// variance, used by the condition monitor to normalize synthetic scenes
+// and by tests as an oracle.
+func OtsuThreshold(g *Gray) uint8 {
+	var hist [256]int64
+	for _, p := range g.Pix {
+		hist[p]++
+	}
+	total := int64(len(g.Pix))
+	if total == 0 {
+		return 0
+	}
+	var sumAll int64
+	for v, c := range hist {
+		sumAll += int64(v) * c
+	}
+	var wB, sumB int64
+	firstT, lastT, bestVar := 0, 0, float64(-1)
+	for t := 0; t < 256; t++ {
+		wB += hist[t]
+		if wB == 0 {
+			continue
+		}
+		wF := total - wB
+		if wF == 0 {
+			break
+		}
+		sumB += int64(t) * hist[t]
+		mB := float64(sumB) / float64(wB)
+		mF := float64(sumAll-sumB) / float64(wF)
+		between := float64(wB) * float64(wF) * (mB - mF) * (mB - mF)
+		if between > bestVar {
+			bestVar = between
+			firstT, lastT = t, t
+		} else if between == bestVar {
+			lastT = t // extend the flat maximum plateau
+		}
+	}
+	// Midpoint of the plateau, +1 so that Threshold's ">= t" foreground
+	// convention puts the upper mode in the foreground.
+	th := (firstT+lastT)/2 + 1
+	if th > 255 {
+		th = 255
+	}
+	return uint8(th)
+}
+
+// MultiOtsu returns n-1 thresholds partitioning the histogram into n
+// classes by maximizing total between-class variance — the "automatic
+// multilevel histogram thresholding" of Chen et al. (paper reference
+// [6]) used there to segment head/taillights for night surveillance.
+// Supported n: 2 or 3. Thresholds are returned ascending, with the
+// same ">= t is upper class" convention as Threshold.
+func MultiOtsu(g *Gray, n int) []uint8 {
+	if n < 2 || n > 3 {
+		panic("img: MultiOtsu supports 2 or 3 classes")
+	}
+	if n == 2 {
+		return []uint8{OtsuThreshold(g)}
+	}
+	var hist [256]float64
+	for _, p := range g.Pix {
+		hist[p]++
+	}
+	total := float64(len(g.Pix))
+	if total == 0 {
+		return []uint8{85, 170}
+	}
+	// Prefix sums for O(1) class statistics.
+	var cumW, cumM [257]float64
+	for v := 0; v < 256; v++ {
+		cumW[v+1] = cumW[v] + hist[v]
+		cumM[v+1] = cumM[v] + float64(v)*hist[v]
+	}
+	classVar := func(lo, hi int) float64 { // [lo, hi)
+		w := cumW[hi] - cumW[lo]
+		if w == 0 {
+			return 0
+		}
+		m := (cumM[hi] - cumM[lo]) / w
+		return w * m * m
+	}
+	best := -1.0
+	t1b, t2b := 85, 170
+	for t1 := 1; t1 < 255; t1++ {
+		for t2 := t1 + 1; t2 < 256; t2++ {
+			v := classVar(0, t1) + classVar(t1, t2) + classVar(t2, 256)
+			if v > best {
+				best, t1b, t2b = v, t1, t2
+			}
+		}
+	}
+	return []uint8{uint8(t1b), uint8(t2b)}
+}
+
+// DualThreshold implements the paper's background-subtraction stage:
+// it thresholds the luminance plane at lumaT and selects the chroma
+// band [crLo, crHi] on the Cr plane, then ANDs the two binary maps so
+// only bright AND red-tinted regions (taillight candidates) survive.
+func DualThreshold(c *YCbCr, lumaT, crLo, crHi uint8) *Binary {
+	luma := Threshold(&Gray{W: c.W, H: c.H, Pix: c.Y}, lumaT)
+	chroma := ThresholdBand(&Gray{W: c.W, H: c.H, Pix: c.Cr}, crLo, crHi)
+	return And(luma, chroma)
+}

@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"advdet/internal/hog"
+	"advdet/internal/img"
+	"advdet/internal/svm"
+	"advdet/internal/synth"
+)
+
+// Animal window geometry: quadrupeds in side profile are wider than
+// tall.
+const (
+	AnimalWindowW = 64
+	AnimalWindowH = 32
+)
+
+// AnimalDetector is the optional animal-detection feature the paper's
+// introduction motivates: another HOG+SVM pipeline that can occupy
+// the reconfigurable partition on countryside roads and be swapped
+// out in urban driving. Structurally identical hardware to Fig. 2
+// with its own window geometry and model.
+type AnimalDetector struct {
+	HOG          hog.Config
+	Model        *svm.Model
+	Stride       int
+	Scale        float64
+	Thresh       float64
+	DetectThresh float64
+	NMSIoU       float64
+}
+
+// NewAnimalDetector wraps a trained model with default scan settings.
+func NewAnimalDetector(m *svm.Model) *AnimalDetector {
+	return &AnimalDetector{
+		HOG:          hog.DefaultConfig(),
+		Model:        m,
+		Stride:       8,
+		Scale:        1.25,
+		Thresh:       0,
+		DetectThresh: 0.5,
+		NMSIoU:       0.3,
+	}
+}
+
+// ClassifyCrop scores a single crop.
+func (d *AnimalDetector) ClassifyCrop(g *img.Gray) bool {
+	if g.W != AnimalWindowW || g.H != AnimalWindowH {
+		g = img.ResizeGray(g, AnimalWindowW, AnimalWindowH)
+	}
+	return d.Model.Margin(d.HOG.Extract(g)) > d.Thresh
+}
+
+// Detect scans the frame at multiple scales for animals. Detections
+// are tagged KindVehicle-independent via their own Kind? Animals use
+// KindAnimal.
+func (d *AnimalDetector) Detect(g *img.Gray) []Detection {
+	score := func(w *img.Gray) float64 { return d.Model.Margin(d.HOG.Extract(w)) }
+	dets := scanPyramid(g, AnimalWindowW, AnimalWindowH, d.Stride, d.Scale, d.DetectThresh, score, KindAnimal)
+	return NMS(dets, d.NMSIoU)
+}
+
+// TrainAnimalSVM trains the animal model from a crop dataset.
+func TrainAnimalSVM(ds *synth.Dataset, cfg hog.Config, opts svm.Options) (*svm.Model, error) {
+	m, err := TrainCropSVM(ds, cfg, AnimalWindowW, AnimalWindowH, opts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: train animal SVM: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,123 @@
+// Package pipeline implements the paper's three detection pipelines:
+//
+//   - day/dusk vehicle detection: HOG features + linear SVM (Fig. 2),
+//   - dark vehicle detection: dual threshold -> downsample -> closing
+//     -> sliding-window DBN -> spatial pair matching with an SVM
+//     (Figs. 3 and 4),
+//   - pedestrian detection: multi-scale HOG + SVM on the static
+//     partition (after Hemmati et al., DAC'17).
+//
+// Each pipeline has a software-exact implementation here; the SoC
+// model accounts its cycle cost separately.
+package pipeline
+
+import (
+	"sort"
+
+	"advdet/internal/img"
+)
+
+// Kind tags what a detection is.
+type Kind int
+
+const (
+	KindVehicle Kind = iota
+	KindPedestrian
+	KindAnimal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPedestrian:
+		return "pedestrian"
+	case KindAnimal:
+		return "animal"
+	default:
+		return "vehicle"
+	}
+}
+
+// Detection is one detected object in frame coordinates.
+type Detection struct {
+	Box   img.Rect
+	Score float64
+	Kind  Kind
+}
+
+// Boxes extracts just the rectangles.
+func Boxes(dets []Detection) []img.Rect {
+	out := make([]img.Rect, len(dets))
+	for i, d := range dets {
+		out[i] = d.Box
+	}
+	return out
+}
+
+// NMS performs greedy non-maximum suppression: detections are visited
+// in decreasing score order and any detection overlapping an already
+// accepted one with IoU above the threshold is discarded.
+func NMS(dets []Detection, iouThresh float64) []Detection {
+	sorted := make([]Detection, len(dets))
+	copy(sorted, dets)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	var kept []Detection
+	for _, d := range sorted {
+		ok := true
+		for _, k := range kept {
+			if d.Box.IoU(k.Box) > iouThresh {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// slideWindows scans a w x h window over g with the given stride,
+// invoking score for each position; positions scoring above threshold
+// are returned as detections in g's coordinates.
+func slideWindows(g *img.Gray, winW, winH, stride int, threshold float64,
+	score func(*img.Gray) float64, kind Kind) []Detection {
+	var dets []Detection
+	if g.W < winW || g.H < winH {
+		return nil
+	}
+	for y := 0; y+winH <= g.H; y += stride {
+		for x := 0; x+winW <= g.W; x += stride {
+			crop := g.SubImage(img.Rect{X0: x, Y0: y, X1: x + winW, Y1: y + winH})
+			if s := score(crop); s > threshold {
+				dets = append(dets, Detection{
+					Box:   img.Rect{X0: x, Y0: y, X1: x + winW, Y1: y + winH},
+					Score: s,
+					Kind:  kind,
+				})
+			}
+		}
+	}
+	return dets
+}
+
+// scanPyramid runs slideWindows on every level of an image pyramid and
+// maps detections back to level-0 coordinates.
+func scanPyramid(g *img.Gray, winW, winH, stride int, scale float64, threshold float64,
+	score func(*img.Gray) float64, kind Kind) []Detection {
+	levels := img.PyramidGray(g, scale, winW, winH)
+	var all []Detection
+	for _, level := range levels {
+		fx := float64(g.W) / float64(level.W)
+		fy := float64(g.H) / float64(level.H)
+		for _, d := range slideWindows(level, winW, winH, stride, threshold, score, kind) {
+			d.Box = img.Rect{
+				X0: int(float64(d.Box.X0) * fx),
+				Y0: int(float64(d.Box.Y0) * fy),
+				X1: int(float64(d.Box.X1) * fx),
+				Y1: int(float64(d.Box.Y1) * fy),
+			}
+			all = append(all, d)
+		}
+	}
+	return all
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"advdet/internal/hog"
+	"advdet/internal/img"
+	"advdet/internal/svm"
+	"advdet/internal/synth"
+)
+
+// Pedestrian window geometry (upright 1:2 aspect, as in the DAC'17
+// multi-scale pedestrian pipeline the static partition instantiates).
+const (
+	PedWindowW = 32
+	PedWindowH = 64
+)
+
+// PedestrianDetector is the static-partition HOG+SVM pedestrian
+// pipeline; it keeps running during partial reconfiguration.
+type PedestrianDetector struct {
+	HOG    hog.Config
+	Model  *svm.Model
+	Stride int
+	Scale  float64
+	Thresh float64 // margin threshold for single-crop classification
+	// DetectThresh is the stricter margin threshold for full-frame
+	// scanning (see DayDuskDetector.DetectThresh).
+	DetectThresh float64
+	NMSIoU       float64
+}
+
+// NewPedestrianDetector wraps a trained model with default scan
+// settings.
+func NewPedestrianDetector(m *svm.Model) *PedestrianDetector {
+	return &PedestrianDetector{
+		HOG:          hog.DefaultConfig(),
+		Model:        m,
+		Stride:       8,
+		Scale:        1.25,
+		Thresh:       0,
+		DetectThresh: 1.0,
+		NMSIoU:       0.3,
+	}
+}
+
+// ClassifyCrop scores a single pedestrian-window crop.
+func (d *PedestrianDetector) ClassifyCrop(g *img.Gray) bool {
+	if g.W != PedWindowW || g.H != PedWindowH {
+		g = img.ResizeGray(g, PedWindowW, PedWindowH)
+	}
+	return d.Model.Margin(d.HOG.Extract(g)) > d.Thresh
+}
+
+// Detect scans the frame at multiple scales for pedestrians.
+func (d *PedestrianDetector) Detect(g *img.Gray) []Detection {
+	score := func(w *img.Gray) float64 { return d.Model.Margin(d.HOG.Extract(w)) }
+	dets := scanPyramid(g, PedWindowW, PedWindowH, d.Stride, d.Scale, d.DetectThresh, score, KindPedestrian)
+	return NMS(dets, d.NMSIoU)
+}
+
+// TrainPedestrianSVM trains the pedestrian model from a crop dataset.
+func TrainPedestrianSVM(ds *synth.Dataset, cfg hog.Config, opts svm.Options) (*svm.Model, error) {
+	var p svm.Problem
+	for _, g := range ds.Pos {
+		crop := g
+		if crop.W != PedWindowW || crop.H != PedWindowH {
+			crop = img.ResizeGray(crop, PedWindowW, PedWindowH)
+		}
+		p.X = append(p.X, cfg.Extract(crop))
+		p.Y = append(p.Y, 1)
+	}
+	for _, g := range ds.Neg {
+		crop := g
+		if crop.W != PedWindowW || crop.H != PedWindowH {
+			crop = img.ResizeGray(crop, PedWindowW, PedWindowH)
+		}
+		p.X = append(p.X, cfg.Extract(crop))
+		p.Y = append(p.Y, -1)
+	}
+	m, err := svm.Train(p, opts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: train pedestrian SVM: %w", err)
+	}
+	return m, nil
+}

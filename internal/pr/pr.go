@@ -1,0 +1,218 @@
+// Package pr implements the partial-reconfiguration controllers
+// compared in §IV-A of the paper over the SoC model:
+//
+//   - PCAP: the stock PS-driven path through the processor
+//     configuration access port (145 MB/s effective),
+//   - AXI HWICAP: the Xilinx soft core fed word-by-word over a PS
+//     general-purpose port (19 MB/s),
+//   - ZyCAP-style: a PL DMA master pulling the bitstream from PS DDR
+//     over an HP port into ICAP (382 MB/s),
+//   - DMA-ICAP (the paper's controller, Fig. 7): the bitstream is
+//     staged in the PL-side DDR once, and reconfiguration streams it
+//     through a PL DMA and ICAP manager without touching the PS
+//     interconnect at all (390 MB/s, 97.5% of the 400 MB/s ceiling).
+package pr
+
+import (
+	"fmt"
+
+	"advdet/internal/axi"
+	"advdet/internal/soc"
+)
+
+// Controller is one reconfiguration mechanism.
+type Controller interface {
+	// Name identifies the mechanism.
+	Name() string
+	// Reconfigure moves a partial bitstream of the given size into
+	// the configuration memory on the platform, invoking done at
+	// completion. It returns an error if a reconfiguration is already
+	// in flight.
+	Reconfigure(z *soc.Zynq, bytes int, done func()) error
+}
+
+// Result is one measured reconfiguration.
+type Result struct {
+	Controller string
+	Bytes      int
+	PS         uint64 // simulated duration
+	MBPerSec   float64
+}
+
+// Measure runs a single reconfiguration of the given size on a fresh
+// platform and reports its throughput — the experiment behind the
+// §IV-A comparison (ARM event counters / ILA in the paper, the
+// simulation tracer here).
+func Measure(ctrl Controller, bytes int) (Result, error) {
+	z := soc.NewZynq()
+	start := z.Sim.Now()
+	var finish uint64
+	err := ctrl.Reconfigure(z, bytes, func() { finish = z.Sim.Now() })
+	if err != nil {
+		return Result{}, err
+	}
+	z.Sim.Run()
+	if finish == 0 && bytes > 0 {
+		return Result{}, fmt.Errorf("pr: %s never completed", ctrl.Name())
+	}
+	d := finish - start
+	return Result{Controller: ctrl.Name(), Bytes: bytes, PS: d, MBPerSec: soc.MBPerSec(bytes, d)}, nil
+}
+
+// PCAP is the processor configuration access port path: the PS DevC
+// DMA reads the bitstream from PS DDR and pushes it through the PCAP
+// bridge; every burst crosses the PS central interconnect.
+type PCAP struct{ busy bool }
+
+// Name implements Controller.
+func (p *PCAP) Name() string { return "pcap" }
+
+// Reconfigure implements Controller.
+func (p *PCAP) Reconfigure(z *soc.Zynq, bytes int, done func()) error {
+	if p.busy {
+		return fmt.Errorf("pr: pcap busy")
+	}
+	p.busy = true
+	z.Trace.Record(z.Sim.Now(), "pcap", "reconfig-start", fmt.Sprintf("%d bytes", bytes))
+	z.PCAP.Start(z.Sim, bytes, func() {
+		p.busy = false
+		z.Trace.Record(z.Sim.Now(), "pcap", "reconfig-done", "")
+		z.IRQ.Raise(soc.IRQPRDone)
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// HWICAP is the Xilinx AXI HWICAP soft core: the PS writes the
+// bitstream one 32-bit word at a time through a general-purpose port,
+// paying the full AXI-Lite round trip per word.
+type HWICAP struct{ busy bool }
+
+// Name implements Controller.
+func (h *HWICAP) Name() string { return "axi-hwicap" }
+
+// Reconfigure implements Controller.
+func (h *HWICAP) Reconfigure(z *soc.Zynq, bytes int, done func()) error {
+	if h.busy {
+		return fmt.Errorf("pr: hwicap busy")
+	}
+	h.busy = true
+	z.Trace.Record(z.Sim.Now(), "hwicap", "reconfig-start", fmt.Sprintf("%d bytes", bytes))
+	// The GP port is the bottleneck; the ICAP absorbs each word
+	// immediately, so the transfer is a single GP-paced stream.
+	z.GP0.Start(z.Sim, bytes, func() {
+		h.busy = false
+		z.Trace.Record(z.Sim.Now(), "hwicap", "reconfig-done", "")
+		z.IRQ.Raise(soc.IRQPRDone)
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// ZyCAP is the Vipin/Fahmy-style controller: a DMA instantiated on
+// the PL fetches the bitstream from PS DDR through an AXI HP port and
+// feeds the ICAP primitive.
+type ZyCAP struct{ dma *axi.DMA }
+
+// Name implements Controller.
+func (zc *ZyCAP) Name() string { return "zycap" }
+
+// Reconfigure implements Controller.
+func (zc *ZyCAP) Reconfigure(z *soc.Zynq, bytes int, done func()) error {
+	if zc.dma != nil && zc.dma.Busy() {
+		return fmt.Errorf("pr: zycap busy")
+	}
+	z.Trace.Record(z.Sim.Now(), "zycap", "reconfig-start", fmt.Sprintf("%d bytes", bytes))
+	zc.dma = axi.NewDMA("zycap-dma", z.Sim, z.ZyCAPFeed, func() {
+		z.Trace.Record(z.Sim.Now(), "zycap", "reconfig-done", "")
+		z.IRQ.Raise(soc.IRQPRDone)
+		if done != nil {
+			done()
+		}
+	})
+	return driveDMA(zc.dma, bytes)
+}
+
+// DMAICAP is the paper's PR controller (Fig. 7): partial bitstreams
+// are staged in the PL-dedicated DDR3 at startup; a reconfiguration
+// triggers a PL DMA that streams the bitstream through the ICAP
+// manager into ICAPE2, then interrupts the PS. No PS interconnect hop
+// is involved, and the HP ports stay free for detection traffic.
+type DMAICAP struct {
+	dma *axi.DMA
+	// staged tracks the bitstreams preloaded into PL DDR, keyed by id.
+	staged map[string]int
+}
+
+// NewDMAICAP returns an empty controller; bitstreams must be staged
+// before reconfiguring.
+func NewDMAICAP() *DMAICAP { return &DMAICAP{staged: map[string]int{}} }
+
+// Name implements Controller.
+func (d *DMAICAP) Name() string { return "dma-icap" }
+
+// Stage preloads a partial bitstream into PL DDR over an HP port (the
+// one-time boot cost), returning the simulated completion time.
+func (d *DMAICAP) Stage(z *soc.Zynq, id string, bytes int, done func()) {
+	z.Trace.Record(z.Sim.Now(), "dma-icap", "stage-start", id)
+	z.HP2.Start(z.Sim, bytes, func() {
+		d.staged[id] = bytes
+		z.Trace.Record(z.Sim.Now(), "dma-icap", "stage-done", id)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Staged reports whether the named bitstream is resident in PL DDR.
+func (d *DMAICAP) Staged(id string) bool { _, ok := d.staged[id]; return ok }
+
+// Reconfigure implements Controller: it streams from PL DDR through
+// the DMA into the ICAP.
+func (d *DMAICAP) Reconfigure(z *soc.Zynq, bytes int, done func()) error {
+	if d.dma != nil && d.dma.Busy() {
+		return fmt.Errorf("pr: dma-icap busy")
+	}
+	z.Trace.Record(z.Sim.Now(), "dma-icap", "reconfig-start", fmt.Sprintf("%d bytes", bytes))
+	d.dma = axi.NewDMA("pr-dma", z.Sim, z.PLDDRFeed, func() {
+		z.Trace.Record(z.Sim.Now(), "dma-icap", "reconfig-done", "")
+		z.IRQ.Raise(soc.IRQPRDone)
+		if done != nil {
+			done()
+		}
+	})
+	return driveDMA(d.dma, bytes)
+}
+
+// ReconfigureStaged reconfigures with a previously staged bitstream,
+// failing if it was never staged — the driver-level invariant of the
+// paper's flow.
+func (d *DMAICAP) ReconfigureStaged(z *soc.Zynq, id string, done func()) error {
+	bytes, ok := d.staged[id]
+	if !ok {
+		return fmt.Errorf("pr: bitstream %q not staged in PL DDR", id)
+	}
+	return d.Reconfigure(z, bytes, done)
+}
+
+// driveDMA programs a DMA the way the PS driver does: run bit, source
+// address, then length (which launches the transfer).
+func driveDMA(dma *axi.DMA, bytes int) error {
+	if err := dma.WriteReg(axi.RegDMACR, 1); err != nil {
+		return err
+	}
+	if err := dma.WriteReg(axi.RegSrcAddr, 0x1000_0000); err != nil {
+		return err
+	}
+	return dma.WriteReg(axi.RegLength, uint32(bytes))
+}
+
+// All returns one instance of each controller, ordered as in the
+// paper's discussion.
+func All() []Controller {
+	return []Controller{&HWICAP{}, &PCAP{}, &ZyCAP{}, NewDMAICAP()}
+}

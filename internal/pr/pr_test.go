@@ -1,0 +1,150 @@
+package pr
+
+import (
+	"math"
+	"testing"
+
+	"advdet/internal/fpga"
+	"advdet/internal/soc"
+)
+
+const eightMB = 8_000_000
+
+func TestMeasureThroughputsMatchPaper(t *testing.T) {
+	// §IV-A: HWICAP 19 MB/s, PCAP ~145 MB/s, ZyCAP 382 MB/s,
+	// DMA-ICAP ~390 MB/s. Bands allow burst-rounding slack.
+	want := map[string][2]float64{
+		"axi-hwicap": {18, 20},
+		"pcap":       {140, 150},
+		"zycap":      {378, 386},
+		"dma-icap":   {387, 393},
+	}
+	for _, ctrl := range All() {
+		res, err := Measure(ctrl, eightMB)
+		if err != nil {
+			t.Fatalf("%s: %v", ctrl.Name(), err)
+		}
+		band := want[res.Controller]
+		if res.MBPerSec < band[0] || res.MBPerSec > band[1] {
+			t.Errorf("%s throughput %.1f MB/s, want in %v", res.Controller, res.MBPerSec, band)
+		}
+	}
+}
+
+func TestSpeedupOverPCAPExceeds2Point6(t *testing.T) {
+	pcap, err := Measure(&PCAP{}, eightMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Measure(NewDMAICAP(), eightMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ours.MBPerSec / pcap.MBPerSec; s < 2.6 {
+		t.Fatalf("speedup %.2f, paper reports > 2.6", s)
+	}
+}
+
+func TestReconfigTimeIs20ms(t *testing.T) {
+	// §IV-B: an 8 MB partial bitstream reconfigures in ~20 ms, one
+	// frame at 50 fps.
+	res, err := Measure(NewDMAICAP(), fpga.DefaultFloorplan().PartialBitstreamBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := soc.Seconds(res.PS) * 1e3
+	if math.Abs(ms-20) > 1.5 {
+		t.Fatalf("reconfiguration took %.2f ms, want ~20", ms)
+	}
+	framesLost := ms / 20.0
+	if framesLost > 1.1 {
+		t.Fatalf("reconfiguration costs %.2f frame slots at 50 fps, want ~1", framesLost)
+	}
+}
+
+func TestControllersRaisePRDoneIRQ(t *testing.T) {
+	for _, ctrl := range All() {
+		z := soc.NewZynq()
+		if err := ctrl.Reconfigure(z, 1024, nil); err != nil {
+			t.Fatalf("%s: %v", ctrl.Name(), err)
+		}
+		z.Sim.Run()
+		if z.IRQ.Raised(soc.IRQPRDone) != 1 {
+			t.Errorf("%s did not raise the PR-done IRQ", ctrl.Name())
+		}
+		if z.Trace.Count("reconfig-done") != 1 {
+			t.Errorf("%s did not trace completion", ctrl.Name())
+		}
+	}
+}
+
+func TestControllersRejectOverlap(t *testing.T) {
+	for _, ctrl := range All() {
+		z := soc.NewZynq()
+		if err := ctrl.Reconfigure(z, 1<<20, nil); err != nil {
+			t.Fatalf("%s: %v", ctrl.Name(), err)
+		}
+		if err := ctrl.Reconfigure(z, 1<<20, nil); err == nil {
+			t.Errorf("%s accepted overlapping reconfiguration", ctrl.Name())
+		}
+		z.Sim.Run()
+	}
+}
+
+func TestDMAICAPStaging(t *testing.T) {
+	z := soc.NewZynq()
+	d := NewDMAICAP()
+	if d.Staged("dark") {
+		t.Fatal("unstaged bitstream reported staged")
+	}
+	if err := d.ReconfigureStaged(z, "dark", nil); err == nil {
+		t.Fatal("reconfigure with unstaged bitstream accepted")
+	}
+	staged := false
+	d.Stage(z, "dark", eightMB, func() { staged = true })
+	z.Sim.Run()
+	if !staged || !d.Staged("dark") {
+		t.Fatal("staging did not complete")
+	}
+	done := false
+	if err := d.ReconfigureStaged(z, "dark", func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	z.Sim.Run()
+	if !done {
+		t.Fatal("staged reconfiguration did not complete")
+	}
+}
+
+func TestStagingIsSlowerPathThanReconfig(t *testing.T) {
+	// Staging uses an HP port (1066 MB/s) so it is faster than the
+	// ICAP-bound reconfiguration — the design rationale: pay the DDR
+	// copy once at boot, not per reconfiguration.
+	z := soc.NewZynq()
+	d := NewDMAICAP()
+	var stageDone uint64
+	d.Stage(z, "cfg", eightMB, func() { stageDone = z.Sim.Now() })
+	z.Sim.Run()
+	res, err := Measure(d, eightMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stageDone >= res.PS {
+		t.Fatalf("staging (%d ps) should be faster than reconfig (%d ps)", stageDone, res.PS)
+	}
+}
+
+func TestMeasureScalesLinearly(t *testing.T) {
+	small, err := Measure(&PCAP{}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Measure(&PCAP{}, 8_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(big.PS) / float64(small.PS)
+	if math.Abs(ratio-8) > 0.1 {
+		t.Fatalf("time ratio %v for 8x bytes", ratio)
+	}
+}

@@ -1,0 +1,249 @@
+// Package rbm implements Bernoulli–Bernoulli restricted Boltzmann
+// machines trained by contrastive divergence. RBMs are the building
+// blocks of the paper's deep belief network: "separately trained
+// restricted Boltzmann machines which are stacked on top of each
+// other to extract the hidden features" (§III-B).
+package rbm
+
+import (
+	"fmt"
+	"math"
+)
+
+// RBM is a restricted Boltzmann machine with NV visible and NH hidden
+// Bernoulli units.
+type RBM struct {
+	NV, NH int
+	// W is row-major [NH][NV]: W[h*NV+v] couples hidden h to visible v.
+	W []float64
+	// BV and BH are the visible and hidden biases.
+	BV []float64
+	BH []float64
+}
+
+// RNG is the minimal random source the trainer needs; satisfied by
+// synth.RNG. Defined here so rbm does not depend on synth.
+type RNG interface {
+	Float64() float64
+	Norm() float64
+}
+
+// New returns an RBM with small random weights (N(0, 0.01)) and zero
+// biases, the standard CD initialization.
+func New(nv, nh int, rng RNG) *RBM {
+	if nv <= 0 || nh <= 0 {
+		panic(fmt.Sprintf("rbm: invalid size %dx%d", nv, nh))
+	}
+	r := &RBM{
+		NV: nv, NH: nh,
+		W:  make([]float64, nh*nv),
+		BV: make([]float64, nv),
+		BH: make([]float64, nh),
+	}
+	for i := range r.W {
+		r.W[i] = rng.Norm() * 0.01
+	}
+	return r
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// HiddenProbs writes P(h=1|v) into out (allocating if nil) and
+// returns it.
+func (r *RBM) HiddenProbs(v []float64, out []float64) []float64 {
+	if len(v) != r.NV {
+		panic(fmt.Sprintf("rbm: visible length %d, want %d", len(v), r.NV))
+	}
+	if out == nil {
+		out = make([]float64, r.NH)
+	}
+	for h := 0; h < r.NH; h++ {
+		s := r.BH[h]
+		row := r.W[h*r.NV : (h+1)*r.NV]
+		for i, vi := range v {
+			s += row[i] * vi
+		}
+		out[h] = sigmoid(s)
+	}
+	return out
+}
+
+// VisibleProbs writes P(v=1|h) into out (allocating if nil) and
+// returns it.
+func (r *RBM) VisibleProbs(h []float64, out []float64) []float64 {
+	if len(h) != r.NH {
+		panic(fmt.Sprintf("rbm: hidden length %d, want %d", len(h), r.NH))
+	}
+	if out == nil {
+		out = make([]float64, r.NV)
+	}
+	for i := 0; i < r.NV; i++ {
+		out[i] = r.BV[i]
+	}
+	for j := 0; j < r.NH; j++ {
+		hj := h[j]
+		if hj == 0 {
+			continue
+		}
+		row := r.W[j*r.NV : (j+1)*r.NV]
+		for i := range out {
+			out[i] += row[i] * hj
+		}
+	}
+	for i := range out {
+		out[i] = sigmoid(out[i])
+	}
+	return out
+}
+
+// sample draws Bernoulli states from probabilities.
+func sample(p []float64, rng RNG, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(p))
+	}
+	for i, pi := range p {
+		if rng.Float64() < pi {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// TrainOptions configures contrastive-divergence training.
+type TrainOptions struct {
+	Epochs    int     // passes over the data (default 10)
+	BatchSize int     // minibatch size (default 10)
+	LR        float64 // learning rate (default 0.1)
+	CDK       int     // Gibbs steps per update (default 1)
+	Momentum  float64 // gradient momentum (default 0.5)
+}
+
+// DefaultTrainOptions returns the standard CD-1 settings.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 10, BatchSize: 10, LR: 0.1, CDK: 1, Momentum: 0.5}
+}
+
+// Train runs CD-k over data (each row length NV, values in [0,1]) and
+// returns the mean reconstruction error of the final epoch.
+func (r *RBM) Train(data [][]float64, o TrainOptions, rng RNG) float64 {
+	if o.Epochs <= 0 {
+		o.Epochs = 10
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 10
+	}
+	if o.LR <= 0 {
+		o.LR = 0.1
+	}
+	if o.CDK <= 0 {
+		o.CDK = 1
+	}
+
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	dW := make([]float64, len(r.W))
+	dBV := make([]float64, r.NV)
+	dBH := make([]float64, r.NH)
+	mW := make([]float64, len(r.W))
+	mBV := make([]float64, r.NV)
+	mBH := make([]float64, r.NH)
+
+	h0 := make([]float64, r.NH)
+	hs := make([]float64, r.NH)
+	vk := make([]float64, r.NV)
+	hk := make([]float64, r.NH)
+
+	var lastErr float64
+	for epoch := 0; epoch < o.Epochs; epoch++ {
+		var epochErr float64
+		for start := 0; start < n; start += o.BatchSize {
+			end := start + o.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := data[start:end]
+			for i := range dW {
+				dW[i] = 0
+			}
+			for i := range dBV {
+				dBV[i] = 0
+			}
+			for i := range dBH {
+				dBH[i] = 0
+			}
+			for _, v0 := range batch {
+				// Positive phase.
+				r.HiddenProbs(v0, h0)
+				sample(h0, rng, hs)
+				// Gibbs chain: k steps of h -> v -> h.
+				copyInto(vk, v0)
+				for k := 0; k < o.CDK; k++ {
+					r.VisibleProbs(hs, vk)
+					r.HiddenProbs(vk, hk)
+					if k < o.CDK-1 {
+						sample(hk, rng, hs)
+					}
+				}
+				// Accumulate CD gradient: <v0 h0> - <vk hk>.
+				for h := 0; h < r.NH; h++ {
+					rowD := dW[h*r.NV : (h+1)*r.NV]
+					ph0, phk := h0[h], hk[h]
+					for i := 0; i < r.NV; i++ {
+						rowD[i] += ph0*v0[i] - phk*vk[i]
+					}
+				}
+				for i := 0; i < r.NV; i++ {
+					dBV[i] += v0[i] - vk[i]
+					d := v0[i] - vk[i]
+					epochErr += d * d
+				}
+				for h := 0; h < r.NH; h++ {
+					dBH[h] += h0[h] - hk[h]
+				}
+			}
+			scale := o.LR / float64(len(batch))
+			for i := range r.W {
+				mW[i] = o.Momentum*mW[i] + scale*dW[i]
+				r.W[i] += mW[i]
+			}
+			for i := range r.BV {
+				mBV[i] = o.Momentum*mBV[i] + scale*dBV[i]
+				r.BV[i] += mBV[i]
+			}
+			for i := range r.BH {
+				mBH[i] = o.Momentum*mBH[i] + scale*dBH[i]
+				r.BH[i] += mBH[i]
+			}
+		}
+		lastErr = epochErr / float64(n)
+	}
+	return lastErr
+}
+
+// ReconstructionError returns the mean squared error of one
+// deterministic up-down pass over data.
+func (r *RBM) ReconstructionError(data [][]float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	h := make([]float64, r.NH)
+	v := make([]float64, r.NV)
+	var sum float64
+	for _, v0 := range data {
+		r.HiddenProbs(v0, h)
+		r.VisibleProbs(h, v)
+		for i := range v0 {
+			d := v0[i] - v[i]
+			sum += d * d
+		}
+	}
+	return sum / float64(len(data))
+}
+
+func copyInto(dst, src []float64) {
+	copy(dst, src)
+}

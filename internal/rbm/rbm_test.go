@@ -1,0 +1,182 @@
+package rbm
+
+import (
+	"math"
+	"testing"
+)
+
+// testRNG is a deterministic source satisfying the RNG interface.
+type testRNG struct {
+	s        uint64
+	spare    float64
+	hasSpare bool
+}
+
+func newRNG(seed uint64) *testRNG { return &testRNG{s: seed} }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) Float64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func (r *testRNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			m := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare = v * m
+			r.hasSpare = true
+			return u * m
+		}
+	}
+}
+
+// stripes builds a tiny dataset of two repeating 2x3 visible patterns,
+// easy for a 2-hidden-unit RBM to memorize.
+func stripes() [][]float64 {
+	a := []float64{1, 1, 1, 0, 0, 0}
+	b := []float64{0, 0, 0, 1, 1, 1}
+	var data [][]float64
+	for i := 0; i < 30; i++ {
+		data = append(data, a, b)
+	}
+	return data
+}
+
+func TestNewShapesAndInit(t *testing.T) {
+	r := New(6, 3, newRNG(1))
+	if len(r.W) != 18 || len(r.BV) != 6 || len(r.BH) != 3 {
+		t.Fatalf("shapes: W=%d BV=%d BH=%d", len(r.W), len(r.BV), len(r.BH))
+	}
+	var sum float64
+	for _, w := range r.W {
+		sum += math.Abs(w)
+	}
+	if sum == 0 {
+		t.Fatal("weights not initialized")
+	}
+	if sum/float64(len(r.W)) > 0.1 {
+		t.Fatal("weight init too large")
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 3) did not panic")
+		}
+	}()
+	New(0, 3, newRNG(1))
+}
+
+func TestProbsInUnitInterval(t *testing.T) {
+	r := New(6, 4, newRNG(2))
+	v := []float64{1, 0, 1, 0, 1, 0}
+	h := r.HiddenProbs(v, nil)
+	for _, p := range h {
+		if p < 0 || p > 1 {
+			t.Fatalf("hidden prob %v out of range", p)
+		}
+	}
+	vr := r.VisibleProbs(h, nil)
+	for _, p := range vr {
+		if p < 0 || p > 1 {
+			t.Fatalf("visible prob %v out of range", p)
+		}
+	}
+}
+
+func TestProbsPanicOnWrongLength(t *testing.T) {
+	r := New(6, 4, newRNG(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong visible length did not panic")
+		}
+	}()
+	r.HiddenProbs([]float64{1, 2}, nil)
+}
+
+func TestTrainReducesReconstructionError(t *testing.T) {
+	data := stripes()
+	rng := newRNG(4)
+	r := New(6, 2, rng)
+	before := r.ReconstructionError(data)
+	o := DefaultTrainOptions()
+	o.Epochs = 50
+	r.Train(data, o, rng)
+	after := r.ReconstructionError(data)
+	if after >= before {
+		t.Fatalf("reconstruction error did not improve: %v -> %v", before, after)
+	}
+	if after > 0.8 {
+		t.Fatalf("reconstruction error %v still high on trivial data", after)
+	}
+}
+
+func TestTrainSeparatesPatterns(t *testing.T) {
+	// After training, the two patterns must map to distinct hidden
+	// representations.
+	data := stripes()
+	rng := newRNG(5)
+	r := New(6, 2, rng)
+	o := DefaultTrainOptions()
+	o.Epochs = 80
+	r.Train(data, o, rng)
+	ha := r.HiddenProbs(data[0], nil)
+	hb := r.HiddenProbs(data[1], nil)
+	var dist float64
+	for i := range ha {
+		d := ha[i] - hb[i]
+		dist += d * d
+	}
+	if dist < 0.25 {
+		t.Fatalf("hidden representations not separated: %v vs %v", ha, hb)
+	}
+}
+
+func TestTrainEmptyDataNoop(t *testing.T) {
+	r := New(4, 2, newRNG(6))
+	if got := r.Train(nil, DefaultTrainOptions(), newRNG(7)); got != 0 {
+		t.Fatalf("training on empty data returned %v", got)
+	}
+}
+
+func TestCDKGreaterThanOne(t *testing.T) {
+	data := stripes()
+	rng := newRNG(8)
+	r := New(6, 2, rng)
+	o := DefaultTrainOptions()
+	o.CDK = 3
+	o.Epochs = 30
+	before := r.ReconstructionError(data)
+	r.Train(data, o, rng)
+	if after := r.ReconstructionError(data); after >= before {
+		t.Fatalf("CD-3 did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	data := stripes()
+	r1 := New(6, 2, newRNG(9))
+	r2 := New(6, 2, newRNG(9))
+	o := DefaultTrainOptions()
+	o.Epochs = 5
+	r1.Train(data, o, newRNG(10))
+	r2.Train(data, o, newRNG(10))
+	for i := range r1.W {
+		if r1.W[i] != r2.W[i] {
+			t.Fatal("identical seeds produced different weights")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package rtl models the streaming hardware pipelines of Figs. 2 and 4
+// at stage granularity: each stage has an initiation interval (cycles
+// per sample), a fill latency, a working resolution and the BRAM it
+// needs for line buffers, intermediate storage ("HOG Memory",
+// "Normalized HOG Memory") and model data. The package answers two
+// questions the paper's hardware sections turn on:
+//
+//   - does the pipeline sustain 50 fps at 1080p from a 125 MHz clock
+//     (the slowest stage's II bounds throughput), and
+//   - does the BRAM the stages imply fit the per-configuration budget
+//     of Table II.
+package rtl
+
+import (
+	"fmt"
+	"math"
+
+	"advdet/internal/soc"
+)
+
+// Stage is one pipeline stage.
+type Stage struct {
+	Name string
+	// II is the initiation interval in cycles per sample at this
+	// stage's working resolution.
+	II float64
+	// Scale is the stage's sample count as a fraction of full-frame
+	// pixels (1.0 = full resolution; a /3 downscaled map is 1/9).
+	Scale float64
+	// LatencyCycles is the fill latency (line buffers, windows).
+	LatencyCycles int
+	// BRAMBits is the stage's buffer + model storage requirement.
+	BRAMBits int
+}
+
+// Pipeline is a chain of streaming stages in one clock domain.
+type Pipeline struct {
+	Name   string
+	Clk    soc.Clock
+	Stages []Stage
+}
+
+// validate panics on nonsensical stages.
+func (p Pipeline) validate() {
+	for _, s := range p.Stages {
+		if s.II <= 0 || s.Scale <= 0 || s.LatencyCycles < 0 || s.BRAMBits < 0 {
+			panic(fmt.Sprintf("rtl: invalid stage %+v in %q", s, p.Name))
+		}
+	}
+}
+
+// FrameCycles returns the cycles to stream one w x h frame: stages
+// run concurrently, so throughput is bounded by the slowest stage's
+// samples x II, plus the summed fill latency.
+func (p Pipeline) FrameCycles(w, h int) uint64 {
+	p.validate()
+	pixels := float64(w * h)
+	var worst float64
+	var latency uint64
+	for _, s := range p.Stages {
+		if c := s.II * pixels * s.Scale; c > worst {
+			worst = c
+		}
+		latency += uint64(s.LatencyCycles)
+	}
+	return uint64(math.Ceil(worst)) + latency
+}
+
+// FramePS returns the frame time in picoseconds.
+func (p Pipeline) FramePS(w, h int) uint64 {
+	return p.Clk.CyclesPS(p.FrameCycles(w, h))
+}
+
+// FPS returns the sustained frame rate at w x h.
+func (p Pipeline) FPS(w, h int) float64 {
+	return 1 / soc.Seconds(p.FramePS(w, h))
+}
+
+// Bottleneck returns the stage bounding throughput.
+func (p Pipeline) Bottleneck() Stage {
+	p.validate()
+	best := p.Stages[0]
+	for _, s := range p.Stages[1:] {
+		if s.II*s.Scale > best.II*best.Scale {
+			best = s
+		}
+	}
+	return best
+}
+
+// BRAMBlocks returns the number of 36 Kb block RAMs the pipeline's
+// buffers occupy (the unit Table II counts).
+func (p Pipeline) BRAMBlocks() int {
+	p.validate()
+	const blockBits = 36 * 1024
+	total := 0
+	for _, s := range p.Stages {
+		total += (s.BRAMBits + blockBits - 1) / blockBits
+	}
+	return total
+}
+
+// hdWidth is the line length all line-buffer sizing assumes.
+const hdWidth = 1920
+
+// DayDuskPipeline returns the Fig. 2 HOG+SVM pipeline. The block
+// normalizer is the bottleneck at 1.2 cycles/pixel — its block
+// re-reads break the one-pixel-per-cycle streaming rhythm — which is
+// exactly the soc model's aggregate figure and what makes the
+// 125 MHz fabric deliver ~50 fps at 1080p.
+func DayDuskPipeline() Pipeline {
+	return Pipeline{
+		Name: "day-dusk-hog-svm",
+		Clk:  soc.ClkPL,
+		Stages: []Stage{
+			// Centered gradients need one line of context above and
+			// below: two line buffers.
+			{Name: "gradient", II: 1, Scale: 1, LatencyCycles: 2 * hdWidth,
+				BRAMBits: 2 * hdWidth * 8},
+			// Cell histograms accumulate one 8-row band of cells:
+			// 240 cells x 9 bins x 16 bit, double buffered.
+			{Name: "histogram", II: 1, Scale: 1, LatencyCycles: 8 * hdWidth,
+				BRAMBits: 2 * (hdWidth / 8) * 9 * 16},
+			// Block normalization re-reads each cell in up to four
+			// blocks: the stage that costs 1.2 cycles/pixel. The "HOG
+			// Memory" between histogram and normalizer holds two cell
+			// bands.
+			{Name: "normalize", II: 1.2, Scale: 1, LatencyCycles: 8 * hdWidth,
+				BRAMBits: 4 * (hdWidth / 8) * 9 * 16},
+			// SVM accumulates one dot product per window position;
+			// window-parallel MACs keep II at 1. Model BRAM: 1764
+			// weights x 32 bit x 2 models (day + dusk) plus the
+			// "Normalized HOG Memory".
+			{Name: "svm", II: 1, Scale: 1, LatencyCycles: 1024,
+				BRAMBits: 2*1764*32 + 2*(hdWidth/8)*36*16},
+		},
+	}
+}
+
+// DarkPipeline returns the Fig. 4 pipeline. The front end runs at
+// full resolution; everything behind the downscaler works on the
+// 640x360 map (Scale 1/9), so even the 4-cycle DBN engine is far from
+// the throughput bound.
+func DarkPipeline() Pipeline {
+	mapScale := 1.0 / 9
+	return Pipeline{
+		Name: "dark-dbn",
+		Clk:  soc.ClkPL,
+		Stages: []Stage{
+			{Name: "split+threshold", II: 1, Scale: 1, LatencyCycles: 8,
+				BRAMBits: 0},
+			{Name: "downsample", II: 1, Scale: 1, LatencyCycles: 3 * hdWidth,
+				BRAMBits: 3 * hdWidth * 1},
+			// Closing: 3x3 dilate + erode on the binary map; two
+			// 3-line binary buffers at map width.
+			{Name: "closing", II: 1, Scale: mapScale, LatencyCycles: 6 * (hdWidth / 3),
+				BRAMBits: 2 * 3 * (hdWidth / 3) * 1},
+			// Sliding DBN: 9 map lines buffered; the engine spends ~4
+			// cycles per map sample (81->20->8->4 MACs across parallel
+			// rows), gated to foreground windows.
+			{Name: "dbn", II: 4, Scale: mapScale, LatencyCycles: 9 * (hdWidth / 3),
+				BRAMBits: 9*(hdWidth/3)*1 + (81*20+20*8+8*4)*32},
+			// Pair matching touches only light candidates.
+			{Name: "pair-match", II: 0.05, Scale: mapScale, LatencyCycles: 256,
+				BRAMBits: 4 * 1024},
+		},
+	}
+}
+
+// PedestrianPipeline returns the static-partition pipeline (same
+// structure as Fig. 2 with a single model).
+func PedestrianPipeline() Pipeline {
+	p := DayDuskPipeline()
+	p.Name = "pedestrian-hog-svm"
+	// One model instead of two.
+	p.Stages[3].BRAMBits = 756*32 + 2*(hdWidth/8)*36*16
+	return p
+}

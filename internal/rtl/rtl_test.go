@@ -1,0 +1,99 @@
+package rtl
+
+import (
+	"math"
+	"testing"
+
+	"advdet/internal/fpga"
+	"advdet/internal/soc"
+)
+
+func TestDayDuskPipelineHits50FPS(t *testing.T) {
+	p := DayDuskPipeline()
+	fps := p.FPS(1920, 1080)
+	if fps < 48 || fps > 55 {
+		t.Fatalf("day/dusk pipeline %v fps at 1080p, want ~50", fps)
+	}
+}
+
+func TestDayDuskMatchesSoCAggregate(t *testing.T) {
+	// The stage model and the soc-level 1.2 cycles/pixel aggregate
+	// must agree within the fill-latency slack.
+	p := DayDuskPipeline()
+	agg := soc.NewDetectionPipeline("vehicle")
+	stagePS := p.FramePS(1920, 1080)
+	aggPS := agg.FramePS(1920, 1080)
+	if rel := math.Abs(float64(stagePS)-float64(aggPS)) / float64(aggPS); rel > 0.02 {
+		t.Fatalf("stage model %.3f ms vs aggregate %.3f ms (%.1f%% apart)",
+			soc.Seconds(stagePS)*1e3, soc.Seconds(aggPS)*1e3, 100*rel)
+	}
+}
+
+func TestDarkPipelineFasterFrontEndBound(t *testing.T) {
+	// The dark pipeline's bottleneck is the full-resolution front end
+	// (threshold/downsample at II=1), not the DBN: the map-resolution
+	// stages run on 1/9 of the samples.
+	p := DarkPipeline()
+	b := p.Bottleneck()
+	if b.Name == "dbn" || b.Name == "pair-match" {
+		t.Fatalf("bottleneck %q should be a front-end stage", b.Name)
+	}
+	fps := p.FPS(1920, 1080)
+	if fps < 50 {
+		t.Fatalf("dark pipeline %v fps, must sustain 50", fps)
+	}
+}
+
+func TestPipelinesFitTableIIBRAMBudgets(t *testing.T) {
+	// The stage-implied BRAM must fit inside each configuration's
+	// Table II BRAM count (which also covers frame buffers the stage
+	// model does not include — so strictly less).
+	ddBlocks := DayDuskPipeline().BRAMBlocks()
+	ddBudget := fpga.Sum(fpga.DayDuskModules()).BRAM
+	if ddBlocks > ddBudget {
+		t.Fatalf("day/dusk stage BRAM %d blocks exceeds Table II budget %d", ddBlocks, ddBudget)
+	}
+	darkBlocks := DarkPipeline().BRAMBlocks()
+	darkBudget := fpga.Sum(fpga.DarkModules()).BRAM
+	if darkBlocks > darkBudget {
+		t.Fatalf("dark stage BRAM %d blocks exceeds Table II budget %d", darkBlocks, darkBudget)
+	}
+	pedBlocks := PedestrianPipeline().BRAMBlocks()
+	pedBudget := fpga.Sum(fpga.StaticModules()).BRAM
+	if pedBlocks > pedBudget {
+		t.Fatalf("pedestrian stage BRAM %d exceeds static budget %d", pedBlocks, pedBudget)
+	}
+}
+
+func TestBottleneckIsNormalizer(t *testing.T) {
+	if b := DayDuskPipeline().Bottleneck(); b.Name != "normalize" {
+		t.Fatalf("bottleneck = %q, want the block normalizer", b.Name)
+	}
+}
+
+func TestFrameCyclesMonotoneInSize(t *testing.T) {
+	p := DayDuskPipeline()
+	if p.FrameCycles(640, 360) >= p.FrameCycles(1920, 1080) {
+		t.Fatal("smaller frame should cost fewer cycles")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	p := Pipeline{Name: "bad", Clk: soc.ClkPL, Stages: []Stage{{Name: "x", II: 0, Scale: 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid stage did not panic")
+		}
+	}()
+	p.FrameCycles(10, 10)
+}
+
+func TestBRAMBlocksRoundsUp(t *testing.T) {
+	p := Pipeline{Name: "t", Clk: soc.ClkPL, Stages: []Stage{
+		{Name: "a", II: 1, Scale: 1, BRAMBits: 1},           // 1 bit -> 1 block
+		{Name: "b", II: 1, Scale: 1, BRAMBits: 36*1024 + 1}, // -> 2 blocks
+	}}
+	if got := p.BRAMBlocks(); got != 3 {
+		t.Fatalf("BRAMBlocks = %d, want 3", got)
+	}
+}

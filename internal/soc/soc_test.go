@@ -1,0 +1,305 @@
+package soc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimOrdersEvents(t *testing.T) {
+	var s Sim
+	var order []int
+	s.Schedule(300, func() { order = append(order, 3) })
+	s.Schedule(100, func() { order = append(order, 1) })
+	s.Schedule(200, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 300 {
+		t.Fatalf("final time %d", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSimSameTimeFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	var s Sim
+	hits := 0
+	s.Schedule(10, func() {
+		hits++
+		s.Schedule(10, func() {
+			hits++
+		})
+	})
+	if end := s.Run(); end != 20 {
+		t.Fatalf("end time %d", end)
+	}
+	if hits != 2 {
+		t.Fatalf("hits %d", hits)
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	var s Sim
+	ran := 0
+	s.Schedule(100, func() { ran++ })
+	s.Schedule(500, func() { ran++ })
+	s.RunUntil(200)
+	if ran != 1 {
+		t.Fatalf("ran %d events by t=200", ran)
+	}
+	if s.Now() != 200 {
+		t.Fatalf("now = %d", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestClockArithmetic(t *testing.T) {
+	if ClkCfg.PeriodPS() != 10000 {
+		t.Fatalf("100 MHz period = %d ps", ClkCfg.PeriodPS())
+	}
+	if ClkPL.PeriodPS() != 8000 {
+		t.Fatalf("125 MHz period = %d ps", ClkPL.PeriodPS())
+	}
+	if ClkCfg.CyclesPS(5) != 50000 {
+		t.Fatal("CyclesPS wrong")
+	}
+	if ClkCfg.PSToCycles(10001) != 2 {
+		t.Fatal("PSToCycles should round up")
+	}
+}
+
+func TestZeroClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero frequency did not panic")
+		}
+	}()
+	Clock{Name: "bad"}.PeriodPS()
+}
+
+func TestLinkThroughputsMatchPaper(t *testing.T) {
+	// §IV-A: HWICAP 19 MB/s, PCAP ~145 MB/s, ZyCAP 382 MB/s, the
+	// paper's PR controller ~390 MB/s against a 400 MB/s ceiling.
+	cases := []struct {
+		link   *BurstLink
+		lo, hi float64
+	}{
+		{NewGPPort("gp"), 18, 20},
+		{NewPCAPLink(), 140, 150},
+		{NewZyCAPFeed(), 378, 386},
+		{NewPLDDRFeed(), 387, 393},
+		{NewICAPLink(), 399, 401},
+	}
+	for _, c := range cases {
+		got := c.link.Throughput()
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s throughput %.1f MB/s, want in [%v, %v]", c.link.Name, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestLinkOrdering(t *testing.T) {
+	// The qualitative claim: HWICAP << PCAP < ZyCAP < ours <= ICAP.
+	gp := NewGPPort("gp").Throughput()
+	pcap := NewPCAPLink().Throughput()
+	zycap := NewZyCAPFeed().Throughput()
+	ours := NewPLDDRFeed().Throughput()
+	icap := NewICAPLink().Throughput()
+	if !(gp < pcap && pcap < zycap && zycap < ours && ours <= icap) {
+		t.Fatalf("ordering violated: %v %v %v %v %v", gp, pcap, zycap, ours, icap)
+	}
+	if ours/pcap < 2.6 {
+		t.Fatalf("speedup over PCAP %.2f, paper reports > 2.6", ours/pcap)
+	}
+}
+
+func TestTransferPSMonotone(t *testing.T) {
+	l := NewPCAPLink()
+	f := func(a, b uint32) bool {
+		x, y := int(a%1<<20), int(b%1<<20)
+		if x > y {
+			x, y = y, x
+		}
+		return l.TransferPS(x) <= l.TransferPS(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferZeroBytes(t *testing.T) {
+	if NewPCAPLink().TransferPS(0) != 0 {
+		t.Fatal("zero-byte transfer should take no time")
+	}
+}
+
+func TestLinkSerializesTransfers(t *testing.T) {
+	var s Sim
+	l := NewICAPLink()
+	var f1, f2 uint64
+	l.Start(&s, 4096, func() { f1 = s.Now() })
+	l.Start(&s, 4096, func() { f2 = s.Now() })
+	s.Run()
+	if f2 != 2*f1 {
+		t.Fatalf("second transfer finished at %d, want %d (serialized)", f2, 2*f1)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if e := NewICAPLink().Efficiency(); e != 1 {
+		t.Fatalf("ICAP efficiency %v", e)
+	}
+	if e := NewGPPort("gp").Efficiency(); math.Abs(e-1.0/21) > 1e-12 {
+		t.Fatalf("GP efficiency %v", e)
+	}
+}
+
+func TestIRQControllerDispatch(t *testing.T) {
+	z := NewZynq()
+	fired := false
+	z.IRQ.Register(IRQPRDone, func() { fired = true })
+	z.IRQ.Raise(IRQPRDone)
+	z.Sim.Run()
+	if !fired {
+		t.Fatal("handler did not run")
+	}
+	if z.IRQ.Raised(IRQPRDone) != 1 {
+		t.Fatal("raise count wrong")
+	}
+}
+
+func TestIRQEntryLatency(t *testing.T) {
+	z := NewZynq()
+	var at uint64
+	z.IRQ.Register(IRQVehicleDMA, func() { at = z.Sim.Now() })
+	z.IRQ.Raise(IRQVehicleDMA)
+	z.Sim.Run()
+	want := ClkPS.CyclesPS(60)
+	if at != want {
+		t.Fatalf("handler at %d ps, want %d", at, want)
+	}
+}
+
+func TestIRQInvalidLinePanics(t *testing.T) {
+	z := NewZynq()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid IRQ did not panic")
+		}
+	}()
+	z.IRQ.Raise(99)
+}
+
+func TestPipelineFPSMatchesPaper(t *testing.T) {
+	// §V: the 125 MHz design sustains 50 fps at 1080x1920.
+	p := NewDetectionPipeline("vehicle")
+	fps := p.FPS(1920, 1080)
+	if fps < 48 || fps > 55 {
+		t.Fatalf("pipeline FPS %v, want ~50", fps)
+	}
+}
+
+func TestStreamFrameRaisesIRQ(t *testing.T) {
+	z := NewZynq()
+	done := false
+	z.StreamFrame(z.VehiclePipe, 1920, 1080, 3, z.HP0, IRQVehicleDMA, func() { done = true })
+	z.Sim.Run()
+	if !done {
+		t.Fatal("completion callback not run")
+	}
+	if z.IRQ.Raised(IRQVehicleDMA) != 1 {
+		t.Fatal("DMA IRQ not raised")
+	}
+	if z.Trace.Count("frame-done") != 1 {
+		t.Fatal("frame-done not traced")
+	}
+}
+
+func TestStreamFrameRealTimeBudget(t *testing.T) {
+	// One 1080p frame must complete within a 20 ms frame slot.
+	z := NewZynq()
+	finish := z.StreamFrame(z.VehiclePipe, 1920, 1080, 3, z.HP0, IRQVehicleDMA, nil)
+	z.Sim.Run()
+	if ms := Seconds(finish) * 1e3; ms > 20.5 {
+		t.Fatalf("frame took %.2f ms, exceeds the 50 fps slot", ms)
+	}
+}
+
+func TestDDRPortsOutrunAXIPorts(t *testing.T) {
+	// The DRAM is never the bottleneck: both DDR controllers sustain
+	// several times any AXI port's bandwidth, so transfer times are
+	// port-bound — the modeling assumption behind BurstLink-only
+	// transfer costing.
+	ps := NewPSDDRPort().Throughput()
+	pl := NewPLDDRPort().Throughput()
+	hp := NewHPPort("hp").Throughput()
+	if ps < 3*hp || pl < 3*hp {
+		t.Fatalf("DDR (%v, %v MB/s) should far exceed an HP port (%v MB/s)", ps, pl, hp)
+	}
+	if ps < 3000 || ps > 4300 {
+		t.Fatalf("PS DDR throughput %v MB/s outside DDR3-1066 expectations", ps)
+	}
+}
+
+func TestSeparateHPPortsAvoidContention(t *testing.T) {
+	// Fig. 6 spreads the DMA streams over three HP ports. Two 1080p
+	// streams fit one port (the 19.9 ms pipeline hides the serialized
+	// 5.6 ms DMAs), but four streams on one port exceed the port's
+	// budget and push completion past the slot, while spreading them
+	// across ports keeps every stream inside it.
+	shared := NewZynq()
+	var last uint64
+	for i := 0; i < 4; i++ {
+		last = shared.StreamFrame(shared.VehiclePipe, 1920, 1080, 3, shared.HP0, IRQVehicleDMA, nil)
+	}
+	shared.Sim.Run()
+
+	split := NewZynq()
+	ports := []*BurstLink{split.HP0, split.HP1, split.HP2, split.HP0}
+	var lastSplit uint64
+	for i := 0; i < 4; i++ {
+		f := split.StreamFrame(split.VehiclePipe, 1920, 1080, 3, ports[i], IRQVehicleDMA, nil)
+		if f > lastSplit {
+			lastSplit = f
+		}
+	}
+	split.Sim.Run()
+
+	if last <= lastSplit {
+		t.Fatalf("4 streams on one port (%d ps) should finish later than spread over 3 (%d ps)",
+			last, lastSplit)
+	}
+	if ms := Seconds(lastSplit) * 1e3; ms > 20.5 {
+		t.Fatalf("spread streams took %.2f ms, exceeding the frame slot", ms)
+	}
+	if ms := Seconds(last) * 1e3; ms <= 20.5 {
+		t.Fatalf("4-on-one-port took only %.2f ms; contention not modeled", ms)
+	}
+}
+
+func TestMBPerSec(t *testing.T) {
+	// 400 bytes in 1 microsecond = 400 MB/s.
+	if got := MBPerSec(400, 1_000_000); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("MBPerSec = %v", got)
+	}
+	if MBPerSec(100, 0) != 0 {
+		t.Fatal("zero duration should yield zero")
+	}
+}

@@ -1,0 +1,340 @@
+// Package svm implements L2-regularized linear support vector machine
+// training by dual coordinate descent — the algorithm behind
+// LibLINEAR, which the paper uses to produce its day, dusk and
+// combined models (Fig. 1) — plus the dot-product classifier the
+// hardware pipeline evaluates against BRAM-resident model data.
+package svm
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Loss selects the hinge variant.
+type Loss int
+
+const (
+	// L1Loss is the standard hinge loss max(0, 1-y w·x) (C-SVC dual
+	// upper bounded by C).
+	L1Loss Loss = iota
+	// L2Loss is the squared hinge loss, LibLINEAR's default solver.
+	L2Loss
+)
+
+// Problem is a dense training set. Y values must be +1 or -1.
+type Problem struct {
+	X [][]float64
+	Y []float64
+}
+
+// Options configures training.
+type Options struct {
+	C       float64 // regularization trade-off (default 1)
+	Loss    Loss    // hinge variant (default L2Loss)
+	Eps     float64 // stopping tolerance on projected gradient (default 0.1)
+	MaxIter int     // outer iteration cap (default 1000)
+	Seed    uint64  // permutation seed (default 1)
+	// BiasScale appends a constant feature of this value so the bias
+	// is learned inside w (LibLINEAR's -B). Zero disables the bias.
+	BiasScale float64
+}
+
+// DefaultOptions mirrors LibLINEAR defaults with a learned bias.
+func DefaultOptions() Options {
+	return Options{C: 1, Loss: L2Loss, Eps: 0.1, MaxIter: 1000, Seed: 1, BiasScale: 1}
+}
+
+// Model is a trained linear classifier: score(x) = W·x + Bias.
+type Model struct {
+	W         []float64
+	Bias      float64
+	BiasScale float64
+	// Iters records the outer iterations the solver used; exposed so
+	// benchmarks can report convergence behaviour.
+	Iters int
+}
+
+// Margin returns the signed decision value W·x + Bias.
+func (m *Model) Margin(x []float64) float64 {
+	if len(x) != len(m.W) {
+		panic(fmt.Sprintf("svm: feature length %d, model expects %d", len(x), len(m.W)))
+	}
+	s := m.Bias
+	for i, w := range m.W {
+		s += w * x[i]
+	}
+	return s
+}
+
+// Predict returns +1 or -1 for the feature vector x.
+func (m *Model) Predict(x []float64) float64 {
+	if m.Margin(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Train solves the dual problem
+//
+//	min_a  1/2 a'Qa - e'a   s.t. 0 <= a_i <= U
+//
+// with Q_ij = y_i y_j x_i·x_j (+ D_ii), by coordinate descent
+// (Hsieh et al., ICML 2008 — the LibLINEAR solver), maintaining
+// w = sum_i a_i y_i x_i for O(nnz) coordinate updates.
+func Train(p Problem, o Options) (*Model, error) {
+	n := len(p.X)
+	if n == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	if len(p.Y) != n {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", n, len(p.Y))
+	}
+	dim := len(p.X[0])
+	for i, x := range p.X {
+		if len(x) != dim {
+			return nil, fmt.Errorf("svm: sample %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	hasPos, hasNeg := false, false
+	for i, y := range p.Y {
+		if y != 1 && y != -1 {
+			return nil, fmt.Errorf("svm: label %v at %d (want +1/-1)", y, i)
+		}
+		if y > 0 {
+			hasPos = true
+		} else {
+			hasNeg = true
+		}
+	}
+	if !hasPos || !hasNeg {
+		return nil, errors.New("svm: training set needs both classes")
+	}
+	if o.C <= 0 {
+		return nil, fmt.Errorf("svm: C must be positive, got %v", o.C)
+	}
+	if o.Eps <= 0 {
+		o.Eps = 0.1
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+
+	wDim := dim
+	if o.BiasScale > 0 {
+		wDim++
+	}
+
+	var diag, upper float64
+	switch o.Loss {
+	case L1Loss:
+		diag, upper = 0, o.C
+	case L2Loss:
+		diag, upper = 1/(2*o.C), math.Inf(1)
+	default:
+		return nil, fmt.Errorf("svm: unknown loss %d", o.Loss)
+	}
+
+	// Precompute Q̄_ii = x_i·x_i (+ bias^2) + D_ii.
+	qd := make([]float64, n)
+	for i, x := range p.X {
+		var ss float64
+		for _, v := range x {
+			ss += v * v
+		}
+		if o.BiasScale > 0 {
+			ss += o.BiasScale * o.BiasScale
+		}
+		qd[i] = ss + diag
+	}
+
+	alpha := make([]float64, n)
+	w := make([]float64, wDim)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	rngState := o.Seed
+	next := func() uint64 {
+		rngState += 0x9e3779b97f4a7c15
+		z := rngState
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+
+	dot := func(i int) float64 {
+		x := p.X[i]
+		s := 0.0
+		for j, v := range x {
+			s += w[j] * v
+		}
+		if o.BiasScale > 0 {
+			s += w[dim] * o.BiasScale
+		}
+		return s
+	}
+	axpy := func(i int, a float64) {
+		x := p.X[i]
+		for j, v := range x {
+			w[j] += a * v
+		}
+		if o.BiasScale > 0 {
+			w[dim] += a * o.BiasScale
+		}
+	}
+
+	iters := 0
+	for iter := 0; iter < o.MaxIter; iter++ {
+		iters = iter + 1
+		// Fisher-Yates permutation for the sweep order.
+		for i := n - 1; i > 0; i-- {
+			j := int(next() % uint64(i+1))
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		maxPG := 0.0
+		for _, i := range idx {
+			if qd[i] == 0 {
+				continue // zero vector with L1 loss: gradient constant
+			}
+			yi := p.Y[i]
+			g := yi*dot(i) - 1 + diag*alpha[i]
+
+			// Projected gradient for the box constraint.
+			pg := g
+			if alpha[i] == 0 {
+				if g > 0 {
+					pg = 0
+				}
+			} else if alpha[i] >= upper {
+				if g < 0 {
+					pg = 0
+				}
+			}
+			if a := math.Abs(pg); a > maxPG {
+				maxPG = a
+			}
+			if pg == 0 {
+				continue
+			}
+			old := alpha[i]
+			na := old - g/qd[i]
+			if na < 0 {
+				na = 0
+			} else if na > upper {
+				na = upper
+			}
+			alpha[i] = na
+			if d := (na - old) * yi; d != 0 {
+				axpy(i, d)
+			}
+		}
+		if maxPG < o.Eps {
+			break
+		}
+	}
+
+	m := &Model{BiasScale: o.BiasScale, Iters: iters}
+	if o.BiasScale > 0 {
+		m.W = w[:dim]
+		m.Bias = w[dim] * o.BiasScale
+	} else {
+		m.W = w
+	}
+	return m, nil
+}
+
+// modelFile is the serialized form; gob keeps us stdlib-only while
+// remaining versionable through the struct tag surface.
+type modelFile struct {
+	W         []float64
+	Bias      float64
+	BiasScale float64
+}
+
+// Encode writes the model to w.
+func (m *Model) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(modelFile{m.W, m.Bias, m.BiasScale})
+}
+
+// Decode reads a model from r.
+func Decode(r io.Reader) (*Model, error) {
+	var f modelFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("svm: decode: %w", err)
+	}
+	return &Model{W: f.W, Bias: f.Bias, BiasScale: f.BiasScale}, nil
+}
+
+// Save writes the model to the named file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model from the named file.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// CrossValidate runs k-fold cross-validation: the problem is split
+// into k contiguous folds (callers should pre-shuffle if ordering is
+// meaningful), a model is trained on each k-1 complement and evaluated
+// on the held-out fold, and the mean held-out accuracy is returned.
+func CrossValidate(p Problem, o Options, k int) (float64, error) {
+	n := len(p.X)
+	if k < 2 || k > n {
+		return 0, fmt.Errorf("svm: cross-validation folds %d invalid for %d samples", k, n)
+	}
+	var correct, total int
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		var train Problem
+		for i := 0; i < n; i++ {
+			if i >= lo && i < hi {
+				continue
+			}
+			train.X = append(train.X, p.X[i])
+			train.Y = append(train.Y, p.Y[i])
+		}
+		m, err := Train(train, o)
+		if err != nil {
+			return 0, fmt.Errorf("svm: fold %d: %w", fold, err)
+		}
+		for i := lo; i < hi; i++ {
+			if m.Predict(p.X[i]) == p.Y[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("svm: empty evaluation folds")
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// WeightBytes returns the storage footprint of the model as the
+// hardware stores it (one 32-bit word per weight plus the bias), used
+// by the FPGA resource model to size the model BRAMs of Fig. 2.
+func (m *Model) WeightBytes() int { return 4 * (len(m.W) + 1) }

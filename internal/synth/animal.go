@@ -1,0 +1,83 @@
+package synth
+
+import "advdet/internal/img"
+
+// Animal crops support the optional animal-detection feature the
+// paper's introduction motivates ("animal detection on the road could
+// be a useful feature for ADS since, in some countryside roads,
+// animals might appear and cross the road... this feature might not
+// be used in most of the times"). The renderer produces a quadruped
+// side profile: body, head, legs against a road/verge background.
+func AnimalCrop(rng *RNG, w, h int, c Condition) *img.RGB {
+	p := params(c, rng)
+	m := img.NewRGB(w, h)
+
+	// Background: grass verge over road.
+	split := int(float64(h) * rng.Range(0.5, 0.7))
+	gr, gg, gb := scale(70, p.ambient), scale(110, p.ambient), scale(50, p.ambient)
+	for y := 0; y < h; y++ {
+		var r, g, b uint8
+		if y < split {
+			r, g, b = gr, gg, gb
+		} else {
+			r, g, b = p.road[0], p.road[1], p.road[2]
+		}
+		for x := 0; x < w; x++ {
+			m.Set(x, y, r, g, b)
+		}
+	}
+
+	// Body tone: browns and grays.
+	tone := uint8(rng.IntRange(70, 160))
+	br := scale(tone, p.ambient)
+	bg := scale(uint8(int(tone)*3/4), p.ambient)
+	bb := scale(uint8(int(tone)/2), p.ambient)
+
+	bw := int(float64(w) * rng.Range(0.5, 0.7))
+	bh := int(float64(h) * rng.Range(0.3, 0.42))
+	bx := (w-bw)/2 + rng.IntRange(-w/12, w/12)
+	by := split - bh/2 + rng.IntRange(-h/16, h/16)
+	body := img.Rect{X0: bx, Y0: by, X1: bx + bw, Y1: by + bh}
+	img.FillEllipse(m, body, br, bg, bb)
+
+	// Head: smaller ellipse at one end, raised.
+	hw, hh := bw/4, bh*2/3
+	facing := rng.Bool(0.5)
+	var head img.Rect
+	if facing {
+		head = img.Rect{X0: body.X1 - hw/3, Y0: body.Y0 - hh/2, X1: body.X1 - hw/3 + hw, Y1: body.Y0 - hh/2 + hh}
+	} else {
+		head = img.Rect{X0: body.X0 - hw + hw/3, Y0: body.Y0 - hh/2, X1: body.X0 + hw/3, Y1: body.Y0 - hh/2 + hh}
+	}
+	img.FillEllipse(m, head, br, bg, bb)
+
+	// Four legs.
+	legW := bw / 14
+	if legW < 2 {
+		legW = 2
+	}
+	legTop := body.Y1 - bh/4
+	legBottom := legTop + int(float64(h)*rng.Range(0.18, 0.28))
+	for i := 0; i < 4; i++ {
+		lx := body.X0 + bw/6 + i*(bw-bw/3)/3 + rng.IntRange(-1, 1)
+		img.FillRect(m, img.Rect{X0: lx, Y0: legTop, X1: lx + legW, Y1: legBottom}, br, bg, bb)
+	}
+
+	addNoise(m, p.noiseSigma, rng)
+	return m
+}
+
+// AnimalDataset builds positive animal crops and negative road/verge
+// crops at the animal detector's window geometry.
+func AnimalDataset(seed uint64, w, h, nPos, nNeg int, c Condition) *Dataset {
+	rng := NewRNG(seed)
+	d := &Dataset{Name: "animal-" + c.String(), W: w, H: h}
+	for i := 0; i < nPos; i++ {
+		d.Pos = append(d.Pos, img.RGBToGray(AnimalCrop(rng.Split(), w, h, c)))
+		d.VeryDark = append(d.VeryDark, false)
+	}
+	for i := 0; i < nNeg; i++ {
+		d.Neg = append(d.Neg, grayNegative(rng.Split(), w, h, c))
+	}
+	return d
+}

@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"testing"
+
+	"advdet/internal/img"
+)
+
+func TestPedestrianDatasetCounts(t *testing.T) {
+	d := PedestrianDataset(1, 32, 64, 7, 5, Dusk)
+	if len(d.Pos) != 7 || len(d.Neg) != 5 {
+		t.Fatalf("counts %d/%d", len(d.Pos), len(d.Neg))
+	}
+	if d.Name != "pedestrian-dusk" {
+		t.Fatalf("name %q", d.Name)
+	}
+	for _, p := range d.Pos {
+		if p.W != 32 || p.H != 64 {
+			t.Fatal("wrong crop size")
+		}
+	}
+}
+
+func TestAnimalDatasetCounts(t *testing.T) {
+	d := AnimalDataset(2, 64, 32, 4, 6, Day)
+	if len(d.Pos) != 4 || len(d.Neg) != 6 {
+		t.Fatalf("counts %d/%d", len(d.Pos), len(d.Neg))
+	}
+	if d.Name != "animal-day" {
+		t.Fatalf("name %q", d.Name)
+	}
+}
+
+func TestDefaultSceneConfigPerCondition(t *testing.T) {
+	day := DefaultSceneConfig(320, 180, Day)
+	if day.RoadLights != 0 || day.OncomingHeadlights != 0 {
+		t.Fatal("day scenes should have no artificial lights")
+	}
+	dark := DefaultSceneConfig(320, 180, Dark)
+	if dark.RoadLights == 0 || dark.OncomingHeadlights == 0 {
+		t.Fatal("dark scenes need road lights and oncoming traffic")
+	}
+}
+
+func TestLuxAtTransitionBlends(t *testing.T) {
+	// The first frame of a new segment blends the two regimes — the
+	// sensor does not step instantaneously.
+	s := TunnelTransit(3, 64, 36, 10)
+	// Frame 40 is the first tunnel frame (4 s at 10 fps).
+	boundary := s.LuxAt(40)
+	deepTunnel := 0.0
+	for i := 45; i < 65; i++ {
+		deepTunnel += s.LuxAt(i)
+	}
+	deepTunnel /= 20
+	if boundary <= deepTunnel {
+		t.Fatalf("boundary lux %v should exceed deep-tunnel mean %v (blended with day)",
+			boundary, deepTunnel)
+	}
+}
+
+func TestTaillightWindowSetBalanced(t *testing.T) {
+	X, labels := TaillightWindowSet(5, 7)
+	if len(X) != 28 || len(labels) != 28 {
+		t.Fatalf("set size %d/%d", len(X), len(labels))
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 7 {
+			t.Fatalf("class %d has %d samples", c, counts[c])
+		}
+	}
+	for _, x := range X {
+		if len(x) != 81 {
+			t.Fatal("window length != 81")
+		}
+		for _, v := range x {
+			if v != 0 && v != 1 {
+				t.Fatal("window values must be binary")
+			}
+		}
+	}
+}
+
+func TestTaillightWindowClassSizesOrdered(t *testing.T) {
+	// Mean foreground mass must grow with the size class.
+	mean := func(class int) float64 {
+		rng := NewRNG(9)
+		var sum float64
+		for i := 0; i < 50; i++ {
+			for _, v := range TaillightWindow(rng.Split(), class) {
+				sum += v
+			}
+		}
+		return sum / 50
+	}
+	small, med, large := mean(WindowSmall), mean(WindowMedium), mean(WindowLarge)
+	if !(small < med && med < large) {
+		t.Fatalf("size ordering violated: %v %v %v", small, med, large)
+	}
+}
+
+func TestBlitClipsAtBorders(t *testing.T) {
+	dst := img.NewRGB(10, 10)
+	src := img.NewRGB(6, 6)
+	src.Fill(200, 0, 0)
+	blit(dst, src, 7, 7)  // overlaps bottom-right corner
+	blit(dst, src, -3, -3) // overlaps top-left corner
+	if r, _, _ := dst.At(9, 9); r != 200 {
+		t.Fatal("bottom-right blit lost")
+	}
+	if r, _, _ := dst.At(0, 0); r != 200 {
+		t.Fatal("top-left blit lost")
+	}
+	if r, _, _ := dst.At(5, 5); r != 0 {
+		t.Fatal("center should be untouched")
+	}
+}
+
+func TestVehicleCropSmallSizes(t *testing.T) {
+	// Tiny crops (distant vehicles in scenes) must render without
+	// panicking in every condition.
+	for _, c := range []Condition{Day, Dusk, Dark} {
+		for _, sz := range []int{16, 17, 24} {
+			m := VehicleCrop(NewRNG(uint64(sz)), sz, sz, c)
+			if m.W != sz || m.H != sz {
+				t.Fatalf("size %d condition %v: got %dx%d", sz, c, m.W, m.H)
+			}
+		}
+	}
+}
+
+func TestNegativeCropAllKinds(t *testing.T) {
+	// Exercise every negative kind across conditions.
+	for s := uint64(0); s < 30; s++ {
+		for _, c := range []Condition{Day, Dusk, Dark} {
+			m := NegativeCrop(NewRNG(1000+s), 48, 48, c)
+			if m.W != 48 || m.H != 48 {
+				t.Fatal("wrong negative crop size")
+			}
+		}
+	}
+}

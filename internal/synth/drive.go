@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"math"
+
+	"advdet/internal/img"
+)
+
+// Drive renders a temporally coherent sequence: the same vehicles and
+// pedestrians persist across frames, drifting smoothly in depth and
+// lane position, so that detection-by-tracking (Kalman association,
+// identity maintenance, coasting through the reconfiguration dropout)
+// can be exercised and measured. Scenario.FrameAt, by contrast,
+// renders statistically independent frames.
+type Drive struct {
+	W, H int
+	Cond Condition
+	Seed uint64
+
+	vehicles []driveObject
+	peds     []driveObject
+}
+
+// driveObject is one persistent actor: a per-object appearance seed
+// (so its rendered look is stable) plus smooth motion parameters.
+type driveObject struct {
+	seed       uint64
+	depth0     float64 // base depth in [0.3, 0.9]
+	depthAmp   float64 // depth oscillation amplitude
+	depthFreq  float64 // radians per frame
+	phase      float64
+	lateral    float64 // lane offset as a fraction of width
+	lateralVel float64 // per frame
+}
+
+// NewDrive creates a coherent drive with the given actor counts.
+func NewDrive(seed uint64, w, h int, cond Condition, nVehicles, nPeds int) *Drive {
+	rng := NewRNG(seed)
+	d := &Drive{W: w, H: h, Cond: cond, Seed: seed}
+	for i := 0; i < nVehicles; i++ {
+		d.vehicles = append(d.vehicles, driveObject{
+			seed:       rng.Uint64(),
+			depth0:     rng.Range(0.45, 0.8),
+			depthAmp:   rng.Range(0.05, 0.15),
+			depthFreq:  rng.Range(0.01, 0.04),
+			phase:      rng.Range(0, 2*math.Pi),
+			lateral:    rng.Range(0.05, 0.12),
+			lateralVel: rng.Range(-0.0005, 0.0005),
+		})
+	}
+	for i := 0; i < nPeds; i++ {
+		d.peds = append(d.peds, driveObject{
+			seed:       rng.Uint64(),
+			depth0:     rng.Range(0.5, 0.85),
+			depthAmp:   rng.Range(0.02, 0.06),
+			depthFreq:  rng.Range(0.005, 0.02),
+			phase:      rng.Range(0, 2*math.Pi),
+			lateral:    rng.Range(0.3, 0.42),
+			lateralVel: rng.Range(-0.0003, 0.0003),
+		})
+	}
+	return d
+}
+
+// depthAt evaluates the object's smooth depth trajectory.
+func (o driveObject) depthAt(i int) float64 {
+	d := o.depth0 + o.depthAmp*math.Sin(o.depthFreq*float64(i)+o.phase)
+	if d < 0.25 {
+		d = 0.25
+	}
+	if d > 0.95 {
+		d = 0.95
+	}
+	return d
+}
+
+// Frame renders frame i. The backdrop (lane dashes, street lights,
+// oncoming traffic) re-randomizes per frame — those are transient —
+// while the tracked actors evolve smoothly and keep their appearance.
+func (d *Drive) Frame(i int) *Scene {
+	cfg := SceneConfig{W: d.W, H: d.H, Cond: d.Cond}
+	if d.Cond != Day {
+		cfg.RoadLights = 2
+		cfg.OncomingHeadlights = 1
+	}
+	backdropRNG := NewRNG(d.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	sc := RenderScene(backdropRNG, cfg) // cfg has zero actors: backdrop only
+	sc.Lux = LuxFor(d.Cond, NewRNG(d.Seed^0x11^(uint64(i)+1)))
+
+	w, h := d.W, d.H
+	horizon := int(float64(h) * 0.42)
+	vpx := w / 2
+
+	for _, v := range d.vehicles {
+		depth := v.depthAt(i)
+		vw := int(float64(h) * 0.12 * (0.4 + depth*1.8))
+		if vw < 24 {
+			vw = 24
+		}
+		vh := vw
+		vy := horizon + int(depth*depth*float64(h-horizon)*0.75) - vh/4
+		lat := v.lateral + v.lateralVel*float64(i)
+		vx := vpx + int(float64(w)*lat) + int((1-depth)*float64(w)*0.05)
+		box := img.Rect{X0: vx, Y0: vy, X1: vx + vw, Y1: vy + vh}
+		box = box.Intersect(img.Rect{X0: 0, Y0: 0, X1: w, Y1: h})
+		if box.W() < 16 || box.H() < 16 {
+			continue
+		}
+		crop := VehicleCrop(NewRNG(v.seed), box.W(), box.H(), d.Cond)
+		blit(sc.Frame, crop, box.X0, box.Y0)
+		sc.Vehicles = append(sc.Vehicles, box)
+	}
+
+	for _, p := range d.peds {
+		depth := p.depthAt(i)
+		ph := int(float64(h) * 0.16 * (0.4 + depth*1.6))
+		if ph < 24 {
+			ph = 24
+		}
+		pw := ph / 2
+		py := horizon + int(depth*depth*float64(h-horizon)*0.8) - ph/3
+		lat := p.lateral + p.lateralVel*float64(i)
+		px := vpx + int(float64(w)*lat)
+		box := img.Rect{X0: px, Y0: py, X1: px + pw, Y1: py + ph}
+		box = box.Intersect(img.Rect{X0: 0, Y0: 0, X1: w, Y1: h})
+		if box.W() < 12 || box.H() < 24 {
+			continue
+		}
+		crop := PedestrianCrop(NewRNG(p.seed), box.W(), box.H(), d.Cond)
+		blit(sc.Frame, crop, box.X0, box.Y0)
+		sc.Pedestrians = append(sc.Pedestrians, box)
+	}
+	return sc
+}

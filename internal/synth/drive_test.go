@@ -1,0 +1,87 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriveCoherence(t *testing.T) {
+	d := NewDrive(5, 320, 180, Day, 1, 1)
+	prev := d.Frame(0)
+	if len(prev.Vehicles) != 1 {
+		t.Fatalf("frame 0 vehicles = %d", len(prev.Vehicles))
+	}
+	for i := 1; i < 20; i++ {
+		cur := d.Frame(i)
+		if len(cur.Vehicles) != 1 {
+			t.Fatalf("frame %d vehicles = %d", i, len(cur.Vehicles))
+		}
+		// The vehicle must move smoothly: high IoU between frames.
+		if iou := prev.Vehicles[0].IoU(cur.Vehicles[0]); iou < 0.6 {
+			t.Fatalf("frame %d vehicle jumped (IoU %.2f)", i, iou)
+		}
+		prev = cur
+	}
+}
+
+func TestDriveActuallyMoves(t *testing.T) {
+	d := NewDrive(7, 320, 180, Day, 1, 0)
+	first := d.Frame(0).Vehicles[0]
+	var moved bool
+	for i := 1; i < 60; i++ {
+		if b := d.Frame(i).Vehicles[0]; b != first {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("vehicle static across 60 frames")
+	}
+}
+
+func TestDriveDeterministic(t *testing.T) {
+	a := NewDrive(9, 160, 90, Dark, 2, 1).Frame(5)
+	b := NewDrive(9, 160, 90, Dark, 2, 1).Frame(5)
+	for i := range a.Frame.Pix {
+		if a.Frame.Pix[i] != b.Frame.Pix[i] {
+			t.Fatal("drive frames not deterministic")
+		}
+	}
+}
+
+func TestDriveAppearanceStable(t *testing.T) {
+	// The same vehicle must keep its color across frames: compare the
+	// mean color inside the (similar-size) boxes of two nearby frames.
+	d := NewDrive(11, 320, 180, Day, 1, 0)
+	a := d.Frame(3)
+	b := d.Frame(4)
+	meanRGB := func(sc *Scene) (float64, float64, float64) {
+		box := sc.Vehicles[0]
+		var r, g, bl, n float64
+		for y := box.Y0; y < box.Y1; y++ {
+			for x := box.X0; x < box.X1; x++ {
+				cr, cg, cb := sc.Frame.At(x, y)
+				r += float64(cr)
+				g += float64(cg)
+				bl += float64(cb)
+				n++
+			}
+		}
+		return r / n, g / n, bl / n
+	}
+	ar, ag, ab := meanRGB(a)
+	br, bg, bb := meanRGB(b)
+	if math.Abs(ar-br) > 15 || math.Abs(ag-bg) > 15 || math.Abs(ab-bb) > 15 {
+		t.Fatalf("vehicle appearance drifted: (%f,%f,%f) vs (%f,%f,%f)", ar, ag, ab, br, bg, bb)
+	}
+}
+
+func TestDriveDepthClamped(t *testing.T) {
+	o := driveObject{depth0: 0.9, depthAmp: 0.5, depthFreq: 1}
+	for i := 0; i < 10; i++ {
+		dep := o.depthAt(i)
+		if dep < 0.25 || dep > 0.95 {
+			t.Fatalf("depth %v out of range", dep)
+		}
+	}
+}

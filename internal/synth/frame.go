@@ -1,0 +1,178 @@
+package synth
+
+import "advdet/internal/img"
+
+// Scene is a full rendered road frame with ground truth, the unit the
+// end-to-end system consumes (the paper's HDTV capture is 1920x1080).
+type Scene struct {
+	Frame       *img.RGB
+	Vehicles    []img.Rect // ground-truth vehicle boxes
+	Pedestrians []img.Rect // ground-truth pedestrian boxes
+	Cond        Condition
+	Lux         float64 // ambient light sensor reading
+}
+
+// SceneConfig controls the frame renderer.
+type SceneConfig struct {
+	W, H        int
+	Cond        Condition
+	NumVehicles int
+	NumPeds     int
+	// OncomingHeadlights adds white headlight pairs in the opposite
+	// lane (dusk/dark only) — the hard negatives the chroma threshold
+	// must reject.
+	OncomingHeadlights int
+	// RoadLights adds street lamps along the road (dusk/dark only).
+	RoadLights int
+}
+
+// DefaultSceneConfig returns a config for a w x h frame under cond
+// with a typical object mix.
+func DefaultSceneConfig(w, h int, cond Condition) SceneConfig {
+	cfg := SceneConfig{W: w, H: h, Cond: cond, NumVehicles: 2, NumPeds: 1}
+	if cond != Day {
+		cfg.OncomingHeadlights = 1
+		cfg.RoadLights = 3
+	}
+	return cfg
+}
+
+// RenderScene draws a full road scene and records ground truth.
+func RenderScene(rng *RNG, cfg SceneConfig) *Scene {
+	p := params(cfg.Cond, rng)
+	w, h := cfg.W, cfg.H
+	m := img.NewRGB(w, h)
+
+	// Sky gradient down to the horizon, road below.
+	horizon := int(float64(h) * 0.42)
+	for y := 0; y < h; y++ {
+		var r, g, b uint8
+		if y < horizon {
+			t := float64(y) / float64(horizon)
+			r = lerp8(p.skyTop[0], p.skyBottom[0], t)
+			g = lerp8(p.skyTop[1], p.skyBottom[1], t)
+			b = lerp8(p.skyTop[2], p.skyBottom[2], t)
+		} else {
+			// Slight vertical shading on the road.
+			t := float64(y-horizon) / float64(h-horizon)
+			r = scale(p.road[0], 0.85+0.3*t)
+			g = scale(p.road[1], 0.85+0.3*t)
+			b = scale(p.road[2], 0.85+0.3*t)
+		}
+		for x := 0; x < w; x++ {
+			m.Set(x, y, r, g, b)
+		}
+	}
+
+	// Dashed center lane marking with perspective convergence.
+	vpx := w / 2 // vanishing point x
+	for seg := 0; seg < 12; seg++ {
+		t0 := float64(seg) / 12
+		t1 := t0 + 0.04
+		y0 := horizon + int(t0*t0*float64(h-horizon))
+		y1 := horizon + int(t1*t1*float64(h-horizon))
+		if y1 <= y0 {
+			continue
+		}
+		halfW := 1 + int(t0*float64(w)/90)
+		cx := vpx
+		img.FillRect(m, img.Rect{X0: cx - halfW, Y0: y0, X1: cx + halfW, Y1: y1},
+			scale(200, p.ambient+0.1), scale(200, p.ambient+0.1), scale(180, p.ambient+0.1))
+	}
+
+	sc := &Scene{Frame: m, Cond: cfg.Cond, Lux: LuxFor(cfg.Cond, rng)}
+
+	// Street lamps: bright white/yellow blobs above the horizon line.
+	if cfg.Cond != Day {
+		for i := 0; i < cfg.RoadLights; i++ {
+			lx := rng.Intn(w)
+			ly := rng.IntRange(h/12, horizon-h/24)
+			sz := rng.IntRange(h/60+2, h/36+3)
+			drawGlowingLamp(m, img.Rect{X0: lx, Y0: ly, X1: lx + sz, Y1: ly + sz*3/4}, 255, 244, 214, rng)
+		}
+		for i := 0; i < cfg.OncomingHeadlights; i++ {
+			// Oncoming traffic keeps left of the center line.
+			depth := rng.Range(0.3, 0.9)
+			y := horizon + int(depth*depth*float64(h-horizon)*0.7)
+			sz := 2 + int(depth*float64(h)/40)
+			x := vpx - int(depth*float64(w)/4) - 4*sz
+			sep := 3 * sz
+			drawGlowingLamp(m, img.Rect{X0: x, Y0: y, X1: x + sz, Y1: y + sz}, 255, 252, 240, rng)
+			drawGlowingLamp(m, img.Rect{X0: x + sep, Y0: y, X1: x + sep + sz, Y1: y + sz}, 255, 252, 240, rng)
+		}
+	}
+
+	// Vehicles ahead in the right lane, size by depth.
+	for i := 0; i < cfg.NumVehicles; i++ {
+		depth := rng.Range(0.25, 1.0) // 1.0 = nearest
+		vw := int(float64(h) * 0.12 * (0.4 + depth*1.8))
+		if vw < 24 {
+			vw = 24
+		}
+		vh := vw
+		vy := horizon + int(depth*depth*float64(h-horizon)*0.75) - vh/4
+		vx := vpx + int(float64(w)*0.04) + rng.IntRange(0, w/10) + int((1-depth)*float64(w)*0.05)
+		box := img.Rect{X0: vx, Y0: vy, X1: vx + vw, Y1: vy + vh}
+		box = box.Intersect(img.Rect{X0: 0, Y0: 0, X1: w, Y1: h})
+		if box.W() < 16 || box.H() < 16 {
+			continue
+		}
+		crop := VehicleCrop(rng.Split(), box.W(), box.H(), cfg.Cond)
+		blit(m, crop, box.X0, box.Y0)
+		sc.Vehicles = append(sc.Vehicles, box)
+	}
+
+	// Pedestrians on the right sidewalk.
+	for i := 0; i < cfg.NumPeds; i++ {
+		depth := rng.Range(0.4, 1.0)
+		ph := int(float64(h) * 0.16 * (0.4 + depth*1.6))
+		if ph < 24 {
+			ph = 24
+		}
+		pw := ph / 2
+		py := horizon + int(depth*depth*float64(h-horizon)*0.8) - ph/3
+		px := w - pw - rng.IntRange(w/40, w/6)
+		box := img.Rect{X0: px, Y0: py, X1: px + pw, Y1: py + ph}
+		box = box.Intersect(img.Rect{X0: 0, Y0: 0, X1: w, Y1: h})
+		if box.W() < 12 || box.H() < 24 {
+			continue
+		}
+		crop := PedestrianCrop(rng.Split(), box.W(), box.H(), cfg.Cond)
+		blit(m, crop, box.X0, box.Y0)
+		sc.Pedestrians = append(sc.Pedestrians, box)
+	}
+
+	addNoise(m, p.noiseSigma, rng)
+	return sc
+}
+
+// blit copies src onto dst at (x0, y0), clipping to dst bounds.
+func blit(dst, src *img.RGB, x0, y0 int) {
+	for y := 0; y < src.H; y++ {
+		dy := y0 + y
+		if dy < 0 || dy >= dst.H {
+			continue
+		}
+		for x := 0; x < src.W; x++ {
+			dx := x0 + x
+			if dx < 0 || dx >= dst.W {
+				continue
+			}
+			r, g, b := src.At(x, y)
+			dst.Set(dx, dy, r, g, b)
+		}
+	}
+}
+
+// LuxFor samples a plausible ambient-light-sensor reading for a
+// condition: clear separations with realistic in-class spread.
+func LuxFor(c Condition, rng *RNG) float64 {
+	switch c {
+	case Day:
+		return rng.Range(5000, 30000)
+	case Dusk:
+		return rng.Range(80, 1200)
+	default:
+		return rng.Range(0.5, 25)
+	}
+}

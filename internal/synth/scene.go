@@ -1,0 +1,414 @@
+package synth
+
+import (
+	"advdet/internal/img"
+)
+
+// Condition is the ambient lighting regime the paper's adaptive system
+// switches on: day, dusk (moderate light, lamps lit) and dark.
+type Condition int
+
+const (
+	Day Condition = iota
+	Dusk
+	Dark
+)
+
+func (c Condition) String() string {
+	switch c {
+	case Day:
+		return "day"
+	case Dusk:
+		return "dusk"
+	case Dark:
+		return "dark"
+	}
+	return "unknown"
+}
+
+// conditionParams captures how a lighting regime transforms the
+// canonical scene: an ambient multiplier applied to every surface
+// color, whether the vehicle lamps are lit, and sensor noise.
+type conditionParams struct {
+	ambient    float64 // surface reflectance multiplier
+	lampsOn    bool
+	noiseSigma float64
+	skyTop     [3]uint8
+	skyBottom  [3]uint8
+	road       [3]uint8
+}
+
+func params(c Condition, rng *RNG) conditionParams {
+	switch c {
+	case Day:
+		return conditionParams{
+			ambient:    rng.Range(0.85, 1.0),
+			lampsOn:    false,
+			noiseSigma: 4,
+			skyTop:     [3]uint8{120, 170, 230},
+			skyBottom:  [3]uint8{190, 210, 235},
+			road:       [3]uint8{120, 120, 125},
+		}
+	case Dusk:
+		return conditionParams{
+			ambient:    rng.Range(0.16, 0.3),
+			lampsOn:    true,
+			noiseSigma: 9, // street-lit scenes force high sensor gain
+
+			skyTop:    [3]uint8{40, 45, 80},
+			skyBottom: [3]uint8{110, 80, 90},
+			road:      [3]uint8{70, 70, 78},
+		}
+	default: // Dark
+		return conditionParams{
+			ambient:    rng.Range(0.015, 0.05),
+			lampsOn:    true,
+			noiseSigma: 6, // high-gain night sensor noise
+
+			skyTop:    [3]uint8{4, 4, 10},
+			skyBottom: [3]uint8{8, 8, 14},
+			road:      [3]uint8{18, 18, 22},
+		}
+	}
+}
+
+func scale(v uint8, a float64) uint8 {
+	s := float64(v) * a
+	if s > 255 {
+		s = 255
+	}
+	return uint8(s)
+}
+
+func scale3(c [3]uint8, a float64) (uint8, uint8, uint8) {
+	return scale(c[0], a), scale(c[1], a), scale(c[2], a)
+}
+
+// addNoise perturbs every channel with Gaussian sensor noise.
+func addNoise(m *img.RGB, sigma float64, rng *RNG) {
+	if sigma <= 0 {
+		return
+	}
+	for i := range m.Pix {
+		v := float64(m.Pix[i]) + rng.Norm()*sigma
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		m.Pix[i] = uint8(v)
+	}
+}
+
+// bodyPalette is the set of base vehicle body colors; the renderer
+// jitters each channel so no two cars are identical.
+var bodyPalette = [][3]uint8{
+	{200, 40, 40},   // red
+	{40, 60, 200},   // blue
+	{220, 220, 225}, // white
+	{35, 35, 38},    // black
+	{150, 150, 155}, // silver
+	{30, 120, 50},   // green
+	{200, 170, 60},  // yellow
+}
+
+// VehicleCrop renders a rear view of a vehicle filling most of a
+// w x h crop under the given condition, with pose and color jitter.
+// This is the positive-sample generator for the UPM-like (day) and
+// SYSU-like (dusk/dark) classification datasets of Table I.
+func VehicleCrop(rng *RNG, w, h int, c Condition) *img.RGB {
+	return renderVehicle(rng, w, h, c, true)
+}
+
+// renderVehicle draws the canonical rear view. lampsWork selects
+// whether the car's taillights can be lit at all: negatives rendered
+// from parked/unlit vehicles pass false, so at dusk and in the dark
+// they show a body silhouette without the lamp signature.
+func renderVehicle(rng *RNG, w, h int, c Condition, lampsWork bool) *img.RGB {
+	p := params(c, rng)
+	if !lampsWork {
+		p.lampsOn = false
+	}
+	// The SYSU-like dusk set is heterogeneous, as the paper notes
+	// ("images are taken from near cars and in the urban area with
+	// reasonable lighting"): a well-lit near-car sub-population mixes
+	// with deep night-urban captures. The bright sub-population is
+	// what a day-trained model can still partially detect.
+	duskBright := c == Dusk && rng.Bool(0.6)
+	if duskBright {
+		p.ambient = rng.Range(0.45, 0.65)
+		p.noiseSigma = 6
+		p.skyTop = [3]uint8{90, 95, 135}
+		p.skyBottom = [3]uint8{150, 130, 130}
+		p.road = [3]uint8{100, 100, 106}
+	}
+	m := img.NewRGB(w, h)
+
+	// Background: horizon splitting sky and road.
+	horizon := int(float64(h) * rng.Range(0.25, 0.4))
+	for y := 0; y < h; y++ {
+		var r, g, b uint8
+		if y < horizon {
+			t := float64(y) / float64(horizon)
+			r = lerp8(p.skyTop[0], p.skyBottom[0], t)
+			g = lerp8(p.skyTop[1], p.skyBottom[1], t)
+			b = lerp8(p.skyTop[2], p.skyBottom[2], t)
+		} else {
+			r, g, b = p.road[0], p.road[1], p.road[2]
+		}
+		for x := 0; x < w; x++ {
+			m.Set(x, y, r, g, b)
+		}
+	}
+
+	// Vehicle geometry with jitter. Day and dusk crops are framed the
+	// way detection-dataset crops are: the car fills most of the patch.
+	// Very dark captures are not framed — the camera sees lamps at any
+	// range and offset — so the dark regime places a smaller body
+	// anywhere in the crop (this unconstrained geometry is what defeats
+	// a rigid HOG template at night, motivating the dark pipeline).
+	var bw, bh, bx, by int
+	if c == Dark {
+		bw = int(float64(w) * rng.Range(0.28, 0.55))
+		bh = int(float64(bw) * rng.Range(0.8, 1.05))
+		bx = rng.IntRange(w/16, max(w/16, w-bw-w/16))
+		yLo, yHi := h/3, h-bh-h/12
+		if yHi < yLo {
+			yLo = yHi
+		}
+		if yLo < 0 {
+			yLo = 0
+		}
+		by = rng.IntRange(yLo, max(yLo, yHi))
+	} else if c == Dusk && !duskBright {
+		// Deep night-urban crops are framed tighter on the car rear
+		// than UPM day crops.
+		bw = int(float64(w) * rng.Range(0.68, 0.9))
+		bh = int(float64(h) * rng.Range(0.48, 0.66))
+		bx = (w-bw)/2 + rng.IntRange(-w/24, w/24)
+		by = h - bh - int(float64(h)*rng.Range(0.1, 0.2))
+	} else {
+		// UPM-like day crops keep road/sky context around the car.
+		bw = int(float64(w) * rng.Range(0.55, 0.78))
+		bh = int(float64(h) * rng.Range(0.42, 0.58))
+		bx = (w-bw)/2 + rng.IntRange(-w/16, w/16)
+		by = h - bh - int(float64(h)*rng.Range(0.06, 0.14))
+	}
+	body := img.Rect{X0: bx, Y0: by, X1: bx + bw, Y1: by + bh}
+
+	base := bodyPalette[rng.Intn(len(bodyPalette))]
+	jit := func(v uint8) uint8 {
+		j := int(v) + rng.IntRange(-18, 18)
+		if j < 0 {
+			j = 0
+		} else if j > 255 {
+			j = 255
+		}
+		return uint8(j)
+	}
+	br, bg, bb := jit(base[0]), jit(base[1]), jit(base[2])
+
+	// Shadow under the car: a strong day cue, almost invisible at night.
+	shadowA := p.ambient * 0.25
+	sr, sg, sb := scale(p.road[0], shadowA+0.1), scale(p.road[1], shadowA+0.1), scale(p.road[2], shadowA+0.1)
+	img.FillRect(m, img.Rect{X0: body.X0 - 2, Y0: body.Y1 - 2, X1: body.X1 + 2, Y1: body.Y1 + h/16 + 2}, sr, sg, sb)
+
+	// Body.
+	cr, cg, cb := scale(br, p.ambient), scale(bg, p.ambient), scale(bb, p.ambient)
+	img.FillRect(m, body, cr, cg, cb)
+
+	// Rear window: dark band in the upper body.
+	win := img.Rect{
+		X0: body.X0 + bw/8, Y0: body.Y0 + bh/12,
+		X1: body.X1 - bw/8, Y1: body.Y0 + bh*2/5,
+	}
+	wr, wg, wb := scale(40, p.ambient), scale(45, p.ambient), scale(55, p.ambient)
+	img.FillRect(m, win, wr, wg, wb)
+
+	// Bumper band.
+	bmp := img.Rect{X0: body.X0, Y0: body.Y1 - bh/6, X1: body.X1, Y1: body.Y1 - bh/12}
+	img.FillRect(m, bmp, scale(170, p.ambient), scale(170, p.ambient), scale(175, p.ambient))
+
+	// License plate.
+	pw := bw / 5
+	plate := img.Rect{X0: (body.X0+body.X1)/2 - pw/2, Y0: body.Y1 - bh/4, X1: (body.X0+body.X1)/2 + pw/2, Y1: body.Y1 - bh/6}
+	img.FillRect(m, plate, scale(230, p.ambient), scale(230, p.ambient), scale(210, p.ambient))
+
+	// Wheels peeking under the body.
+	wh := h / 10
+	img.FillEllipse(m, img.Rect{X0: body.X0 + bw/12, Y0: body.Y1 - wh/2, X1: body.X0 + bw/12 + wh, Y1: body.Y1 + wh/2}, 15, 15, 15)
+	img.FillEllipse(m, img.Rect{X0: body.X1 - bw/12 - wh, Y0: body.Y1 - wh/2, X1: body.X1 - bw/12, Y1: body.Y1 + wh/2}, 15, 15, 15)
+
+	// Taillights: unlit dark red by day, saturated bright red when on.
+	// Long night exposures bloom the lamps well past their physical
+	// size.
+	bloom := 1.0
+	switch c {
+	case Dusk:
+		bloom = rng.Range(1.2, 1.6)
+	case Dark:
+		bloom = rng.Range(1.3, 2.0)
+	}
+	lw := int(float64(bw) * rng.Range(0.12, 0.17) * bloom)
+	lh := int(float64(bh) * rng.Range(0.10, 0.16) * bloom)
+	ly := body.Y0 + bh/2 + rng.IntRange(-bh/12, bh/12)
+	left := img.Rect{X0: body.X0 + bw/20, Y0: ly, X1: body.X0 + bw/20 + lw, Y1: ly + lh}
+	right := img.Rect{X0: body.X1 - bw/20 - lw, Y0: ly, X1: body.X1 - bw/20, Y1: ly + lh}
+	if p.lampsOn {
+		drawGlowingLamp(m, left, 255, 40, 30, rng)
+		drawGlowingLamp(m, right, 255, 40, 30, rng)
+		// Lit lamps reflect off the road surface below the car — a
+		// lamp-correlated cue present only at night.
+		for _, lamp := range []img.Rect{left, right} {
+			refl := img.Rect{
+				X0: lamp.X0 + lamp.W()/4, Y0: body.Y1 + 1,
+				X1: lamp.X1 - lamp.W()/4, Y1: body.Y1 + 1 + 2*lh,
+			}
+			img.FillRect(m, refl.Intersect(img.Rect{X0: 0, Y0: 0, X1: w, Y1: h}), 90, 18, 14)
+		}
+	} else {
+		// Unlit lamps are tinted plastic reflecting the body's
+		// illumination: only mildly darker/redder than the body, so
+		// they do not mimic a lit lamp's strong blob gradients.
+		blend := func(body, lamp uint8) uint8 { return uint8((4*int(body) + int(lamp)) / 5) }
+		ur, ug, ub := blend(cr, scale(120, p.ambient)), blend(cg, scale(20, p.ambient)), blend(cb, scale(20, p.ambient))
+		img.FillEllipse(m, left, ur, ug, ub)
+		img.FillEllipse(m, right, ur, ug, ub)
+	}
+
+	addNoise(m, p.noiseSigma, rng)
+	return m
+}
+
+// drawGlowingLamp fills a bright lamp ellipse and a soft halo around
+// it, the bloom a real sensor records around saturated light sources.
+func drawGlowingLamp(m *img.RGB, r img.Rect, lr, lg, lb uint8, rng *RNG) {
+	halo := img.Rect{X0: r.X0 - r.W()/2, Y0: r.Y0 - r.H()/2, X1: r.X1 + r.W()/2, Y1: r.Y1 + r.H()/2}
+	img.FillEllipse(m, halo, lr/3, lg/3, lb/3)
+	img.FillEllipse(m, r, lr, lg, lb)
+	// Saturated core: the lamp color bleached toward white, so a red
+	// lamp keeps red chroma while a white lamp stays neutral.
+	bleach := func(v uint8) uint8 { return uint8(int(v) + (255-int(v))*3/5) }
+	core := img.Rect{X0: r.X0 + r.W()/4, Y0: r.Y0 + r.H()/4, X1: r.X1 - r.W()/4, Y1: r.Y1 - r.H()/4}
+	img.FillEllipse(m, core, bleach(lr), bleach(lg), bleach(lb))
+	_ = rng
+}
+
+// NegativeCrop renders a non-vehicle patch under the given condition:
+// empty road with lane markings, roadside structure, vegetation, or —
+// under dusk/dark — confusing light sources that are not taillight
+// pairs (single red lights, white street lights, oncoming headlights).
+func NegativeCrop(rng *RNG, w, h int, c Condition) *img.RGB {
+	// Night urban scenes (SYSU-like) are full of parked, unlit
+	// vehicles, which are negatives for "vehicle ahead" detection.
+	// Their presence is what forces a dusk-trained classifier to rely
+	// on the taillight signature rather than body shape alone.
+	if c != Day && rng.Bool(0.7) {
+		return renderVehicle(rng, w, h, c, false)
+	}
+	p := params(c, rng)
+	m := img.NewRGB(w, h)
+
+	kind := rng.Intn(4)
+	// Base: road surface.
+	rr, rg, rb := p.road[0], p.road[1], p.road[2]
+	m.Fill(rr, rg, rb)
+
+	switch kind {
+	case 0: // empty road with a lane marking
+		lm := img.Rect{X0: w/2 - w/24, Y0: 0, X1: w/2 + w/24, Y1: h}
+		img.FillRect(m, lm, scale(210, p.ambient), scale(210, p.ambient), scale(190, p.ambient))
+	case 1: // roadside structure: stacked rectangles (building / barrier)
+		n := rng.IntRange(2, 5)
+		for i := 0; i < n; i++ {
+			x0 := rng.Intn(w)
+			y0 := rng.Intn(h)
+			rc := img.Rect{X0: x0, Y0: y0, X1: x0 + rng.IntRange(w/8, w/2), Y1: y0 + rng.IntRange(h/8, h/2)}
+			v := uint8(rng.IntRange(60, 200))
+			img.FillRect(m, rc, scale(v, p.ambient), scale(v, p.ambient), scale(v, p.ambient))
+		}
+	case 2: // vegetation: random ellipses
+		n := rng.IntRange(3, 7)
+		for i := 0; i < n; i++ {
+			x0 := rng.Intn(w)
+			y0 := rng.Intn(h)
+			rc := img.Rect{X0: x0, Y0: y0, X1: x0 + rng.IntRange(w/6, w/2), Y1: y0 + rng.IntRange(h/6, h/2)}
+			img.FillEllipse(m, rc, scale(uint8(rng.IntRange(20, 60)), p.ambient), scale(uint8(rng.IntRange(80, 140)), p.ambient), scale(uint8(rng.IntRange(20, 60)), p.ambient))
+		}
+	default: // textured gradient background
+		for y := 0; y < h; y++ {
+			v := uint8(float64(y) / float64(h) * 160)
+			for x := 0; x < w; x++ {
+				m.Set(x, y, scale(v, p.ambient), scale(v, p.ambient), scale(v+20, p.ambient))
+			}
+		}
+	}
+
+	// Confusing lights at dusk/dark: never a level red pair.
+	if p.lampsOn && rng.Bool(0.6) {
+		switch rng.Intn(3) {
+		case 0: // white street light, high in the patch
+			lr := img.Rect{X0: rng.Intn(w - w/8), Y0: rng.Intn(h / 3), X1: 0, Y1: 0}
+			lr.X1, lr.Y1 = lr.X0+w/10, lr.Y0+h/12
+			drawGlowingLamp(m, lr, 250, 245, 225, rng)
+		case 1: // single red light (one lamp, no partner)
+			lr := img.Rect{X0: rng.Intn(w - w/8), Y0: rng.Intn(h - h/8), X1: 0, Y1: 0}
+			lr.X1, lr.Y1 = lr.X0+w/12, lr.Y0+h/14
+			drawGlowingLamp(m, lr, 255, 40, 30, rng)
+		default: // oncoming headlight pair (white, chroma gate rejects)
+			y0 := rng.Intn(h - h/6)
+			x0 := rng.Intn(w / 2)
+			sep := rng.IntRange(w/5, w/3)
+			a := img.Rect{X0: x0, Y0: y0, X1: x0 + w/12, Y1: y0 + h/14}
+			b := img.Rect{X0: x0 + sep, Y0: y0, X1: x0 + sep + w/12, Y1: y0 + h/14}
+			drawGlowingLamp(m, a, 255, 250, 235, rng)
+			drawGlowingLamp(m, b, 255, 250, 235, rng)
+		}
+	}
+
+	addNoise(m, p.noiseSigma, rng)
+	return m
+}
+
+// PedestrianCrop renders an upright pedestrian for the static-path
+// detector: head, torso, legs against road background. Pedestrians are
+// rendered with enough contrast in every condition because the paper's
+// static pipeline runs unchanged day and night.
+func PedestrianCrop(rng *RNG, w, h int, c Condition) *img.RGB {
+	p := params(c, rng)
+	// Pedestrian detection operates on intensity; keep ambient from
+	// crushing the figure completely even in the dark (street lighting).
+	amb := p.ambient
+	if amb < 0.25 {
+		amb = 0.25
+	}
+	m := img.NewRGB(w, h)
+	m.Fill(p.road[0], p.road[1], p.road[2])
+
+	cx := w/2 + rng.IntRange(-w/10, w/10)
+	top := int(float64(h) * rng.Range(0.06, 0.14))
+	bottom := h - int(float64(h)*rng.Range(0.04, 0.1))
+	ph := bottom - top
+	headR := ph / 8
+	tone := uint8(rng.IntRange(120, 220))
+	tr, tg, tb := scale(tone, amb), scale(uint8(int(tone)*2/3), amb), scale(uint8(int(tone)/2), amb)
+
+	// Head.
+	img.FillEllipse(m, img.Rect{X0: cx - headR, Y0: top, X1: cx + headR, Y1: top + 2*headR}, scale(200, amb), scale(170, amb), scale(150, amb))
+	// Torso.
+	tw := int(float64(w) * rng.Range(0.22, 0.3))
+	torso := img.Rect{X0: cx - tw/2, Y0: top + 2*headR, X1: cx + tw/2, Y1: top + ph*3/5}
+	img.FillRect(m, torso, tr, tg, tb)
+	// Legs.
+	lw := tw / 3
+	gap := rng.IntRange(1, lw/2+1)
+	img.FillRect(m, img.Rect{X0: cx - lw - gap/2, Y0: torso.Y1, X1: cx - gap/2, Y1: bottom}, scale(60, amb), scale(60, amb), scale(80, amb))
+	img.FillRect(m, img.Rect{X0: cx + gap/2, Y0: torso.Y1, X1: cx + gap/2 + lw, Y1: bottom}, scale(60, amb), scale(60, amb), scale(80, amb))
+
+	addNoise(m, p.noiseSigma, rng)
+	return m
+}
+
+func lerp8(a, b uint8, t float64) uint8 {
+	return uint8(float64(a) + (float64(b)-float64(a))*t)
+}

@@ -1,0 +1,104 @@
+package synth
+
+// A drive scenario is a timed sequence of lighting segments with
+// per-frame scenes and a light-sensor trace — the input the adaptive
+// system consumes in the tunnel-transit and night-highway examples.
+
+// Segment is a stretch of frames under one lighting condition.
+type Segment struct {
+	Cond   Condition
+	Frames int
+	Label  string // e.g. "urban day", "tunnel", "open night road"
+}
+
+// Scenario describes a full drive.
+type Scenario struct {
+	Name     string
+	W, H     int
+	FPS      int
+	Segments []Segment
+	Seed     uint64
+}
+
+// TotalFrames returns the scenario length in frames.
+func (s *Scenario) TotalFrames() int {
+	n := 0
+	for _, seg := range s.Segments {
+		n += seg.Frames
+	}
+	return n
+}
+
+// CondAt returns the lighting condition and segment label at frame i.
+// Frames beyond the end stay in the last segment.
+func (s *Scenario) CondAt(i int) (Condition, string) {
+	for _, seg := range s.Segments {
+		if i < seg.Frames {
+			return seg.Cond, seg.Label
+		}
+		i -= seg.Frames
+	}
+	last := s.Segments[len(s.Segments)-1]
+	return last.Cond, last.Label
+}
+
+// FrameAt renders frame i of the scenario with its ground truth and a
+// sensor reading. Rendering is deterministic in (Seed, i).
+func (s *Scenario) FrameAt(i int) *Scene {
+	cond, _ := s.CondAt(i)
+	rng := NewRNG(s.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	cfg := DefaultSceneConfig(s.W, s.H, cond)
+	return RenderScene(rng, cfg)
+}
+
+// LuxAt returns just the sensor reading for frame i (cheaper than
+// rendering the frame); readings within a segment drift smoothly and
+// transitions carry a brief mixing band, so naive thresholding without
+// hysteresis would chatter.
+func (s *Scenario) LuxAt(i int) float64 {
+	cond, _ := s.CondAt(i)
+	rng := NewRNG(s.Seed ^ 0xabcd ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	base := LuxFor(cond, rng)
+	// Smooth drift within a segment: average with neighbors' base.
+	if i > 0 {
+		prev, _ := s.CondAt(i - 1)
+		if prev != cond {
+			// Transition frame: blend the two regimes.
+			prngPrev := NewRNG(s.Seed ^ 0xabcd ^ (uint64(i))*0x9e3779b97f4a7c15)
+			base = (base + LuxFor(prev, prngPrev)) / 2
+		}
+	}
+	return base
+}
+
+// TunnelTransit is the scenario the paper uses to motivate the
+// day<->dusk transition: urban day driving, a well-lit tunnel
+// (classified as dusk, so only one reconfiguration each way), day
+// again, then true dusk at sunset and finally open dark road.
+func TunnelTransit(seed uint64, w, h, fps int) *Scenario {
+	return &Scenario{
+		Name: "tunnel-transit",
+		W:    w, H: h, FPS: fps,
+		Seed: seed,
+		Segments: []Segment{
+			{Day, 4 * fps, "urban day"},
+			{Dusk, 3 * fps, "tunnel (well lit)"},
+			{Day, 3 * fps, "urban day"},
+			{Dusk, 4 * fps, "sunset"},
+			{Dark, 4 * fps, "open night road"},
+		},
+	}
+}
+
+// NightHighway is an iROADS-like all-dark scenario for the dark
+// pipeline demo.
+func NightHighway(seed uint64, w, h, fps int) *Scenario {
+	return &Scenario{
+		Name: "night-highway",
+		W:    w, H: h, FPS: fps,
+		Seed: seed,
+		Segments: []Segment{
+			{Dark, 6 * fps, "highway night"},
+		},
+	}
+}

@@ -1,0 +1,348 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advdet/internal/img"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(8)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(9)
+	n := 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	varv := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(varv-1) > 0.05 {
+		t.Fatalf("normal variance = %v", varv)
+	}
+}
+
+func TestRNGIntRange(t *testing.T) {
+	r := NewRNG(10)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(11)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split generators produced the same first value")
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	if Day.String() != "day" || Dusk.String() != "dusk" || Dark.String() != "dark" {
+		t.Fatal("Condition.String broken")
+	}
+	if Condition(99).String() != "unknown" {
+		t.Fatal("unknown condition string")
+	}
+}
+
+func TestVehicleCropDeterministic(t *testing.T) {
+	a := VehicleCrop(NewRNG(5), 64, 64, Day)
+	b := VehicleCrop(NewRNG(5), 64, 64, Day)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed produced different crops")
+		}
+	}
+}
+
+func TestCropBrightnessOrdering(t *testing.T) {
+	// Mean intensity must strictly order day > dusk > dark across the
+	// three regimes — the physical premise of the whole paper.
+	means := map[Condition]float64{}
+	for _, c := range []Condition{Day, Dusk, Dark} {
+		var sum float64
+		for s := uint64(0); s < 10; s++ {
+			g := img.RGBToGray(VehicleCrop(NewRNG(100+s), 64, 64, c))
+			sum += g.Mean()
+		}
+		means[c] = sum / 10
+	}
+	if !(means[Day] > means[Dusk] && means[Dusk] > means[Dark]) {
+		t.Fatalf("brightness ordering violated: %v", means)
+	}
+	if means[Dark] > 40 {
+		t.Fatalf("dark crops too bright: %v", means[Dark])
+	}
+}
+
+func TestDarkVehicleHasBrightRedBlobs(t *testing.T) {
+	// In the dark regime the taillights must be the dominant bright,
+	// red-chroma content — the signal the dark pipeline thresholds on.
+	m := VehicleCrop(NewRNG(21), 64, 64, Dark)
+	c := img.RGBToYCbCr(m)
+	bright := img.DualThreshold(c, 90, 150, 255)
+	blobs := img.Components(bright)
+	if len(blobs) < 2 {
+		t.Fatalf("expected >= 2 taillight blobs, got %d", len(blobs))
+	}
+}
+
+func TestDayVehicleHasNoLitLamps(t *testing.T) {
+	m := VehicleCrop(NewRNG(22), 64, 64, Day)
+	c := img.RGBToYCbCr(m)
+	// Saturated lamp cores (very bright + red chroma) must be absent.
+	bright := img.DualThreshold(c, 220, 160, 255)
+	if n := bright.Count(); n > 8 {
+		t.Fatalf("day crop contains %d lit-lamp pixels", n)
+	}
+}
+
+func TestNegativeCropsNeverContainTaillightPairs(t *testing.T) {
+	// Negatives may contain single red lights but never a level,
+	// similar-size red pair (that is what defines a vehicle at night).
+	for s := uint64(0); s < 40; s++ {
+		m := NegativeCrop(NewRNG(3000+s), 64, 64, Dark)
+		c := img.RGBToYCbCr(m)
+		red := img.DualThreshold(c, 90, 150, 255)
+		blobs := img.FilterBlobs(img.Components(red), 4, 400)
+		pairs := 0
+		for i := 0; i < len(blobs); i++ {
+			for j := i + 1; j < len(blobs); j++ {
+				dy := blobs[i].CY - blobs[j].CY
+				if math.Abs(dy) < 3 {
+					pairs++
+				}
+			}
+		}
+		if pairs > 0 {
+			t.Fatalf("seed %d: negative crop contains a level red pair", s)
+		}
+	}
+}
+
+func TestPedestrianCropVisibleInDark(t *testing.T) {
+	g := img.RGBToGray(PedestrianCrop(NewRNG(31), 32, 64, Dark))
+	// The figure must have some contrast even at night (street light).
+	var lo, hi uint8 = 255, 0
+	for _, p := range g.Pix {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if hi-lo < 20 {
+		t.Fatalf("pedestrian crop contrast too low: %d", hi-lo)
+	}
+}
+
+func TestDatasetCounts(t *testing.T) {
+	d := DayDataset(1, 32, 32, 10, 7)
+	if len(d.Pos) != 10 || len(d.Neg) != 7 || d.Len() != 17 {
+		t.Fatalf("day dataset counts: %d/%d", len(d.Pos), len(d.Neg))
+	}
+	for _, p := range d.Pos {
+		if p.W != 32 || p.H != 32 {
+			t.Fatal("wrong crop size")
+		}
+	}
+}
+
+func TestDuskDatasetVeryDarkFraction(t *testing.T) {
+	d := DuskDataset(2, 32, 32, 100, 50, 0.2)
+	nd := 0
+	for _, vd := range d.VeryDark {
+		if vd {
+			nd++
+		}
+	}
+	if nd != 20 {
+		t.Fatalf("very dark count = %d, want 20", nd)
+	}
+	sub := d.SubsetWithoutVeryDark()
+	if len(sub.Pos) != 80 {
+		t.Fatalf("subset positives = %d, want 80", len(sub.Pos))
+	}
+	if len(sub.Neg) != 50 {
+		t.Fatalf("subset negatives = %d, want 50", len(sub.Neg))
+	}
+}
+
+func TestTableITestSetsMatchPaperCounts(t *testing.T) {
+	day := TableIDayTest(3, 32, 32)
+	if len(day.Pos) != 200 || len(day.Neg) != 25 {
+		t.Fatalf("day test counts %d/%d", len(day.Pos), len(day.Neg))
+	}
+	dusk := TableIDuskTest(4, 32, 32)
+	if len(dusk.Pos) != 1063 || len(dusk.Neg) != 752 {
+		t.Fatalf("dusk test counts %d/%d", len(dusk.Pos), len(dusk.Neg))
+	}
+	sub := dusk.SubsetWithoutVeryDark()
+	if len(sub.Pos) != 963 {
+		t.Fatalf("subset positives %d, want 963", len(sub.Pos))
+	}
+}
+
+func TestDarkDatasetShapes(t *testing.T) {
+	d := NewDarkDataset(5, 64, 64, 4, 3)
+	if len(d.Pos) != 4 || len(d.Neg) != 3 {
+		t.Fatal("dark dataset counts wrong")
+	}
+}
+
+func TestRenderSceneGroundTruthInsideFrame(t *testing.T) {
+	f := func(seed uint64) bool {
+		sc := RenderScene(NewRNG(seed), DefaultSceneConfig(320, 180, Dusk))
+		full := img.Rect{X0: 0, Y0: 0, X1: 320, Y1: 180}
+		for _, v := range sc.Vehicles {
+			if v.Intersect(full) != v || v.Empty() {
+				return false
+			}
+		}
+		for _, p := range sc.Pedestrians {
+			if p.Intersect(full) != p || p.Empty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderSceneConditionsAffectLux(t *testing.T) {
+	day := RenderScene(NewRNG(1), DefaultSceneConfig(160, 90, Day))
+	dark := RenderScene(NewRNG(1), DefaultSceneConfig(160, 90, Dark))
+	if day.Lux <= dark.Lux {
+		t.Fatalf("day lux %v <= dark lux %v", day.Lux, dark.Lux)
+	}
+	if day.Lux < 5000 || dark.Lux > 25 {
+		t.Fatalf("lux ranges: day %v dark %v", day.Lux, dark.Lux)
+	}
+}
+
+func TestScenarioStructure(t *testing.T) {
+	s := TunnelTransit(9, 160, 90, 10)
+	if s.TotalFrames() != 18*10 {
+		t.Fatalf("total frames = %d", s.TotalFrames())
+	}
+	c0, l0 := s.CondAt(0)
+	if c0 != Day || l0 != "urban day" {
+		t.Fatalf("frame 0: %v %q", c0, l0)
+	}
+	cT, lT := s.CondAt(45) // inside the tunnel segment (40..69)
+	if cT != Dusk || lT != "tunnel (well lit)" {
+		t.Fatalf("tunnel frame: %v %q", cT, lT)
+	}
+	cEnd, _ := s.CondAt(10_000) // past the end: stays in last segment
+	if cEnd != Dark {
+		t.Fatalf("past-end condition %v", cEnd)
+	}
+}
+
+func TestScenarioFrameDeterministic(t *testing.T) {
+	s := NightHighway(13, 160, 90, 5)
+	a := s.FrameAt(3)
+	b := s.FrameAt(3)
+	for i := range a.Frame.Pix {
+		if a.Frame.Pix[i] != b.Frame.Pix[i] {
+			t.Fatal("FrameAt not deterministic")
+		}
+	}
+	if a.Cond != Dark {
+		t.Fatalf("cond = %v", a.Cond)
+	}
+}
+
+func TestScenarioLuxTracksCondition(t *testing.T) {
+	s := TunnelTransit(17, 160, 90, 10)
+	// Average lux in the day segment must exceed the tunnel segment.
+	daySum, tunnelSum := 0.0, 0.0
+	for i := 5; i < 35; i++ {
+		daySum += s.LuxAt(i)
+	}
+	for i := 45; i < 65; i++ {
+		tunnelSum += s.LuxAt(i)
+	}
+	if daySum/30 <= tunnelSum/20 {
+		t.Fatal("day lux does not exceed tunnel lux")
+	}
+}
+
+func TestLuxForSeparation(t *testing.T) {
+	r := NewRNG(23)
+	for i := 0; i < 100; i++ {
+		d := LuxFor(Day, r)
+		u := LuxFor(Dusk, r)
+		k := LuxFor(Dark, r)
+		if !(d > u && u > k) {
+			t.Fatalf("lux not separated: %v %v %v", d, u, k)
+		}
+	}
+}

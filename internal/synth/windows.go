@@ -1,0 +1,119 @@
+package synth
+
+// Taillight-window generation for the DBN stage: 9x9 binary windows of
+// the thresholded, downsampled dark image, labeled with the paper's
+// four size/shape classes. Used both to train the DBN and to evaluate
+// it in isolation.
+
+// Window classes; kept numerically identical to package dbn's class
+// constants (asserted by tests) without introducing a dependency.
+const (
+	WindowNone   = 0
+	WindowSmall  = 1
+	WindowMedium = 2
+	WindowLarge  = 3
+)
+
+// windowSide is the DBN visible patch side (9 in the paper).
+const windowSide = 9
+
+// TaillightWindow renders one 9x9 binary window of the given class as
+// a float64 vector (81 values of 0 or 1) for DBN consumption.
+//
+// Positive classes are filled ellipses with class-dependent radii and
+// mild aspect/position jitter — the shape a closed taillight blob has
+// after thresholding, downsampling and closing. The none class is one
+// of: empty, sparse speckle noise, a thin streak (lane marking or
+// motion smear), or a flat edge of a large washed-out region (glare
+// boundary).
+func TaillightWindow(rng *RNG, class int) []float64 {
+	w := make([]float64, windowSide*windowSide)
+	set := func(x, y int) {
+		if x >= 0 && x < windowSide && y >= 0 && y < windowSide {
+			w[y*windowSide+x] = 1
+		}
+	}
+	ellipse := func(cx, cy, rx, ry float64) {
+		for y := 0; y < windowSide; y++ {
+			for x := 0; x < windowSide; x++ {
+				dx := (float64(x) - cx) / rx
+				dy := (float64(y) - cy) / ry
+				if dx*dx+dy*dy <= 1 {
+					set(x, y)
+				}
+			}
+		}
+	}
+	center := func() (float64, float64) {
+		return 4 + rng.Range(-1, 1), 4 + rng.Range(-1, 1)
+	}
+
+	switch class {
+	case WindowSmall:
+		cx, cy := center()
+		r := rng.Range(0.8, 1.4)
+		ellipse(cx, cy, r*rng.Range(0.8, 1.3), r)
+	case WindowMedium:
+		cx, cy := center()
+		r := rng.Range(1.9, 2.5)
+		ellipse(cx, cy, r*rng.Range(0.8, 1.3), r)
+	case WindowLarge:
+		cx, cy := center()
+		r := rng.Range(3.0, 3.9)
+		ellipse(cx, cy, r*rng.Range(0.85, 1.2), r)
+	default: // WindowNone
+		switch rng.Intn(4) {
+		case 0:
+			// empty window
+		case 1:
+			// sparse speckle noise
+			n := rng.IntRange(1, 5)
+			for i := 0; i < n; i++ {
+				set(rng.Intn(windowSide), rng.Intn(windowSide))
+			}
+		case 2:
+			// thin streak
+			if rng.Bool(0.5) {
+				y := rng.Intn(windowSide)
+				for x := 0; x < windowSide; x++ {
+					set(x, y)
+				}
+			} else {
+				x := rng.Intn(windowSide)
+				for y := 0; y < windowSide; y++ {
+					set(x, y)
+				}
+			}
+		default:
+			// flat edge of a large region occupying one side
+			k := rng.IntRange(2, 4)
+			if rng.Bool(0.5) {
+				for y := 0; y < k; y++ {
+					for x := 0; x < windowSide; x++ {
+						set(x, y)
+					}
+				}
+			} else {
+				for y := 0; y < windowSide; y++ {
+					for x := 0; x < k; x++ {
+						set(x, y)
+					}
+				}
+			}
+		}
+	}
+	return w
+}
+
+// TaillightWindowSet builds a balanced labeled window set with n
+// samples per class.
+func TaillightWindowSet(seed uint64, nPerClass int) (X [][]float64, labels []int) {
+	rng := NewRNG(seed)
+	for class := 0; class < 4; class++ {
+		for i := 0; i < nPerClass; i++ {
+			X = append(X, TaillightWindow(rng.Split(), class))
+			labels = append(labels, class)
+		}
+	}
+	return X, labels
+}

@@ -1,0 +1,98 @@
+package track
+
+import "math"
+
+// Hungarian solves the square assignment problem: given an n x n cost
+// matrix it returns assign[row] = column minimizing total cost. The
+// implementation is the O(n^3) potentials (Jonker-style) formulation.
+//
+// Rectangular problems are handled by the caller padding with a large
+// cost (see padCosts).
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	const inf = math.MaxFloat64
+	// 1-indexed potentials algorithm.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[col] = row assigned to col
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}
+
+// padCosts embeds a rows x cols cost matrix into a square matrix,
+// filling missing entries with pad.
+func padCosts(cost [][]float64, rows, cols int, pad float64) [][]float64 {
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			if i < rows && j < cols {
+				out[i][j] = cost[i][j]
+			} else {
+				out[i][j] = pad
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Package track implements detection-by-tracking over the pipelines'
+// outputs: a constant-velocity Kalman filter per object, Hungarian
+// assignment between predictions and detections, and track lifecycle
+// management. Several systems the paper builds on are
+// detection+tracking designs (O'Malley et al. [3], Guo et al. [5],
+// Chen et al. [6]); this package provides that layer and lets the
+// benchmarks measure how much temporal smoothing buys on top of the
+// per-frame detectors.
+package track
+
+import (
+	"fmt"
+
+	"advdet/internal/img"
+)
+
+// State vector layout: [cx, cy, w, h, vcx, vcy] — box center, size and
+// center velocity, in pixels (per frame).
+const (
+	stateDim = 6
+	measDim  = 4
+)
+
+// Kalman is a constant-velocity Kalman filter over a bounding box.
+type Kalman struct {
+	x [stateDim]float64           // state mean
+	p [stateDim][stateDim]float64 // state covariance
+	// Noise parameters.
+	processNoise float64
+	measNoise    float64
+}
+
+// NewKalman initializes a filter at the measured box with high
+// velocity uncertainty.
+func NewKalman(box img.Rect) *Kalman {
+	k := &Kalman{processNoise: 1.0, measNoise: 2.0}
+	cx, cy := float64(box.X0+box.X1)/2, float64(box.Y0+box.Y1)/2
+	k.x = [stateDim]float64{cx, cy, float64(box.W()), float64(box.H()), 0, 0}
+	for i := 0; i < stateDim; i++ {
+		k.p[i][i] = 10
+	}
+	k.p[4][4], k.p[5][5] = 100, 100 // unknown velocity
+	return k
+}
+
+// Predict advances the state one frame: positions move by velocity,
+// covariance grows by process noise.
+func (k *Kalman) Predict() {
+	// x' = F x with F adding velocity into position.
+	k.x[0] += k.x[4]
+	k.x[1] += k.x[5]
+	// P' = F P F^T + Q. With the sparse F this expands to shifting
+	// the position/velocity cross terms.
+	var np [stateDim][stateDim]float64
+	f := identity()
+	f[0][4] = 1
+	f[1][5] = 1
+	// np = F * P
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < stateDim; j++ {
+			var s float64
+			for t := 0; t < stateDim; t++ {
+				s += f[i][t] * k.p[t][j]
+			}
+			np[i][j] = s
+		}
+	}
+	// P = np * F^T + Q
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < stateDim; j++ {
+			var s float64
+			for t := 0; t < stateDim; t++ {
+				s += np[i][t] * f[j][t]
+			}
+			k.p[i][j] = s
+		}
+		k.p[i][i] += k.processNoise
+	}
+}
+
+// Update fuses a measured box into the state.
+func (k *Kalman) Update(box img.Rect) {
+	z := [measDim]float64{
+		float64(box.X0+box.X1) / 2,
+		float64(box.Y0+box.Y1) / 2,
+		float64(box.W()),
+		float64(box.H()),
+	}
+	// Innovation y = z - H x (H selects the first four states).
+	var y [measDim]float64
+	for i := 0; i < measDim; i++ {
+		y[i] = z[i] - k.x[i]
+	}
+	// S = H P H^T + R is the top-left 4x4 of P plus measurement noise.
+	var s [measDim][measDim]float64
+	for i := 0; i < measDim; i++ {
+		for j := 0; j < measDim; j++ {
+			s[i][j] = k.p[i][j]
+		}
+		s[i][i] += k.measNoise
+	}
+	si, ok := invert4(s)
+	if !ok {
+		return // singular innovation covariance: skip the update
+	}
+	// K = P H^T S^-1 (stateDim x measDim).
+	var gain [stateDim][measDim]float64
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < measDim; j++ {
+			var sum float64
+			for t := 0; t < measDim; t++ {
+				sum += k.p[i][t] * si[t][j]
+			}
+			gain[i][j] = sum
+		}
+	}
+	// x += K y
+	for i := 0; i < stateDim; i++ {
+		var sum float64
+		for j := 0; j < measDim; j++ {
+			sum += gain[i][j] * y[j]
+		}
+		k.x[i] += sum
+	}
+	// P = (I - K H) P : KH affects the first four columns of the
+	// correction matrix.
+	var kh [stateDim][stateDim]float64
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < measDim; j++ {
+			kh[i][j] = gain[i][j]
+		}
+	}
+	var np [stateDim][stateDim]float64
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < stateDim; j++ {
+			var sum float64
+			for t := 0; t < stateDim; t++ {
+				c := kh[i][t]
+				if i == t {
+					c = 1 - c
+				} else {
+					c = -c
+				}
+				sum += c * k.p[t][j]
+			}
+			np[i][j] = sum
+		}
+	}
+	k.p = np
+}
+
+// Box returns the current state as a rectangle.
+func (k *Kalman) Box() img.Rect {
+	w, h := k.x[2], k.x[3]
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return img.Rect{
+		X0: int(k.x[0] - w/2), Y0: int(k.x[1] - h/2),
+		X1: int(k.x[0] + w/2), Y1: int(k.x[1] + h/2),
+	}
+}
+
+// Velocity returns the estimated center velocity in pixels/frame.
+func (k *Kalman) Velocity() (vx, vy float64) { return k.x[4], k.x[5] }
+
+func identity() [stateDim][stateDim]float64 {
+	var m [stateDim][stateDim]float64
+	for i := range m {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// invert4 inverts a 4x4 matrix by Gauss-Jordan elimination with
+// partial pivoting.
+func invert4(a [measDim][measDim]float64) ([measDim][measDim]float64, bool) {
+	var aug [measDim][2 * measDim]float64
+	for i := 0; i < measDim; i++ {
+		copy(aug[i][:measDim], a[i][:])
+		aug[i][measDim+i] = 1
+	}
+	for col := 0; col < measDim; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < measDim; r++ {
+			if abs(aug[r][col]) > abs(aug[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(aug[piv][col]) < 1e-12 {
+			return a, false
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		inv := 1 / aug[col][col]
+		for j := 0; j < 2*measDim; j++ {
+			aug[col][j] *= inv
+		}
+		for r := 0; r < measDim; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*measDim; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	var out [measDim][measDim]float64
+	for i := 0; i < measDim; i++ {
+		copy(out[i][:], aug[i][measDim:])
+	}
+	return out, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String summarizes the filter state.
+func (k *Kalman) String() string {
+	return fmt.Sprintf("box=%v v=(%.1f,%.1f)", k.Box(), k.x[4], k.x[5])
+}

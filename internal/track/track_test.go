@@ -1,0 +1,306 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"advdet/internal/img"
+	"advdet/internal/pipeline"
+)
+
+func TestKalmanInitAtMeasurement(t *testing.T) {
+	box := img.Rect{X0: 10, Y0: 20, X1: 30, Y1: 40}
+	k := NewKalman(box)
+	got := k.Box()
+	if got.IoU(box) < 0.9 {
+		t.Fatalf("initial box %v far from measurement %v", got, box)
+	}
+	vx, vy := k.Velocity()
+	if vx != 0 || vy != 0 {
+		t.Fatal("initial velocity not zero")
+	}
+}
+
+func TestKalmanTracksConstantVelocity(t *testing.T) {
+	// Feed a box moving +5 px/frame in x; after convergence the
+	// predicted position must lead correctly.
+	k := NewKalman(img.Rect{X0: 0, Y0: 0, X1: 20, Y1: 20})
+	for i := 1; i <= 20; i++ {
+		k.Predict()
+		k.Update(img.Rect{X0: 5 * i, Y0: 0, X1: 5*i + 20, Y1: 20})
+	}
+	vx, vy := k.Velocity()
+	if math.Abs(vx-5) > 0.8 || math.Abs(vy) > 0.5 {
+		t.Fatalf("estimated velocity (%v,%v), want (5,0)", vx, vy)
+	}
+	// Coast: predictions keep moving without measurements.
+	before := k.Box()
+	k.Predict()
+	after := k.Box()
+	if after.X0 <= before.X0 {
+		t.Fatal("prediction did not advance while coasting")
+	}
+}
+
+func TestKalmanUpdateReducesUncertainty(t *testing.T) {
+	k := NewKalman(img.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10})
+	k.Predict()
+	pBefore := k.p[0][0]
+	k.Update(img.Rect{X0: 1, Y0: 0, X1: 11, Y1: 10})
+	if k.p[0][0] >= pBefore {
+		t.Fatalf("covariance did not shrink: %v -> %v", pBefore, k.p[0][0])
+	}
+}
+
+func TestKalmanBoxNeverDegenerate(t *testing.T) {
+	k := NewKalman(img.Rect{X0: 0, Y0: 0, X1: 2, Y1: 2})
+	for i := 0; i < 50; i++ {
+		k.Predict()
+		k.Update(img.Rect{X0: 0, Y0: 0, X1: 1, Y1: 1})
+	}
+	if k.Box().Empty() {
+		t.Fatal("box collapsed to empty")
+	}
+}
+
+func TestInvert4RoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m [4][4]float64
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = rng.Float64() * 4
+			}
+			m[i][i] += 5 // diagonally dominant: invertible
+		}
+		inv, ok := invert4(m)
+		if !ok {
+			return false
+		}
+		// m * inv must be ~identity.
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				var s float64
+				for k := 0; k < 4; k++ {
+					s += m[i][k] * inv[k][j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvert4Singular(t *testing.T) {
+	var m [4][4]float64 // all zeros
+	if _, ok := invert4(m); ok {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestHungarianIdentity(t *testing.T) {
+	cost := [][]float64{
+		{0, 9, 9},
+		{9, 0, 9},
+		{9, 9, 0},
+	}
+	assign := Hungarian(cost)
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("assign = %v", assign)
+		}
+	}
+}
+
+func TestHungarianAntiDiagonal(t *testing.T) {
+	cost := [][]float64{
+		{9, 9, 0},
+		{9, 0, 9},
+		{0, 9, 9},
+	}
+	assign := Hungarian(cost)
+	want := []int{2, 1, 0}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+}
+
+func TestHungarianOptimality(t *testing.T) {
+	// Brute-force check on random 5x5 matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		assign := Hungarian(cost)
+		got := 0.0
+		seen := map[int]bool{}
+		for i, j := range assign {
+			got += cost[i][j]
+			if seen[j] {
+				return false // not a permutation
+			}
+			seen[j] = true
+		}
+		best := math.Inf(1)
+		perm := []int{0, 1, 2, 3, 4}
+		var rec func(k int, cur float64)
+		rec = func(k int, cur float64) {
+			if cur >= best {
+				return
+			}
+			if k == n {
+				best = cur
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k+1, cur+cost[k][perm[k]])
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0, 0)
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if got := Hungarian(nil); got != nil {
+		t.Fatal("empty problem should return nil")
+	}
+}
+
+func det(box img.Rect) pipeline.Detection {
+	return pipeline.Detection{Box: box, Score: 1, Kind: pipeline.KindVehicle}
+}
+
+func TestTrackerConfirmsAfterHits(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	box := img.Rect{X0: 10, Y0: 10, X1: 40, Y1: 40}
+	for i := 0; i < 2; i++ {
+		tr.Update([]pipeline.Detection{det(box)})
+		if len(tr.Confirmed()) != 0 {
+			t.Fatal("confirmed too early")
+		}
+	}
+	tr.Update([]pipeline.Detection{det(box)})
+	if len(tr.Confirmed()) != 1 {
+		t.Fatalf("confirmed = %d after 3 hits", len(tr.Confirmed()))
+	}
+}
+
+func TestTrackerSurvivesSingleDropout(t *testing.T) {
+	// The reconfiguration scenario: one vehicle frame lost; a
+	// confirmed track must coast through it and re-associate.
+	tr := NewTracker(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		tr.Update([]pipeline.Detection{det(img.Rect{X0: 10 + 2*i, Y0: 10, X1: 40 + 2*i, Y1: 40})})
+	}
+	id := tr.Confirmed()[0].ID
+	tr.Update(nil) // dropped frame
+	if len(tr.Confirmed()) != 1 {
+		t.Fatal("track deleted during one-frame dropout")
+	}
+	tr.Update([]pipeline.Detection{det(img.Rect{X0: 22, Y0: 10, X1: 52, Y1: 40})})
+	conf := tr.Confirmed()
+	if len(conf) != 1 || conf[0].ID != id {
+		t.Fatalf("track identity lost across dropout: %+v", conf)
+	}
+}
+
+func TestTrackerDeletesAfterMissBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMisses = 2
+	tr := NewTracker(cfg)
+	box := img.Rect{X0: 10, Y0: 10, X1: 40, Y1: 40}
+	for i := 0; i < 4; i++ {
+		tr.Update([]pipeline.Detection{det(box)})
+	}
+	for i := 0; i < 3; i++ {
+		tr.Update(nil)
+	}
+	if n := len(tr.Tracks()); n != 0 {
+		t.Fatalf("%d tracks survive past the miss budget", n)
+	}
+}
+
+func TestTrackerSeparatesTwoObjects(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	a := img.Rect{X0: 0, Y0: 0, X1: 30, Y1: 30}
+	b := img.Rect{X0: 200, Y0: 0, X1: 230, Y1: 30}
+	for i := 0; i < 5; i++ {
+		tr.Update([]pipeline.Detection{
+			det(img.Rect{X0: a.X0 + 3*i, Y0: 0, X1: a.X1 + 3*i, Y1: 30}),
+			det(img.Rect{X0: b.X0 - 3*i, Y0: 0, X1: b.X1 - 3*i, Y1: 30}),
+		})
+	}
+	conf := tr.Confirmed()
+	if len(conf) != 2 {
+		t.Fatalf("confirmed = %d, want 2", len(conf))
+	}
+	if conf[0].ID == conf[1].ID {
+		t.Fatal("two objects share an ID")
+	}
+	// Velocities must have opposite signs.
+	v0, _ := conf[0].KF.Velocity()
+	v1, _ := conf[1].KF.Velocity()
+	if v0*v1 >= 0 {
+		t.Fatalf("velocities %v, %v should be opposite", v0, v1)
+	}
+}
+
+func TestTrackerKindGating(t *testing.T) {
+	// A pedestrian detection must not be absorbed into a vehicle
+	// track even at perfect overlap.
+	tr := NewTracker(DefaultConfig())
+	box := img.Rect{X0: 10, Y0: 10, X1: 40, Y1: 40}
+	for i := 0; i < 4; i++ {
+		tr.Update([]pipeline.Detection{det(box)})
+	}
+	tr.Update([]pipeline.Detection{{Box: box, Score: 1, Kind: pipeline.KindPedestrian}})
+	kinds := map[pipeline.Kind]int{}
+	for _, trk := range tr.Tracks() {
+		kinds[trk.Kind]++
+	}
+	if kinds[pipeline.KindPedestrian] != 1 {
+		t.Fatal("pedestrian detection did not spawn its own track")
+	}
+}
+
+func TestTrackerNoDuplicateTracksForOneObject(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	box := img.Rect{X0: 50, Y0: 50, X1: 90, Y1: 90}
+	for i := 0; i < 10; i++ {
+		tr.Update([]pipeline.Detection{det(box)})
+	}
+	if n := len(tr.Tracks()); n != 1 {
+		t.Fatalf("%d tracks for one steady object", n)
+	}
+}
+
+func TestTrackStateString(t *testing.T) {
+	if Tentative.String() != "tentative" || Confirmed.String() != "confirmed" || Deleted.String() != "deleted" {
+		t.Fatal("state strings wrong")
+	}
+}

@@ -1,0 +1,151 @@
+// Package video models the capture front end of the system (the
+// "data capture" block of the static partition): camera timing,
+// YCbCr 4:2:2 line packing (the format video DMA engines move), and
+// DMA descriptor sizing for frames and detection results.
+package video
+
+import (
+	"fmt"
+
+	"advdet/internal/img"
+)
+
+// Format identifies a pixel packing.
+type Format int
+
+const (
+	// RGB24 is 3 bytes per pixel, interleaved.
+	RGB24 Format = iota
+	// YUYV is YCbCr 4:2:2 packed Y0 Cb Y1 Cr — 2 bytes per pixel,
+	// the format the capture pipeline writes to DDR.
+	YUYV
+	// Gray8 is 1 byte per pixel (luma only), what the HOG pipelines
+	// actually consume.
+	Gray8
+)
+
+func (f Format) String() string {
+	switch f {
+	case RGB24:
+		return "rgb24"
+	case YUYV:
+		return "yuyv"
+	case Gray8:
+		return "gray8"
+	}
+	return "invalid"
+}
+
+// BytesPerPixelx2 returns bytes per two horizontal pixels (4:2:2
+// packs chroma across pixel pairs, so the natural unit is a pair).
+func (f Format) BytesPerPixelx2() int {
+	switch f {
+	case RGB24:
+		return 6
+	case YUYV:
+		return 4
+	case Gray8:
+		return 2
+	default:
+		panic(fmt.Sprintf("video: invalid format %d", f))
+	}
+}
+
+// FrameBytes returns the DMA payload for a w x h frame. Width must be
+// even for YUYV (4:2:2 pairs); odd widths are rounded up as the
+// hardware pads the line.
+func FrameBytes(w, h int, f Format) int {
+	pairs := (w + 1) / 2
+	return pairs * f.BytesPerPixelx2() * h
+}
+
+// PackYUYV converts an RGB frame to packed 4:2:2: chroma is averaged
+// over each horizontal pixel pair, as the capture pipeline's chroma
+// resampler does.
+func PackYUYV(m *img.RGB) []byte {
+	c := img.RGBToYCbCr(m)
+	pairs := (m.W + 1) / 2
+	out := make([]byte, pairs*4*m.H)
+	for y := 0; y < m.H; y++ {
+		for px := 0; px < pairs; px++ {
+			x0 := 2 * px
+			x1 := x0 + 1
+			if x1 >= m.W {
+				x1 = x0 // duplicate last column on odd widths
+			}
+			i0, i1 := y*m.W+x0, y*m.W+x1
+			cb := (int(c.Cb[i0]) + int(c.Cb[i1]) + 1) / 2
+			cr := (int(c.Cr[i0]) + int(c.Cr[i1]) + 1) / 2
+			o := (y*pairs + px) * 4
+			out[o] = c.Y[i0]
+			out[o+1] = uint8(cb)
+			out[o+2] = c.Y[i1]
+			out[o+3] = uint8(cr)
+		}
+	}
+	return out
+}
+
+// UnpackYUYV reconstructs a planar YCbCr frame from packed 4:2:2
+// (chroma replicated across the pair).
+func UnpackYUYV(data []byte, w, h int) (*img.YCbCr, error) {
+	pairs := (w + 1) / 2
+	if len(data) != pairs*4*h {
+		return nil, fmt.Errorf("video: payload %d bytes, want %d for %dx%d YUYV",
+			len(data), pairs*4*h, w, h)
+	}
+	out := img.NewYCbCr(w, h)
+	for y := 0; y < h; y++ {
+		for px := 0; px < pairs; px++ {
+			o := (y*pairs + px) * 4
+			x0 := 2 * px
+			i0 := y*w + x0
+			out.Y[i0] = data[o]
+			out.Cb[i0] = data[o+1]
+			out.Cr[i0] = data[o+3]
+			if x0+1 < w {
+				out.Y[i0+1] = data[o+2]
+				out.Cb[i0+1] = data[o+1]
+				out.Cr[i0+1] = data[o+3]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Camera models the sensor's timing: active resolution plus blanking
+// give the pixel clock required for a frame rate.
+type Camera struct {
+	W, H int
+	FPS  int
+	// HBlank and VBlank are blanking overheads as fractions of the
+	// active dimensions (typical HDTV timing ≈ 1.1 x 1.05).
+	HBlank, VBlank float64
+}
+
+// NewHDTVCamera returns the paper's source: 1920x1080 at 50 fps.
+func NewHDTVCamera() Camera {
+	return Camera{W: 1920, H: 1080, FPS: 50, HBlank: 0.1, VBlank: 0.05}
+}
+
+// PixelClockHz returns the pixel clock the camera link must sustain.
+func (c Camera) PixelClockHz() float64 {
+	total := float64(c.W) * (1 + c.HBlank) * float64(c.H) * (1 + c.VBlank)
+	return total * float64(c.FPS)
+}
+
+// LinePeriodNS returns the duration of one total line (active +
+// horizontal blanking) in nanoseconds.
+func (c Camera) LinePeriodNS() float64 {
+	lineClocks := float64(c.W) * (1 + c.HBlank)
+	return lineClocks / c.PixelClockHz() * 1e9
+}
+
+// FramePeriodMS returns the frame period in milliseconds.
+func (c Camera) FramePeriodMS() float64 { return 1000 / float64(c.FPS) }
+
+// BandwidthMBs returns the DDR write bandwidth the capture DMA needs
+// for the given format.
+func (c Camera) BandwidthMBs(f Format) float64 {
+	return float64(FrameBytes(c.W, c.H, f)) * float64(c.FPS) / 1e6
+}

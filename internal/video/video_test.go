@@ -1,0 +1,136 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advdet/internal/img"
+	"advdet/internal/synth"
+)
+
+func TestFormatStrings(t *testing.T) {
+	if RGB24.String() != "rgb24" || YUYV.String() != "yuyv" || Gray8.String() != "gray8" {
+		t.Fatal("format strings wrong")
+	}
+	if Format(99).String() != "invalid" {
+		t.Fatal("invalid format string")
+	}
+}
+
+func TestFrameBytes(t *testing.T) {
+	cases := []struct {
+		w, h int
+		f    Format
+		want int
+	}{
+		{1920, 1080, YUYV, 1920 * 1080 * 2},
+		{1920, 1080, RGB24, 1920 * 1080 * 3},
+		{1920, 1080, Gray8, 1920 * 1080},
+		{7, 2, YUYV, 4 * 4 * 2}, // odd width padded to 4 pairs
+	}
+	for _, c := range cases {
+		if got := FrameBytes(c.w, c.h, c.f); got != c.want {
+			t.Errorf("FrameBytes(%d,%d,%v) = %d, want %d", c.w, c.h, c.f, got, c.want)
+		}
+	}
+}
+
+func TestPackUnpackYUYVRoundTrip(t *testing.T) {
+	sc := synth.RenderScene(synth.NewRNG(3), synth.DefaultSceneConfig(64, 36, synth.Dusk))
+	packed := PackYUYV(sc.Frame)
+	if len(packed) != FrameBytes(64, 36, YUYV) {
+		t.Fatalf("payload %d bytes", len(packed))
+	}
+	c, err := UnpackYUYV(packed, 64, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Luma is preserved exactly; chroma within pair-averaging error.
+	orig := img.RGBToYCbCr(sc.Frame)
+	for i := range orig.Y {
+		if c.Y[i] != orig.Y[i] {
+			t.Fatalf("luma changed at %d", i)
+		}
+	}
+	var maxErr int
+	for i := range orig.Cb {
+		if d := int(c.Cb[i]) - int(orig.Cb[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 40 {
+		t.Fatalf("chroma error %d too large", maxErr)
+	}
+}
+
+func TestUnpackYUYVBadSize(t *testing.T) {
+	if _, err := UnpackYUYV(make([]byte, 10), 64, 36); err == nil {
+		t.Fatal("bad payload size accepted")
+	}
+}
+
+func TestPackYUYVOddWidth(t *testing.T) {
+	m := img.NewRGB(7, 3)
+	m.Fill(100, 50, 25)
+	packed := PackYUYV(m)
+	if len(packed) != FrameBytes(7, 3, YUYV) {
+		t.Fatalf("odd-width payload %d bytes", len(packed))
+	}
+	if _, err := UnpackYUYV(packed, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackYUYVProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := synth.NewRNG(seed)
+		m := img.NewRGB(16, 8)
+		for i := range m.Pix {
+			m.Pix[i] = uint8(rng.Intn(256))
+		}
+		c, err := UnpackYUYV(PackYUYV(m), 16, 8)
+		if err != nil {
+			return false
+		}
+		orig := img.RGBToYCbCr(m)
+		for i := range orig.Y {
+			if c.Y[i] != orig.Y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDTVCameraTiming(t *testing.T) {
+	cam := NewHDTVCamera()
+	if cam.FramePeriodMS() != 20 {
+		t.Fatalf("frame period %v ms", cam.FramePeriodMS())
+	}
+	// 1920*1.1 * 1080*1.05 * 50 ≈ 120 MHz pixel clock.
+	pc := cam.PixelClockHz()
+	if pc < 115e6 || pc > 125e6 {
+		t.Fatalf("pixel clock %v", pc)
+	}
+	if lp := cam.LinePeriodNS(); lp < 15_000 || lp > 20_000 {
+		t.Fatalf("line period %v ns", lp)
+	}
+}
+
+func TestCameraBandwidth(t *testing.T) {
+	cam := NewHDTVCamera()
+	// 1080p50 YUYV = 2 bytes/px: ~207 MB/s — comfortably within one
+	// HP port (~1066 MB/s), which is why Fig. 6 shares HP ports
+	// between capture and results.
+	bw := cam.BandwidthMBs(YUYV)
+	if math.Abs(bw-207.36) > 0.5 {
+		t.Fatalf("YUYV bandwidth %v MB/s", bw)
+	}
+	if rgb := cam.BandwidthMBs(RGB24); rgb <= bw {
+		t.Fatal("RGB24 should need more bandwidth than YUYV")
+	}
+}
