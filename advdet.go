@@ -24,7 +24,8 @@
 //	sys, err := advdet.NewSystem(dets, advdet.DefaultSystemOptions())
 //	if err != nil { ... }
 //	scene := advdet.RenderScene(2, 640, 360, advdet.Dark)
-//	res := sys.ProcessFrame(scene)
+//	res, err := sys.ProcessFrame(scene)
+//	if err != nil { ... }
 //
 // The synthetic dataset and scene generators stand in for the UPM,
 // SYSU and iROADS datasets of the paper; see DESIGN.md for the

@@ -35,7 +35,10 @@ func TestEndToEndDayFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := RenderScene(7, 320, 180, Day)
-	res := sys.ProcessFrame(sc)
+	res, err := sys.ProcessFrame(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Cond != Day {
 		t.Fatalf("condition %v", res.Cond)
 	}
@@ -56,7 +59,11 @@ func TestEndToEndDarkTransition(t *testing.T) {
 	drops := 0
 	for i := 0; i < 12; i++ {
 		sc := RenderScene(uint64(100+i), 64, 36, Dark)
-		if sys.ProcessFrame(sc).VehicleDropped {
+		res, err := sys.ProcessFrame(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VehicleDropped {
 			drops++
 		}
 	}
@@ -118,7 +125,10 @@ func TestTrackingThroughReconfiguration(t *testing.T) {
 		} else {
 			sc = darkDrive.Frame(i)
 		}
-		res := sys.ProcessFrame(sc)
+		res, err := sys.ProcessFrame(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res.VehicleDropped {
 			droppedSeen = true
 		}

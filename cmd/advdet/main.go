@@ -94,7 +94,10 @@ func main() {
 	cur := ""
 	for i := 0; i < scenario.TotalFrames(); i++ {
 		sc := scenario.FrameAt(i)
-		res := sys.ProcessFrame(sc)
+		res, err := sys.ProcessFrame(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		_, label := scenario.CondAt(i)
 		if label != cur {
 			segs = append(segs, segStats{label: label})

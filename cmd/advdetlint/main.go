@@ -1,0 +1,114 @@
+// Command advdetlint runs the repository's static-analysis suite —
+// the machine-checked hardware datapath contract. It loads every
+// package of the module from source (test files included), applies
+// the analyzers from internal/lint and exits nonzero on findings:
+//
+//	go run ./cmd/advdetlint ./...               # whole module
+//	go run ./cmd/advdetlint ./internal/fixed    # one package
+//	go run ./cmd/advdetlint -enable fixedops,nofloat ./...
+//	go run ./cmd/advdetlint -json ./... | jq .
+//
+// Exit codes: 0 clean, 1 findings, 2 load or usage error.
+//
+// The analyzers and their annotation syntax (lint:datapath,
+// lint:allowfloat, lint:invariant) are documented in internal/lint
+// and in DESIGN.md's "Static analysis & datapath invariants".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"advdet/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		enable  = flag.String("enable", "all", "comma-separated analyzers to run (fixedops,nofloat,panicfree,seededrand) or \"all\"")
+		noTests = flag.Bool("notests", false, "skip _test.go files and _test packages")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.ByName(*enable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := lint.Load(lint.Config{Root: root, Tests: !*noTests}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	// Report paths relative to the module root for stable output.
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.File); err == nil {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "advdetlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("advdetlint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -67,7 +67,9 @@ func main() {
 		cond, lux := condAt(i)
 		sc := synth.RenderScene(rng.Split(), synth.SceneConfig{W: 64, H: 36, Cond: cond})
 		sc.Lux = lux
-		sys.ProcessFrame(sc)
+		if _, err := sys.ProcessFrame(sc); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	st := sys.Stats()

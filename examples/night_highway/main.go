@@ -43,7 +43,10 @@ func main() {
 	var matched, total int
 	for i := 0; i < *frames; i++ {
 		sc := scenario.FrameAt(i * 7) // spread across the drive
-		res := sys.ProcessFrame(sc)
+		res, err := sys.ProcessFrame(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		overlay := sc.Frame.Clone()
 		for _, gt := range sc.Vehicles {

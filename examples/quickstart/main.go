@@ -29,7 +29,10 @@ func main() {
 		}
 
 		scene := advdet.RenderScene(uint64(10+cond), 640, 360, cond)
-		res := sys.ProcessFrame(scene)
+		res, err := sys.ProcessFrame(scene)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		fmt.Printf("\n%s frame (sensor %.0f lux, config %s):\n", cond, scene.Lux, sys.Loaded())
 		fmt.Printf("  ground truth: %d vehicle(s), %d pedestrian(s)\n",

@@ -45,7 +45,10 @@ func main() {
 		} else {
 			sc = darkDrive.Frame(i)
 		}
-		res := sys.ProcessFrame(sc)
+		res, err := sys.ProcessFrame(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, tr := range res.Tracks {
 			ids[tr.ID]++
 		}

@@ -47,7 +47,10 @@ func main() {
 	var vehDet, pedDet int
 	for i := 0; i < scenario.TotalFrames(); i++ {
 		sc := scenario.FrameAt(i)
-		res := sys.ProcessFrame(sc)
+		res, err := sys.ProcessFrame(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if _, label := scenario.CondAt(i); label != lastLabel {
 			fmt.Printf("t=%5.1fs  segment %q (sensor ~%.0f lux, condition %s, config %s)\n",
 				float64(i)/fps, label, sc.Lux, res.Cond, sys.Loaded())

@@ -42,12 +42,18 @@ func NewMonitor(initial synth.Condition) *Monitor {
 	}
 }
 
-// validate panics on a nonsensical band configuration.
-func (m *Monitor) validate() {
+// Validate reports whether the band configuration is coherent: each
+// hysteresis pair must be ordered, the dusk/dark band must sit below
+// the day/dusk band, and debouncing needs at least one frame.
+// NewMonitor returns a valid configuration; callers that mutate the
+// exported bands should re-run Validate — System.ProcessFrame does so
+// every frame and surfaces the error.
+func (m *Monitor) Validate() error {
 	if m.DayDuskDown > m.DayDuskUp || m.DuskDarkDown > m.DuskDarkUp ||
 		m.DuskDarkUp > m.DayDuskDown || m.Debounce < 1 {
-		panic(fmt.Sprintf("adaptive: invalid monitor bands %+v", m))
+		return fmt.Errorf("adaptive: invalid monitor bands %+v", m)
 	}
+	return nil
 }
 
 // classify maps a lux reading to the raw condition given the current
@@ -82,9 +88,10 @@ func (m *Monitor) classify(lux float64) synth.Condition {
 }
 
 // Update feeds one sensor reading and returns the (debounced)
-// current condition.
+// current condition. Band sanity is Validate's job, not Update's:
+// classification on unvalidated bands is merely unspecified, never a
+// crash.
 func (m *Monitor) Update(lux float64) synth.Condition {
-	m.validate()
 	raw := m.classify(lux)
 	if raw == m.cur {
 		m.pending = m.cur

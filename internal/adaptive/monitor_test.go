@@ -81,13 +81,18 @@ func TestMonitorNoiseSpikeIgnored(t *testing.T) {
 	}
 }
 
-func TestMonitorInvalidBandsPanic(t *testing.T) {
+func TestMonitorInvalidBandsError(t *testing.T) {
 	m := NewMonitor(synth.Day)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default bands invalid: %v", err)
+	}
 	m.DayDuskDown = 10_000 // above DayDuskUp
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid bands did not panic")
-		}
-	}()
-	m.Update(100)
+	if err := m.Validate(); err == nil {
+		t.Fatal("inverted day/dusk band not rejected")
+	}
+	m = NewMonitor(synth.Day)
+	m.Debounce = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero debounce not rejected")
+	}
 }

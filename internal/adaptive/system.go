@@ -191,7 +191,14 @@ func (s *System) Stats() Stats {
 // reconfiguration is launched if the needed configuration differs from
 // the loaded one, vehicle detection runs (or is dropped during
 // reconfiguration), and pedestrian detection always runs.
-func (s *System) ProcessFrame(sc *synth.Scene) FrameResult {
+//
+// It returns an error if the monitor's bands have been mutated into an
+// incoherent configuration, or if a partial reconfiguration cannot be
+// launched; the frame is not processed in either case.
+func (s *System) ProcessFrame(sc *synth.Scene) (FrameResult, error) {
+	if err := s.Monitor.Validate(); err != nil {
+		return FrameResult{}, err
+	}
 	// Advance the platform to this frame's slot; pending DMA and
 	// reconfiguration completions scheduled earlier fire here.
 	slotStart := uint64(s.frameIdx) * s.framePeriodPS()
@@ -207,7 +214,9 @@ func (s *System) ProcessFrame(sc *synth.Scene) FrameResult {
 	need := configFor(cond)
 
 	if need != s.loaded && !s.reconfiguring {
-		s.startReconfig(need)
+		if err := s.startReconfig(need); err != nil {
+			return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
+		}
 		res.ReconfigStarted = true
 	}
 
@@ -277,7 +286,7 @@ func (s *System) ProcessFrame(sc *synth.Scene) FrameResult {
 
 	s.stats.Frames++
 	s.frameIdx++
-	return res
+	return res, nil
 }
 
 // detectVehicles dispatches to the condition's detector.
@@ -301,8 +310,10 @@ func (s *System) detectVehicles(sc *synth.Scene, cond synth.Condition) []pipelin
 }
 
 // startReconfig launches the partial reconfiguration for the target
-// configuration through the DMA-ICAP controller.
-func (s *System) startReconfig(target ConfigID) {
+// configuration through the DMA-ICAP controller. On failure the
+// bookkeeping is rolled back so the system stays consistent (the
+// previously loaded configuration remains usable).
+func (s *System) startReconfig(target ConfigID) error {
 	rec := Reconfiguration{
 		Frame:   s.frameIdx,
 		From:    s.loaded,
@@ -318,20 +329,25 @@ func (s *System) startReconfig(target ConfigID) {
 		s.stats.Reconfigs[idx].DonePS = s.Z.Sim.Now()
 	})
 	if err != nil {
-		// Unreachable by construction (both bitstreams staged in New,
-		// overlap guarded by s.reconfiguring); surface loudly if the
-		// invariant breaks.
-		panic(fmt.Sprintf("adaptive: reconfiguration failed: %v", err))
+		s.reconfiguring = false
+		s.stats.Reconfigs = s.stats.Reconfigs[:idx]
+		return fmt.Errorf("reconfiguration to %s failed: %w", target, err)
 	}
+	return nil
 }
 
 // RunScenario drives a whole synthetic drive through the system,
-// returning the per-frame results.
-func (s *System) RunScenario(sc *synth.Scenario) []FrameResult {
+// returning the per-frame results. On error the frames completed so
+// far are returned alongside it.
+func (s *System) RunScenario(sc *synth.Scenario) ([]FrameResult, error) {
 	n := sc.TotalFrames()
 	out := make([]FrameResult, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, s.ProcessFrame(sc.FrameAt(i)))
+		res, err := s.ProcessFrame(sc.FrameAt(i))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
 	}
-	return out
+	return out, nil
 }

@@ -181,7 +181,10 @@ func TestRunScenarioTunnelTransit(t *testing.T) {
 	// reconfiguration.
 	s := timingSystem(t, synth.Day)
 	scenario := synth.TunnelTransit(7, 64, 36, 10)
-	results := s.RunScenario(scenario)
+	results, err := s.RunScenario(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != scenario.TotalFrames() {
 		t.Fatalf("results %d, frames %d", len(results), scenario.TotalFrames())
 	}
@@ -202,6 +205,17 @@ func TestRunScenarioTunnelTransit(t *testing.T) {
 	}
 	if !seen[synth.Day] || !seen[synth.Dusk] || !seen[synth.Dark] {
 		t.Fatalf("conditions visited: %v", seen)
+	}
+}
+
+func TestProcessFrameRejectsInvalidBands(t *testing.T) {
+	// Mutating the monitor into an incoherent band configuration must
+	// surface as an error from ProcessFrame, not a crash or silent
+	// misclassification.
+	s := timingSystem(t, synth.Day)
+	s.Monitor.DayDuskDown = 10_000 // above DayDuskUp
+	if _, err := s.ProcessFrame(sceneFor(synth.Day, 10000)); err == nil {
+		t.Fatal("invalid monitor bands not surfaced")
 	}
 }
 

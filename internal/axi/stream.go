@@ -23,6 +23,7 @@ type StreamFIFO struct {
 // NewStreamFIFO returns an empty FIFO of the given depth.
 func NewStreamFIFO(name string, depth int) *StreamFIFO {
 	if depth <= 0 {
+		// lint:invariant FIFO depth is a construction-time constant; non-positive depth is a programming error
 		panic(fmt.Sprintf("axi: FIFO %q depth %d", name, depth))
 	}
 	return &StreamFIFO{Name: name, Depth: depth}
@@ -32,6 +33,7 @@ func NewStreamFIFO(name string, depth int) *StreamFIFO {
 // count as producer stalls.
 func (f *StreamFIFO) Push(n int) int {
 	if n < 0 {
+		// lint:invariant negative word counts are a caller bug, not a data condition
 		panic("axi: negative push")
 	}
 	space := f.Depth - f.count
@@ -52,6 +54,7 @@ func (f *StreamFIFO) Push(n int) int {
 // words count as consumer underruns.
 func (f *StreamFIFO) Pop(n int) int {
 	if n < 0 {
+		// lint:invariant negative word counts are a caller bug, not a data condition
 		panic("axi: negative pop")
 	}
 	got := n

@@ -187,6 +187,7 @@ func (n *Network) forward(x []float64) (acts [][]float64, probs []float64) {
 // Probs returns the class probabilities for a window.
 func (n *Network) Probs(x []float64) []float64 {
 	if len(x) != n.Sizes[0] {
+		// lint:invariant window length is fixed by the trained topology; mismatch is a wiring bug
 		panic(fmt.Sprintf("dbn: input length %d, want %d", len(x), n.Sizes[0]))
 	}
 	_, p := n.forward(x)

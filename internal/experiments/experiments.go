@@ -606,10 +606,14 @@ func TransitionCost() (ms float64, dropped int, err error) {
 		return sc
 	}
 	for i := 0; i < 5; i++ {
-		sys.ProcessFrame(mkScene(synth.Dusk, 300))
+		if _, err := sys.ProcessFrame(mkScene(synth.Dusk, 300)); err != nil {
+			return 0, 0, err
+		}
 	}
 	for i := 0; i < 20; i++ {
-		sys.ProcessFrame(mkScene(synth.Dark, 5))
+		if _, err := sys.ProcessFrame(mkScene(synth.Dark, 5)); err != nil {
+			return 0, 0, err
+		}
 	}
 	st := sys.Stats()
 	if len(st.Reconfigs) != 1 || st.Reconfigs[0].DonePS == 0 {

@@ -5,6 +5,14 @@
 // arithmetic, saturating conversions, an integer square root (for the
 // L2 normalizer), and quantized HOG/SVM evaluation paths used by the
 // quantization-loss benchmarks.
+//
+// This package is the boundary of the float world: everything inside
+// the PL computes in Q16.16 through the saturating methods below, and
+// advdetlint's fixedops analyzer rejects raw operator arithmetic on Q
+// everywhere else in the module. Float conversions live only in the
+// explicitly annotated helpers.
+//
+// lint:datapath
 package fixed
 
 import (
@@ -23,6 +31,8 @@ const One Q = 1 << 16
 const FracBits = 16
 
 // FromFloat converts with saturation to the representable range.
+//
+// lint:allowfloat float/fixed conversion boundary (runs on the PS)
 func FromFloat(f float64) Q {
 	v := math.Round(f * float64(One))
 	if v > math.MaxInt32 {
@@ -35,6 +45,8 @@ func FromFloat(f float64) Q {
 }
 
 // Float converts back to float64.
+//
+// lint:allowfloat float/fixed conversion boundary (runs on the PS)
 func (q Q) Float() float64 { return float64(q) / float64(One) }
 
 // Mul multiplies with a 64-bit intermediate and saturation.
@@ -81,6 +93,30 @@ func (q Q) Add(r Q) Q {
 	return Q(s)
 }
 
+// Sub subtracts with saturation.
+func (q Q) Sub(r Q) Q {
+	s := int64(q) - int64(r)
+	if s > math.MaxInt32 {
+		return Q(math.MaxInt32)
+	}
+	if s < math.MinInt32 {
+		return Q(math.MinInt32)
+	}
+	return Q(s)
+}
+
+// Neg returns -q with saturation: the RTL's two's-complement negate
+// clamps the one asymmetric case, -MinInt32, to MaxInt32.
+func (q Q) Neg() Q {
+	if int32(q) == math.MinInt32 {
+		return Q(math.MaxInt32)
+	}
+	return -q
+}
+
+// String formats q as its float value for logs and tests.
+//
+// lint:allowfloat reporting helper (runs on the PS)
 func (q Q) String() string { return fmt.Sprintf("%g", q.Float()) }
 
 // Sqrt32 returns the integer square root of v (floor), the shift-and-
@@ -135,6 +171,8 @@ func SqrtQ(q Q) Q {
 // Vector helpers for the quantized datapaths.
 
 // QuantizeVec converts a float vector to Q16.16.
+//
+// lint:allowfloat float/fixed conversion boundary (runs on the PS)
 func QuantizeVec(v []float64) []Q {
 	out := make([]Q, len(v))
 	for i, f := range v {
@@ -144,6 +182,8 @@ func QuantizeVec(v []float64) []Q {
 }
 
 // DequantizeVec converts back to float64.
+//
+// lint:allowfloat float/fixed conversion boundary (runs on the PS)
 func DequantizeVec(v []Q) []float64 {
 	out := make([]float64, len(v))
 	for i, q := range v {
@@ -158,6 +198,7 @@ func DequantizeVec(v []Q) []float64 {
 // per-term truncation error accumulates.
 func Dot(a, b []Q) Q {
 	if len(a) != len(b) {
+		// lint:invariant feature and weight vectors are sized by the same HOG config
 		panic(fmt.Sprintf("fixed: dot length mismatch %d vs %d", len(a), len(b)))
 	}
 	var acc int64 // Q32.32

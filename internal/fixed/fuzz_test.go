@@ -1,0 +1,98 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// clamp32 is the saturation reference: the value an infinitely wide
+// datapath would clamp into int32.
+func clamp32(v int64) int64 {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	return v
+}
+
+// FuzzQAddSub locks the additive group of the Q16.16 datapath to its
+// wide-accumulator reference: Add/Sub/Neg must equal 64-bit arithmetic
+// clamped to int32 (never wrap), and Float/FromFloat must round-trip
+// every representable Q exactly (|Q| <= 2^31 is exact in float64).
+func FuzzQAddSub(f *testing.F) {
+	f.Add(int32(0), int32(0), 0.0)
+	f.Add(int32(math.MaxInt32), int32(math.MaxInt32), 1.5)
+	f.Add(int32(math.MinInt32), int32(-1), -32768.0)
+	f.Add(int32(1<<16), int32(-(1 << 16)), 123.456)
+	f.Add(int32(math.MinInt32), int32(math.MinInt32), math.MaxFloat64)
+	f.Fuzz(func(t *testing.T, a, b int32, fv float64) {
+		qa, qb := Q(a), Q(b)
+		if got, want := int64(qa.Add(qb)), clamp32(int64(a)+int64(b)); got != want {
+			t.Fatalf("Add(%d, %d) = %d, want %d", a, b, got, want)
+		}
+		if got, want := int64(qa.Sub(qb)), clamp32(int64(a)-int64(b)); got != want {
+			t.Fatalf("Sub(%d, %d) = %d, want %d", a, b, got, want)
+		}
+		if got, want := int64(qa.Neg()), clamp32(-int64(a)); got != want {
+			t.Fatalf("Neg(%d) = %d, want %d", a, got, want)
+		}
+		if back := FromFloat(qa.Float()); back != qa {
+			t.Fatalf("FromFloat(Float(%d)) = %d, not a fixed point", a, back)
+		}
+		// FromFloat of an arbitrary finite float lands within half an
+		// LSB of the true value, or saturates when out of range.
+		if !math.IsNaN(fv) && !math.IsInf(fv, 0) {
+			q := FromFloat(fv)
+			switch {
+			case fv >= Q(math.MaxInt32).Float():
+				if q != Q(math.MaxInt32) {
+					t.Fatalf("FromFloat(%g) = %v, want saturation to max", fv, q)
+				}
+			case fv <= Q(math.MinInt32).Float():
+				if q != Q(math.MinInt32) {
+					t.Fatalf("FromFloat(%g) = %v, want saturation to min", fv, q)
+				}
+			default:
+				if err := math.Abs(q.Float() - fv); err > 0.5/float64(One) {
+					t.Fatalf("FromFloat(%g) round-trip error %g exceeds half an LSB", fv, err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzQMulDiv locks the multiplicative datapath: Mul must match the
+// DSP48-style full-width product rescaled once, Div the widened
+// quotient, both clamped — and division by zero must saturate to the
+// sign-appropriate extreme exactly as the RTL divider does.
+func FuzzQMulDiv(f *testing.F) {
+	f.Add(int32(0), int32(0))
+	f.Add(int32(1<<16), int32(1<<16))
+	f.Add(int32(math.MaxInt32), int32(math.MaxInt32))
+	f.Add(int32(math.MinInt32), int32(-1))
+	f.Add(int32(-(1 << 16)), int32(0))
+	f.Fuzz(func(t *testing.T, a, b int32) {
+		qa, qb := Q(a), Q(b)
+		if got, want := int64(qa.Mul(qb)), clamp32((int64(a)*int64(b))>>FracBits); got != want {
+			t.Fatalf("Mul(%d, %d) = %d, want %d", a, b, got, want)
+		}
+		var want int64
+		if b == 0 {
+			want = math.MaxInt32
+			if a < 0 {
+				want = math.MinInt32
+			}
+		} else {
+			want = clamp32((int64(a) << FracBits) / int64(b))
+		}
+		if got := int64(qa.Div(qb)); got != want {
+			t.Fatalf("Div(%d, %d) = %d, want %d", a, b, got, want)
+		}
+		// One is the multiplicative identity on the entire range.
+		if qa.Mul(One) != qa {
+			t.Fatalf("Mul(%d, One) != %d", a, a)
+		}
+	})
+}

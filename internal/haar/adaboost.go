@@ -181,6 +181,7 @@ func featureIndex(pool []Feature, f Feature) int {
 			return i
 		}
 	}
+	// lint:invariant the pool is the training set the feature was drawn from; absence is a training-loop bug
 	panic("haar: feature not in pool")
 }
 

@@ -34,6 +34,7 @@ func DefaultConfig() Config {
 // programming error.
 func (c Config) validate() {
 	if c.CellSize <= 0 || c.BlockCells <= 0 || c.BlockStride <= 0 || c.Bins <= 0 {
+		// lint:invariant Config values are build-time constants (see doc comment)
 		panic(fmt.Sprintf("hog: invalid config %+v", c))
 	}
 }

@@ -9,6 +9,7 @@ import "math"
 // brightens shadows (night de-gamma), gamma > 1 deepens them.
 func AdjustGamma(g *Gray, gamma float64) *Gray {
 	if gamma <= 0 {
+		// lint:invariant gamma is an ISP tuning constant; non-positive is a caller bug
 		panic("img: AdjustGamma with non-positive gamma")
 	}
 	var lut [256]uint8

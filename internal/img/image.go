@@ -20,6 +20,7 @@ type Gray struct {
 // It panics if w or h is not positive.
 func NewGray(w, h int) *Gray {
 	if w <= 0 || h <= 0 {
+		// lint:invariant documented contract: dimensions must be positive
 		panic(fmt.Sprintf("img: invalid Gray size %dx%d", w, h))
 	}
 	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
@@ -99,6 +100,7 @@ type RGB struct {
 // NewRGB returns a zeroed RGB image of the given size.
 func NewRGB(w, h int) *RGB {
 	if w <= 0 || h <= 0 {
+		// lint:invariant documented contract: dimensions must be positive
 		panic(fmt.Sprintf("img: invalid RGB size %dx%d", w, h))
 	}
 	return &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)}
@@ -143,6 +145,7 @@ type YCbCr struct {
 // NewYCbCr returns a zeroed YCbCr image of the given size.
 func NewYCbCr(w, h int) *YCbCr {
 	if w <= 0 || h <= 0 {
+		// lint:invariant documented contract: dimensions must be positive
 		panic(fmt.Sprintf("img: invalid YCbCr size %dx%d", w, h))
 	}
 	n := w * h
@@ -163,6 +166,7 @@ type Binary struct {
 // NewBinary returns a zeroed binary image of the given size.
 func NewBinary(w, h int) *Binary {
 	if w <= 0 || h <= 0 {
+		// lint:invariant documented contract: dimensions must be positive
 		panic(fmt.Sprintf("img: invalid Binary size %dx%d", w, h))
 	}
 	return &Binary{W: w, H: h, Pix: make([]uint8, w*h)}
@@ -201,6 +205,7 @@ func (b *Binary) Count() int {
 // It panics if the sizes differ.
 func And(a, b *Binary) *Binary {
 	if a.W != b.W || a.H != b.H {
+		// lint:invariant documented contract: operands must be the same size
 		panic(fmt.Sprintf("img: And size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
 	}
 	out := NewBinary(a.W, a.H)
@@ -214,6 +219,7 @@ func And(a, b *Binary) *Binary {
 // It panics if the sizes differ.
 func Or(a, b *Binary) *Binary {
 	if a.W != b.W || a.H != b.H {
+		// lint:invariant documented contract: operands must be the same size
 		panic(fmt.Sprintf("img: Or size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
 	}
 	out := NewBinary(a.W, a.H)

@@ -5,6 +5,7 @@ package img
 // that reduces the 1920x1080 capture to 640x360.
 func ResizeGray(g *Gray, w, h int) *Gray {
 	if w <= 0 || h <= 0 {
+		// lint:invariant target dimensions are pipeline constants; non-positive is a caller bug
 		panic("img: ResizeGray to non-positive size")
 	}
 	out := NewGray(w, h)
@@ -72,6 +73,7 @@ func ResizeRGB(m *RGB, w, h int) *RGB {
 // thresholding, chosen so that small taillight blobs survive.
 func DownsampleBinary(b *Binary, factor int) *Binary {
 	if factor <= 0 {
+		// lint:invariant the decimation factor is a pipeline constant; non-positive is a caller bug
 		panic("img: DownsampleBinary non-positive factor")
 	}
 	if factor == 1 {
@@ -99,6 +101,7 @@ func DownsampleBinary(b *Binary, factor int) *Binary {
 // pedestrian detector scans every level with a fixed-size window.
 func PyramidGray(g *Gray, scale float64, minW, minH int) []*Gray {
 	if scale <= 1 {
+		// lint:invariant documented contract: scale must exceed 1
 		panic("img: PyramidGray scale must exceed 1")
 	}
 	var levels []*Gray

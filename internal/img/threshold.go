@@ -80,6 +80,7 @@ func OtsuThreshold(g *Gray) uint8 {
 // same ">= t is upper class" convention as Threshold.
 func MultiOtsu(g *Gray, n int) []uint8 {
 	if n < 2 || n > 3 {
+		// lint:invariant documented contract: n is 2 or 3
 		panic("img: MultiOtsu supports 2 or 3 classes")
 	}
 	if n == 2 {

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fixedPkgPath is the package whose Q type the analyzer guards. Inside
+// that package (and its tests) raw operators are the implementation.
+const fixedPkgPath = "advdet/internal/fixed"
+
+// FixedOps returns the analyzer flagging raw arithmetic operators on
+// fixed.Q operands. Q is a defined int32, so `a + b` compiles and
+// silently wraps where the RTL saturates; every arithmetic op outside
+// the fixed package must go through the saturating Add/Sub/Mul/Div/Neg
+// methods. Comparisons are exact and stay allowed.
+func FixedOps() *Analyzer {
+	return &Analyzer{
+		Name: "fixedops",
+		Doc:  "flags raw +,-,*,/,... on fixed.Q; the hardware saturates, int32 wraps",
+		Run:  runFixedOps,
+	}
+}
+
+// method suggested for each flagged operator.
+var fixedOpMethod = map[token.Token]string{
+	token.ADD: "Add", token.SUB: "Sub", token.MUL: "Mul", token.QUO: "Div",
+	token.ADD_ASSIGN: "Add", token.SUB_ASSIGN: "Sub",
+	token.MUL_ASSIGN: "Mul", token.QUO_ASSIGN: "Div",
+	token.INC: "Add", token.DEC: "Sub",
+}
+
+func runFixedOps(p *Pass) {
+	if p.Path == fixedPkgPath || p.Path == fixedPkgPath+"_test" {
+		return
+	}
+	isQ := func(e ast.Expr) bool {
+		t := p.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Q" && obj.Pkg() != nil && obj.Pkg().Path() == fixedPkgPath
+	}
+	suggest := func(op token.Token) string {
+		if m, ok := fixedOpMethod[op]; ok {
+			return "; use the saturating fixed.Q method " + m
+		}
+		return ""
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+					token.LAND, token.LOR:
+					return true // comparisons are exact
+				}
+				if isQ(n.X) || isQ(n.Y) {
+					p.Reportf(n.OpPos, "raw %q on fixed.Q operands%s", n.Op, suggest(n.Op))
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if isQ(lhs) {
+						p.Reportf(n.TokPos, "raw %q on fixed.Q operands%s", n.Tok, suggest(n.Tok))
+					}
+				}
+			case *ast.IncDecStmt:
+				if isQ(n.X) {
+					p.Reportf(n.TokPos, "raw %q on fixed.Q operands%s", n.Tok, suggest(n.Tok))
+				}
+			case *ast.UnaryExpr:
+				if (n.Op == token.SUB || n.Op == token.XOR) && isQ(n.X) {
+					p.Reportf(n.OpPos, "raw unary %q on fixed.Q operand; use the saturating fixed.Q method Neg", n.Op)
+				}
+			}
+			return true
+		})
+	}
+}

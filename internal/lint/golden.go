@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// wantRe extracts the quoted regexps of a `// want "..."` comment in
+// golden testdata; a comment may carry several `want "..."` clauses
+// when one line produces several diagnostics.
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// CheckGolden loads the testdata package selected by pattern under
+// cfg, runs the analyzer, and compares its diagnostics against the
+// package's `// want "regexp"` comments, analysistest-style: every
+// want must be matched by a diagnostic on its line, and every
+// diagnostic must land on a line with a matching want. The returned
+// strings describe the mismatches; an empty slice means the golden
+// expectations hold exactly.
+func CheckGolden(cfg Config, a *Analyzer, pattern string) ([]string, error) {
+	pkgs, err := Load(cfg, pattern)
+	if err != nil {
+		return nil, err
+	}
+	var fails []string
+	for _, pkg := range pkgs {
+		var wants []*expectation
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							return nil, fmt.Errorf("lint: bad want regexp at %s: %w", pkg.Fset.Position(c.Pos()), err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+		for _, d := range runOne(a, pkg) {
+			found := false
+			for _, w := range wants {
+				if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+					w.matched = true
+					found = true
+				}
+			}
+			if !found {
+				fails = append(fails, fmt.Sprintf("unexpected diagnostic: %s", d))
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				fails = append(fails, fmt.Sprintf("%s:%d: no %s diagnostic matching %q", w.file, w.line, a.Name, w.re))
+			}
+		}
+	}
+	return fails, nil
+}

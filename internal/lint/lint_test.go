@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func goldenCfg() Config {
+	return Config{Root: "testdata/src/advdet", ModulePath: "advdet"}
+}
+
+// runGolden checks one analyzer against its testdata package: every
+// `// want` must fire and nothing else may.
+func runGolden(t *testing.T, a *Analyzer, pattern string) {
+	t.Helper()
+	fails, err := CheckGolden(goldenCfg(), a, pattern)
+	if err != nil {
+		t.Fatalf("golden %s: %v", a.Name, err)
+	}
+	for _, f := range fails {
+		t.Error(f)
+	}
+}
+
+func TestFixedOpsGolden(t *testing.T)   { runGolden(t, FixedOps(), "./fixedops") }
+func TestNoFloatGolden(t *testing.T)    { runGolden(t, NoFloat(), "./nofloat") }
+func TestPanicFreeGolden(t *testing.T)  { runGolden(t, PanicFree(), "./panicfree") }
+func TestSeededRandGolden(t *testing.T) { runGolden(t, SeededRand(), "./seededrand") }
+
+// TestGoldenTruePositives pins that each analyzer actually fires on
+// its testdata — an empty-want testdata tree would vacuously pass the
+// golden comparison.
+func TestGoldenTruePositives(t *testing.T) {
+	for _, tc := range []struct {
+		a       *Analyzer
+		pattern string
+		min     int
+	}{
+		{FixedOps(), "./fixedops", 8},
+		{NoFloat(), "./nofloat", 4},
+		{PanicFree(), "./panicfree", 1},
+		{SeededRand(), "./seededrand", 2},
+	} {
+		pkgs, err := Load(goldenCfg(), tc.pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(RunAnalyzers(pkgs, []*Analyzer{tc.a}))
+		if got < tc.min {
+			t.Errorf("%s on %s: %d findings, want >= %d", tc.a.Name, tc.pattern, got, tc.min)
+		}
+	}
+}
+
+// TestFixedOpsExemptsFixedPackage pins that the analyzer never fires
+// inside the package that implements the saturating arithmetic — its
+// raw operators ARE the datapath model.
+func TestFixedOpsExemptsFixedPackage(t *testing.T) {
+	pkgs, err := Load(goldenCfg(), "./internal/fixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkgs, []*Analyzer{FixedOps()}); len(diags) != 0 {
+		t.Fatalf("fixedops fired inside advdet/internal/fixed: %v", diags)
+	}
+}
+
+// TestNoFloatNeedsOptIn pins that nofloat stays silent in packages
+// without the lint:datapath directive, float-heavy as they may be.
+func TestNoFloatNeedsOptIn(t *testing.T) {
+	pkgs, err := Load(goldenCfg(), "./seededrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkgs, []*Analyzer{NoFloat()}); len(diags) != 0 {
+		t.Fatalf("nofloat fired without a datapath directive: %v", diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(all) = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("fixedops, panicfree")
+	if err != nil || len(two) != 2 || two[0].Name != "fixedops" || two[1].Name != "panicfree" {
+		t.Fatalf("ByName(fixedops, panicfree) = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}
+
+// TestSuiteCleanOnRepo is the self-check the CI gate depends on: the
+// whole module, test files included, must be free of findings. It is
+// the in-process equivalent of `go run ./cmd/advdetlint ./...`.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	pkgs, err := Load(Config{Root: "../..", Tests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from the module", len(pkgs))
+	}
+	diags := RunAnalyzers(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("run `go run ./cmd/advdetlint ./...` for the same findings")
+	}
+}
+
+// TestLoadPatterns exercises the loader's pattern matching.
+func TestLoadPatterns(t *testing.T) {
+	pkgs, err := Load(goldenCfg(), "./internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "advdet/internal/fixed" {
+		t.Fatalf("./internal/... loaded %v", pkgPaths(pkgs))
+	}
+	if _, err := Load(goldenCfg(), "./nonexistent"); err == nil ||
+		!strings.Contains(err.Error(), "no packages match") {
+		t.Fatalf("want no-match error, got %v", err)
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}

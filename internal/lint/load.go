@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config tells Load where the module lives and what to include.
+type Config struct {
+	// Root is the module root directory (the one holding go.mod), or
+	// any directory standing in for one (golden testdata trees).
+	Root string
+	// ModulePath overrides the module import path; when empty it is
+	// read from Root/go.mod.
+	ModulePath string
+	// Tests includes _test.go files in their package and loads
+	// external _test packages alongside.
+	Tests bool
+}
+
+// Load parses and typechecks the packages selected by patterns.
+// Patterns are module-relative directory patterns: "./...", a
+// directory like "./internal/fixed" (or "internal/fixed"), or a
+// prefix pattern like "./internal/...". No patterns means "./...".
+// Module-internal imports resolve from source; standard-library
+// imports resolve through go/importer's source importer, so no
+// compiled export data is needed.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	modPath := cfg.ModulePath
+	if modPath == "" {
+		modPath, err = readModulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	selected := selectDirs(root, dirs, patterns)
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		bare:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range selected {
+		got, err := ld.loadForAnalysis(dir, cfg.Tests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// readModulePath extracts the module path from a go.mod.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// packageDirs walks root for directories containing .go files,
+// skipping testdata, hidden and vendor trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// selectDirs filters dirs by the module-relative patterns.
+func selectDirs(root string, dirs, patterns []string) []string {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var out []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		for _, pat := range patterns {
+			if matchPattern(rel, pat) {
+				out = append(out, dir)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// matchPattern matches a module-relative dir ("." for the root)
+// against one pattern.
+func matchPattern(rel, pat string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "..." || pat == "" {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
+	if pat == "." {
+		return rel == "."
+	}
+	return rel == pat
+}
+
+// loader typechecks module packages from source, caching bare (no
+// test files) versions for import resolution.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     types.Importer
+	bare    map[string]*types.Package
+	loading map[string]bool // import-cycle guard
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source, everything else goes to the stdlib source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		return ld.importBare(path)
+	}
+	return ld.std.Import(path)
+}
+
+// dirFor maps an import path to its directory under the module root.
+func (ld *loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.modPath), "/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// pathFor maps a directory to its import path.
+func (ld *loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return ld.modPath, nil
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// importBare typechecks the non-test files of a module package for use
+// as a dependency.
+func (ld *loader) importBare(path string) (*types.Package, error) {
+	if pkg, ok := ld.bare[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	files, _, _, err := ld.parseDir(ld.dirFor(path))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files for %q", path)
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", path, err)
+	}
+	ld.bare[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses a directory's .go files into base, in-package test
+// and external test file groups.
+func (ld *loader) parseDir(dir string) (base, inTest, xTest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, perr := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			base = append(base, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xTest = append(xTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
+	}
+	return base, inTest, xTest, nil
+}
+
+// newInfo allocates the types.Info maps the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// loadForAnalysis typechecks one directory for analysis: the package
+// itself (with in-package test files when tests is set) and, when
+// present, its external _test package.
+func (ld *loader) loadForAnalysis(dir string, tests bool) ([]*Package, error) {
+	path, err := ld.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	base, inTest, xTest, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 && len(inTest) == 0 && len(xTest) == 0 {
+		return nil, nil
+	}
+
+	var out []*Package
+	build := func(path string, files []*ast.File, testFrom int) (*Package, error) {
+		info := newInfo()
+		conf := types.Config{Importer: ld}
+		tpkg, err := conf.Check(path, ld.fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typechecking %s: %w", path, err)
+		}
+		pkg := &Package{
+			Path:      path,
+			Dir:       dir,
+			Fset:      ld.fset,
+			Files:     files,
+			Types:     tpkg,
+			Info:      info,
+			TestFiles: map[*ast.File]bool{},
+		}
+		for i, f := range files {
+			if i >= testFrom {
+				pkg.TestFiles[f] = true
+			}
+			pkg.scanDirectives(f)
+		}
+		return pkg, nil
+	}
+
+	if len(base) > 0 || (tests && len(inTest) > 0) {
+		files := base
+		if tests {
+			files = append(append([]*ast.File{}, base...), inTest...)
+		}
+		pkg, err := build(path, files, len(base))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if tests && len(xTest) > 0 {
+		pkg, err := build(path+"_test", xTest, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

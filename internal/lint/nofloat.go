@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoFloat returns the analyzer modeling the "PL has no FPU"
+// constraint: inside packages whose package doc carries
+// `// lint:datapath`, any float32/float64 type use, float-typed
+// expression or math.* call is a finding, unless the enclosing
+// function or declaration is annotated `// lint:allowfloat <reason>`
+// (conversion helpers like fixed.FromFloat, reporting helpers like
+// FPS). Test files model the PS/software side and are exempt.
+func NoFloat() *Analyzer {
+	return &Analyzer{
+		Name: "nofloat",
+		Doc:  "forbids float32/float64 and math.* in lint:datapath packages",
+		Run:  runNoFloat,
+	}
+}
+
+func runNoFloat(p *Pass) {
+	if !p.IsDatapath() || p.IsTestPackage() {
+		return
+	}
+	for _, f := range p.Files {
+		if p.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if DocHasDirective(d.Doc, "allowfloat") {
+					continue
+				}
+			case *ast.GenDecl:
+				if DocHasDirective(d.Doc, "allowfloat") {
+					continue
+				}
+			}
+			noFloatDecl(p, decl)
+		}
+	}
+}
+
+// noFloatDecl walks one declaration reporting each maximal float
+// expression or float type reference once (children of a reported
+// node are not re-reported).
+func noFloatDecl(p *Pass, decl ast.Decl) {
+	isFloat := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		// A call into math gets one finding covering the whole call,
+		// arguments included — math is the FPU's standard library.
+		if call, ok := expr.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if fn, isFunc := p.Info.Uses[sel.Sel].(*types.Func); isFunc &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+					p.Reportf(call.Pos(), "call of math.%s in datapath package (PL has no FPU); use fixed-point or annotate // lint:allowfloat", sel.Sel.Name)
+					return false
+				}
+			}
+		}
+		// A float32/float64 type reference (field, param, conversion).
+		if id, ok := expr.(*ast.Ident); ok {
+			if tn, ok := p.Info.Uses[id].(*types.TypeName); ok && tn.Pkg() == nil &&
+				(tn.Name() == "float32" || tn.Name() == "float64") {
+				p.Reportf(id.Pos(), "%s in datapath package (PL has no FPU); use fixed-point or annotate // lint:allowfloat", tn.Name())
+			}
+			return true
+		}
+		// Any other maximal float-typed expression.
+		if tv, ok := p.Info.Types[expr]; ok && tv.Type != nil && !tv.IsType() && isFloat(tv.Type) {
+			p.Reportf(expr.Pos(), "float-typed expression in datapath package (PL has no FPU); use fixed-point or annotate // lint:allowfloat")
+			return false
+		}
+		return true
+	})
+}

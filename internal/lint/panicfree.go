@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree returns the analyzer pushing library code toward returned
+// errors: a `panic(...)` call in a non-main, non-test package is a
+// finding unless the call site carries a `// lint:invariant <reason>`
+// annotation (same line or the line directly above) documenting why
+// the condition is unreachable by construction.
+func PanicFree() *Analyzer {
+	return &Analyzer{
+		Name: "panicfree",
+		Doc:  "forbids panic in library packages unless annotated // lint:invariant",
+		Run:  runPanicFree,
+	}
+}
+
+func runPanicFree(p *Pass) {
+	if p.IsCommand() || p.IsTestPackage() {
+		return
+	}
+	for _, f := range p.Files {
+		if p.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := p.Info.Uses[id].(*types.Builtin); !ok || obj.Name() != "panic" {
+				return true // shadowed
+			}
+			if !p.DirectiveAt(call.Pos(), "invariant") {
+				p.Reportf(call.Pos(), "panic in library package; return an error or annotate // lint:invariant <reason>")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand returns the analyzer keeping experiments reproducible:
+// the package-level math/rand functions (rand.Intn, rand.Float64,
+// rand.Perm, ...) draw from a shared, unseeded global source, so two
+// runs of the same experiment disagree. Constructors (rand.New,
+// rand.NewSource, ...) stay allowed — state must flow through a
+// seeded *rand.Rand.
+func SeededRand() *Analyzer {
+	return &Analyzer{
+		Name: "seededrand",
+		Doc:  "forbids the global math/rand functions; use a seeded *rand.Rand",
+		Run:  runSeededRand,
+	}
+}
+
+// seededRandAllowed lists the package-level constructors that build
+// the seeded state the analyzer wants to see.
+var seededRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runSeededRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are the point
+			}
+			if seededRandAllowed[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "global math/rand.%s is unseeded and irreproducible; draw from a seeded *rand.Rand", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,29 @@
+// Package fixedops is golden testdata: raw operators on fixed.Q must
+// be reported, saturating method calls and comparisons must not.
+package fixedops
+
+import "advdet/internal/fixed"
+
+// Bad performs every class of raw arithmetic the analyzer flags.
+func Bad(a, b fixed.Q) fixed.Q {
+	c := a + b            // want "raw .\+. on fixed.Q operands; use the saturating fixed.Q method Add"
+	c = a * b             // want "raw .\*. on fixed.Q operands; use the saturating fixed.Q method Mul"
+	c = a / b             // want "raw ./. on fixed.Q operands; use the saturating fixed.Q method Div"
+	c -= b                // want "raw .-=. on fixed.Q operands; use the saturating fixed.Q method Sub"
+	c++                   // want "raw .\+\+. on fixed.Q operands; use the saturating fixed.Q method Add"
+	d := -a               // want "raw unary .-. on fixed.Q operand; use the saturating fixed.Q method Neg"
+	e := a + fixed.One    // want "raw .\+. on fixed.Q operands"
+	f := a << 1           // want "raw .<<. on fixed.Q operands"
+	_, _, _ = d, e, f
+	return c
+}
+
+// Good uses only the saturating methods and exact comparisons.
+func Good(a, b fixed.Q) fixed.Q {
+	if a == b || a > fixed.One {
+		return a.Add(b).Mul(a).Sub(b).Div(b).Neg()
+	}
+	plain := int32(a) // explicit escape to raw integer domain is fine
+	_ = plain
+	return fixed.FromFloat(0.5)
+}

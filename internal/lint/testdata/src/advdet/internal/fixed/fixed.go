@@ -1,0 +1,33 @@
+// Package fixed is the golden-test stand-in for advdet/internal/fixed:
+// the fixedops analyzer identifies Q by this exact import path, and
+// raw operators inside the package itself are the implementation, so
+// none of the lines below may be reported.
+package fixed
+
+// Q is a Q16.16 fixed-point number.
+type Q int32
+
+// One is the Q16.16 representation of 1.0.
+const One Q = 1 << 16
+
+// FromFloat converts without the real package's saturation; the
+// golden tests only need the signature.
+func FromFloat(f float64) Q { return Q(f * float64(One)) }
+
+// Float converts back to float64.
+func (q Q) Float() float64 { return float64(q) / float64(One) }
+
+// Add adds (stand-in, not saturating).
+func (q Q) Add(r Q) Q { return q + r }
+
+// Sub subtracts (stand-in, not saturating).
+func (q Q) Sub(r Q) Q { return q - r }
+
+// Mul multiplies (stand-in, not saturating).
+func (q Q) Mul(r Q) Q { return Q((int64(q) * int64(r)) >> 16) }
+
+// Div divides (stand-in, not saturating).
+func (q Q) Div(r Q) Q { return Q((int64(q) << 16) / int64(r)) }
+
+// Neg negates (stand-in, not saturating).
+func (q Q) Neg() Q { return -q }

@@ -1,0 +1,32 @@
+// Package nofloat is golden testdata for the datapath float ban: the
+// package doc's directive below opts every non-test file in.
+//
+// lint:datapath
+package nofloat
+
+import "math"
+
+// Stage declares a float field in a datapath struct.
+type Stage struct {
+	Cells int
+	Scale float64 // want "float64 in datapath package"
+}
+
+// Bad mixes float arithmetic into datapath code.
+func Bad(x int32) int32 {
+	f := float64(x) // want "float-typed expression in datapath package"
+	_ = f
+	g := math.Sqrt(4) // want "call of math.Sqrt in datapath package"
+	_ = g
+	u := math.Float64bits(1) // want "call of math.Float64bits in datapath package"
+	_ = u
+	return x
+}
+
+// RoundTrip is an explicitly allowlisted conversion helper: floats and
+// math are its whole point, so nothing below may be reported.
+//
+// lint:allowfloat golden-test conversion helper
+func RoundTrip(x int32) int32 {
+	return int32(math.Round(float64(x) * 1.5))
+}

@@ -1,0 +1,31 @@
+// Package panicfree is golden testdata: a bare panic in library code
+// must be reported; an annotated invariant must not.
+package panicfree
+
+import "fmt"
+
+// Clamp panics on misuse — the analyzer wants an error return here.
+func Clamp(n int) int {
+	if n < 0 {
+		panic("panicfree: negative n") // want "panic in library package"
+	}
+	return n
+}
+
+// Checked documents why its panic is unreachable; the annotation on
+// the line above the call site allowlists it.
+func Checked(n int) int {
+	if n < 0 {
+		// lint:invariant n validated non-negative by every caller
+		panic(fmt.Sprintf("panicfree: unreachable %d", n))
+	}
+	return n
+}
+
+// CheckedInline carries the annotation on the call line itself.
+func CheckedInline(n int) int {
+	if n > 1<<30 {
+		panic("panicfree: overflow") // lint:invariant bounds proven above
+	}
+	return n
+}

@@ -1,0 +1,22 @@
+// Package seededrand is golden testdata: global math/rand draws must
+// be reported, seeded *rand.Rand flows must not.
+package seededrand
+
+import "math/rand"
+
+// Jitter draws from the shared, unseeded global source.
+func Jitter() int {
+	return rand.Intn(10) // want "global math/rand.Intn is unseeded"
+}
+
+// Shuffle also hits the global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle is unseeded"
+}
+
+// Reproducible threads a seeded generator; the constructors and the
+// *rand.Rand methods are exactly what the analyzer wants to see.
+func Reproducible(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

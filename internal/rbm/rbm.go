@@ -32,6 +32,7 @@ type RNG interface {
 // biases, the standard CD initialization.
 func New(nv, nh int, rng RNG) *RBM {
 	if nv <= 0 || nh <= 0 {
+		// lint:invariant layer sizes are fixed by the network topology; non-positive is a programming error
 		panic(fmt.Sprintf("rbm: invalid size %dx%d", nv, nh))
 	}
 	r := &RBM{
@@ -52,6 +53,7 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // returns it.
 func (r *RBM) HiddenProbs(v []float64, out []float64) []float64 {
 	if len(v) != r.NV {
+		// lint:invariant vector length is fixed by the trained topology; mismatch is a wiring bug
 		panic(fmt.Sprintf("rbm: visible length %d, want %d", len(v), r.NV))
 	}
 	if out == nil {
@@ -72,6 +74,7 @@ func (r *RBM) HiddenProbs(v []float64, out []float64) []float64 {
 // returns it.
 func (r *RBM) VisibleProbs(h []float64, out []float64) []float64 {
 	if len(h) != r.NH {
+		// lint:invariant vector length is fixed by the trained topology; mismatch is a wiring bug
 		panic(fmt.Sprintf("rbm: hidden length %d, want %d", len(h), r.NH))
 	}
 	if out == nil {

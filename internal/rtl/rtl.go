@@ -9,28 +9,66 @@
 //     (the slowest stage's II bounds throughput), and
 //   - does the BRAM the stages imply fit the per-configuration budget
 //     of Table II.
+//
+// The PL has no FPU, so every rate in the model is an exact integer
+// rational (Ratio) and frame-cycle arithmetic is pure integer math —
+// a fractional II like the normalizer's 1.2 cycles/pixel is the
+// hardware's "6 cycles per 5 pixels" block re-read rhythm, not a
+// float. Only the FPS reporting helper, which runs on the PS, touches
+// floating point.
+//
+// lint:datapath
 package rtl
 
 import (
 	"fmt"
-	"math"
 
 	"advdet/internal/soc"
 )
+
+// Ratio is an exact non-negative rational rate. Stage timing is
+// specified the way the RTL realizes it — integer cycles over integer
+// samples — so frame-cycle counts stay exact integers.
+type Ratio struct {
+	Num, Den int
+}
+
+// R returns the ratio num/den.
+func R(num, den int) Ratio { return Ratio{Num: num, Den: den} }
+
+// Unit is the 1/1 ratio (one cycle per sample, or full resolution).
+var Unit = R(1, 1)
+
+// valid reports whether the ratio is a positive rate.
+func (r Ratio) valid() bool { return r.Num > 0 && r.Den > 0 }
 
 // Stage is one pipeline stage.
 type Stage struct {
 	Name string
 	// II is the initiation interval in cycles per sample at this
-	// stage's working resolution.
-	II float64
+	// stage's working resolution (R(6, 5) = 1.2 cycles/sample).
+	II Ratio
 	// Scale is the stage's sample count as a fraction of full-frame
-	// pixels (1.0 = full resolution; a /3 downscaled map is 1/9).
-	Scale float64
+	// pixels (Unit = full resolution; a /3 downscaled map is R(1, 9)).
+	Scale Ratio
 	// LatencyCycles is the fill latency (line buffers, windows).
 	LatencyCycles int
 	// BRAMBits is the stage's buffer + model storage requirement.
 	BRAMBits int
+}
+
+// cycles returns ceil(pixels x Scale x II): the cycles this stage
+// needs to stream one frame of the given pixel count.
+func (s Stage) cycles(pixels uint64) uint64 {
+	num := pixels * uint64(s.II.Num) * uint64(s.Scale.Num)
+	den := uint64(s.II.Den) * uint64(s.Scale.Den)
+	return (num + den - 1) / den
+}
+
+// load is the stage's throughput cost II x Scale as a cross-
+// multipliable pair for exact comparison.
+func (s Stage) load() (num, den uint64) {
+	return uint64(s.II.Num) * uint64(s.Scale.Num), uint64(s.II.Den) * uint64(s.Scale.Den)
 }
 
 // Pipeline is a chain of streaming stages in one clock domain.
@@ -43,7 +81,8 @@ type Pipeline struct {
 // validate panics on nonsensical stages.
 func (p Pipeline) validate() {
 	for _, s := range p.Stages {
-		if s.II <= 0 || s.Scale <= 0 || s.LatencyCycles < 0 || s.BRAMBits < 0 {
+		if !s.II.valid() || !s.Scale.valid() || s.LatencyCycles < 0 || s.BRAMBits < 0 {
+			// lint:invariant pipelines are package-internal literals pinned by the package tests
 			panic(fmt.Sprintf("rtl: invalid stage %+v in %q", s, p.Name))
 		}
 	}
@@ -51,19 +90,19 @@ func (p Pipeline) validate() {
 
 // FrameCycles returns the cycles to stream one w x h frame: stages
 // run concurrently, so throughput is bounded by the slowest stage's
-// samples x II, plus the summed fill latency.
+// samples x II, plus the summed fill latency. All integer math: the
+// count is exact, not a float approximation.
 func (p Pipeline) FrameCycles(w, h int) uint64 {
 	p.validate()
-	pixels := float64(w * h)
-	var worst float64
-	var latency uint64
+	pixels := uint64(w) * uint64(h)
+	var worst, latency uint64
 	for _, s := range p.Stages {
-		if c := s.II * pixels * s.Scale; c > worst {
+		if c := s.cycles(pixels); c > worst {
 			worst = c
 		}
 		latency += uint64(s.LatencyCycles)
 	}
-	return uint64(math.Ceil(worst)) + latency
+	return worst + latency
 }
 
 // FramePS returns the frame time in picoseconds.
@@ -72,17 +111,22 @@ func (p Pipeline) FramePS(w, h int) uint64 {
 }
 
 // FPS returns the sustained frame rate at w x h.
+//
+// lint:allowfloat frame-rate reporting runs on the PS, not in the PL datapath
 func (p Pipeline) FPS(w, h int) float64 {
 	return 1 / soc.Seconds(p.FramePS(w, h))
 }
 
-// Bottleneck returns the stage bounding throughput.
+// Bottleneck returns the stage bounding throughput: the largest
+// II x Scale product, compared exactly by cross-multiplication.
 func (p Pipeline) Bottleneck() Stage {
 	p.validate()
 	best := p.Stages[0]
+	bn, bd := best.load()
 	for _, s := range p.Stages[1:] {
-		if s.II*s.Scale > best.II*best.Scale {
-			best = s
+		sn, sd := s.load()
+		if sn*bd > bn*sd {
+			best, bn, bd = s, sn, sd
 		}
 	}
 	return best
@@ -104,10 +148,10 @@ func (p Pipeline) BRAMBlocks() int {
 const hdWidth = 1920
 
 // DayDuskPipeline returns the Fig. 2 HOG+SVM pipeline. The block
-// normalizer is the bottleneck at 1.2 cycles/pixel — its block
-// re-reads break the one-pixel-per-cycle streaming rhythm — which is
-// exactly the soc model's aggregate figure and what makes the
-// 125 MHz fabric deliver ~50 fps at 1080p.
+// normalizer is the bottleneck at 6 cycles per 5 pixels (1.2) — its
+// block re-reads break the one-pixel-per-cycle streaming rhythm —
+// which is exactly the soc model's aggregate figure and what makes
+// the 125 MHz fabric deliver ~50 fps at 1080p.
 func DayDuskPipeline() Pipeline {
 	return Pipeline{
 		Name: "day-dusk-hog-svm",
@@ -115,23 +159,23 @@ func DayDuskPipeline() Pipeline {
 		Stages: []Stage{
 			// Centered gradients need one line of context above and
 			// below: two line buffers.
-			{Name: "gradient", II: 1, Scale: 1, LatencyCycles: 2 * hdWidth,
+			{Name: "gradient", II: Unit, Scale: Unit, LatencyCycles: 2 * hdWidth,
 				BRAMBits: 2 * hdWidth * 8},
 			// Cell histograms accumulate one 8-row band of cells:
 			// 240 cells x 9 bins x 16 bit, double buffered.
-			{Name: "histogram", II: 1, Scale: 1, LatencyCycles: 8 * hdWidth,
+			{Name: "histogram", II: Unit, Scale: Unit, LatencyCycles: 8 * hdWidth,
 				BRAMBits: 2 * (hdWidth / 8) * 9 * 16},
 			// Block normalization re-reads each cell in up to four
-			// blocks: the stage that costs 1.2 cycles/pixel. The "HOG
-			// Memory" between histogram and normalizer holds two cell
-			// bands.
-			{Name: "normalize", II: 1.2, Scale: 1, LatencyCycles: 8 * hdWidth,
+			// blocks: the stage that costs 6 cycles per 5 pixels. The
+			// "HOG Memory" between histogram and normalizer holds two
+			// cell bands.
+			{Name: "normalize", II: R(6, 5), Scale: Unit, LatencyCycles: 8 * hdWidth,
 				BRAMBits: 4 * (hdWidth / 8) * 9 * 16},
 			// SVM accumulates one dot product per window position;
 			// window-parallel MACs keep II at 1. Model BRAM: 1764
 			// weights x 32 bit x 2 models (day + dusk) plus the
 			// "Normalized HOG Memory".
-			{Name: "svm", II: 1, Scale: 1, LatencyCycles: 1024,
+			{Name: "svm", II: Unit, Scale: Unit, LatencyCycles: 1024,
 				BRAMBits: 2*1764*32 + 2*(hdWidth/8)*36*16},
 		},
 	}
@@ -142,26 +186,27 @@ func DayDuskPipeline() Pipeline {
 // 640x360 map (Scale 1/9), so even the 4-cycle DBN engine is far from
 // the throughput bound.
 func DarkPipeline() Pipeline {
-	mapScale := 1.0 / 9
+	mapScale := R(1, 9)
 	return Pipeline{
 		Name: "dark-dbn",
 		Clk:  soc.ClkPL,
 		Stages: []Stage{
-			{Name: "split+threshold", II: 1, Scale: 1, LatencyCycles: 8,
+			{Name: "split+threshold", II: Unit, Scale: Unit, LatencyCycles: 8,
 				BRAMBits: 0},
-			{Name: "downsample", II: 1, Scale: 1, LatencyCycles: 3 * hdWidth,
+			{Name: "downsample", II: Unit, Scale: Unit, LatencyCycles: 3 * hdWidth,
 				BRAMBits: 3 * hdWidth * 1},
 			// Closing: 3x3 dilate + erode on the binary map; two
 			// 3-line binary buffers at map width.
-			{Name: "closing", II: 1, Scale: mapScale, LatencyCycles: 6 * (hdWidth / 3),
+			{Name: "closing", II: Unit, Scale: mapScale, LatencyCycles: 6 * (hdWidth / 3),
 				BRAMBits: 2 * 3 * (hdWidth / 3) * 1},
 			// Sliding DBN: 9 map lines buffered; the engine spends ~4
 			// cycles per map sample (81->20->8->4 MACs across parallel
 			// rows), gated to foreground windows.
-			{Name: "dbn", II: 4, Scale: mapScale, LatencyCycles: 9 * (hdWidth / 3),
+			{Name: "dbn", II: R(4, 1), Scale: mapScale, LatencyCycles: 9 * (hdWidth / 3),
 				BRAMBits: 9*(hdWidth/3)*1 + (81*20+20*8+8*4)*32},
-			// Pair matching touches only light candidates.
-			{Name: "pair-match", II: 0.05, Scale: mapScale, LatencyCycles: 256,
+			// Pair matching touches only light candidates: one cycle
+			// per 20 map samples.
+			{Name: "pair-match", II: R(1, 20), Scale: mapScale, LatencyCycles: 256,
 				BRAMBits: 4 * 1024},
 		},
 	}

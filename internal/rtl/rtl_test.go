@@ -79,7 +79,7 @@ func TestFrameCyclesMonotoneInSize(t *testing.T) {
 }
 
 func TestValidatePanics(t *testing.T) {
-	p := Pipeline{Name: "bad", Clk: soc.ClkPL, Stages: []Stage{{Name: "x", II: 0, Scale: 1}}}
+	p := Pipeline{Name: "bad", Clk: soc.ClkPL, Stages: []Stage{{Name: "x", II: R(0, 1), Scale: Unit}}}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("invalid stage did not panic")
@@ -90,8 +90,8 @@ func TestValidatePanics(t *testing.T) {
 
 func TestBRAMBlocksRoundsUp(t *testing.T) {
 	p := Pipeline{Name: "t", Clk: soc.ClkPL, Stages: []Stage{
-		{Name: "a", II: 1, Scale: 1, BRAMBits: 1},           // 1 bit -> 1 block
-		{Name: "b", II: 1, Scale: 1, BRAMBits: 36*1024 + 1}, // -> 2 blocks
+		{Name: "a", II: Unit, Scale: Unit, BRAMBits: 1},           // 1 bit -> 1 block
+		{Name: "b", II: Unit, Scale: Unit, BRAMBits: 36*1024 + 1}, // -> 2 blocks
 	}}
 	if got := p.BRAMBlocks(); got != 3 {
 		t.Fatalf("BRAMBlocks = %d, want 3", got)

@@ -22,6 +22,7 @@ type BurstLink struct {
 // validate panics on a structurally impossible link.
 func (l *BurstLink) validate() {
 	if l.WidthBytes <= 0 || l.BurstBeats <= 0 || l.OverheadCycles < 0 {
+		// lint:invariant links are package-internal literals pinned by the package tests
 		panic(fmt.Sprintf("soc: invalid link %q: %+v", l.Name, *l))
 	}
 }

@@ -95,6 +95,7 @@ type Clock struct {
 // PeriodPS returns the clock period in picoseconds (rounded).
 func (c Clock) PeriodPS() uint64 {
 	if c.FreqHz == 0 {
+		// lint:invariant clocks are package constants; zero frequency is a construction bug
 		panic(fmt.Sprintf("soc: clock %q has zero frequency", c.Name))
 	}
 	return 1_000_000_000_000 / c.FreqHz

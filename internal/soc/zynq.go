@@ -34,6 +34,7 @@ func NewIRQController(sim *Sim) *IRQController {
 // Register installs the handler for an IRQ line.
 func (ic *IRQController) Register(irq int, fn func()) {
 	if irq < 0 || irq >= numIRQs {
+		// lint:invariant IRQ lines are package constants; out-of-range is a wiring bug
 		panic(fmt.Sprintf("soc: invalid IRQ %d", irq))
 	}
 	ic.handlers[irq] = fn
@@ -43,6 +44,7 @@ func (ic *IRQController) Register(irq int, fn func()) {
 // latency.
 func (ic *IRQController) Raise(irq int) {
 	if irq < 0 || irq >= numIRQs {
+		// lint:invariant IRQ lines are package constants; out-of-range is a wiring bug
 		panic(fmt.Sprintf("soc: invalid IRQ %d", irq))
 	}
 	ic.raised[irq]++

@@ -61,6 +61,7 @@ type Model struct {
 // Margin returns the signed decision value W·x + Bias.
 func (m *Model) Margin(x []float64) float64 {
 	if len(x) != len(m.W) {
+		// lint:invariant feature length is fixed by the trained model; mismatch is a wiring bug
 		panic(fmt.Sprintf("svm: feature length %d, model expects %d", len(x), len(m.W)))
 	}
 	s := m.Bias

@@ -50,6 +50,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		// lint:invariant documented contract: bound must be positive
 		panic("synth: Intn with non-positive bound")
 	}
 	return int(r.Uint64() % uint64(n))
@@ -63,6 +64,7 @@ func (r *RNG) Range(lo, hi float64) float64 {
 // IntRange returns a uniform integer in [lo, hi]. It panics if hi < lo.
 func (r *RNG) IntRange(lo, hi int) int {
 	if hi < lo {
+		// lint:invariant documented contract: hi must not be below lo
 		panic("synth: IntRange with hi < lo")
 	}
 	return lo + r.Intn(hi-lo+1)

@@ -47,6 +47,7 @@ func (f Format) BytesPerPixelx2() int {
 	case Gray8:
 		return 2
 	default:
+		// lint:invariant PixelFormat is a closed enum; an unknown format is a missed case
 		panic(fmt.Sprintf("video: invalid format %d", f))
 	}
 }
