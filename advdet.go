@@ -21,11 +21,16 @@
 //
 //	dets, err := advdet.TrainDetectors(1, advdet.Fast)
 //	if err != nil { ... }
-//	sys, err := advdet.NewSystem(dets, advdet.DefaultSystemOptions())
+//	sys, err := advdet.NewSystem(dets, advdet.WithFPS(50), advdet.WithParallelism(0))
 //	if err != nil { ... }
 //	scene := advdet.RenderScene(2, 640, 360, advdet.Dark)
 //	res, err := sys.ProcessFrame(scene)
 //	if err != nil { ... }
+//
+// ProcessFrameCtx/RunScenarioCtx accept a context for cancellation
+// mid-frame; a deadline bounds the frame budget. Detection scans fan
+// out over a worker pool (WithParallelism) with output identical to
+// the serial path.
 //
 // The synthetic dataset and scene generators stand in for the UPM,
 // SYSU and iROADS datasets of the paper; see DESIGN.md for the
@@ -33,15 +38,14 @@
 package advdet
 
 import (
+	"time"
+
 	"advdet/internal/adaptive"
-	"advdet/internal/dbn"
 	"advdet/internal/eval"
-	"advdet/internal/hog"
 	"advdet/internal/img"
 	"advdet/internal/pipeline"
 	"advdet/internal/pr"
 	"advdet/internal/soc"
-	"advdet/internal/svm"
 	"advdet/internal/synth"
 	"advdet/internal/track"
 )
@@ -89,76 +93,15 @@ type (
 func DefaultSystemOptions() SystemOptions { return adaptive.DefaultOptions() }
 
 // NewSystem boots an adaptive system with both partial bitstreams
-// staged in PL-side DDR.
-func NewSystem(dets Detectors, opt SystemOptions) (*System, error) {
+// staged in PL-side DDR. With no options it runs at the paper's
+// operating point (DefaultSystemOptions); pass functional options to
+// deviate, or WithOptions to install a hand-built SystemOptions.
+func NewSystem(dets Detectors, opts ...Option) (*System, error) {
+	opt := DefaultSystemOptions()
+	for _, o := range opts {
+		o(&opt)
+	}
 	return adaptive.New(dets, opt)
-}
-
-// Quality selects a training budget.
-type Quality int
-
-const (
-	// Fast trains on small synthetic sets — seconds, good enough for
-	// examples and smoke tests.
-	Fast Quality = iota
-	// Full trains on the Table I-scale sets the benchmarks use.
-	Full
-)
-
-// TrainDetectors trains every model the adaptive system needs from
-// synthetic data: the day, dusk and combined HOG+SVM vehicle models,
-// the pedestrian model (mixed conditions, as the static path runs day
-// and night), and the dark pipeline's DBN and pair SVM.
-//
-// The returned Detectors uses the day model for day and the dusk
-// model for dusk, mirroring the paper's two-models-in-BRAM design.
-func TrainDetectors(seed uint64, q Quality) (Detectors, error) {
-	nTrain, nWin := 80, 100
-	if q == Full {
-		nTrain, nWin = 300, 250
-	}
-
-	hogCfg := hog.DefaultConfig()
-	svmOpts := svm.DefaultOptions()
-
-	dayDS := synth.DayDataset(seed, 64, 64, nTrain, nTrain)
-	duskDS := synth.DuskDataset(seed+1, 64, 64, nTrain, nTrain, 0)
-
-	dayModel, err := pipeline.TrainVehicleSVM(dayDS, hogCfg, svmOpts)
-	if err != nil {
-		return Detectors{}, err
-	}
-	duskModel, err := pipeline.TrainVehicleSVM(duskDS, hogCfg, svmOpts)
-	if err != nil {
-		return Detectors{}, err
-	}
-
-	pedDay := synth.PedestrianDataset(seed+2, pipeline.PedWindowW, pipeline.PedWindowH, nTrain*5/8, nTrain*5/8, synth.Day)
-	pedDusk := synth.PedestrianDataset(seed+3, pipeline.PedWindowW, pipeline.PedWindowH, nTrain*3/8, nTrain*3/8, synth.Dusk)
-	pedDark := synth.PedestrianDataset(seed+4, pipeline.PedWindowW, pipeline.PedWindowH, nTrain*3/8, nTrain*3/8, synth.Dark)
-	pedAll := pipeline.CombineDatasets("ped-all",
-		pipeline.CombineDatasets("ped-dd", pedDay, pedDusk), pedDark)
-	pedModel, err := pipeline.TrainPedestrianSVM(pedAll, hogCfg, svmOpts)
-	if err != nil {
-		return Detectors{}, err
-	}
-
-	dbnCfg := dbn.DefaultConfig()
-	if q == Fast {
-		dbnCfg.PretrainOpts.Epochs = 4
-		dbnCfg.FineTuneIter = 30
-	}
-	darkDet, err := pipeline.TrainDarkDetector(seed+5, pipeline.DefaultDarkConfig(), dbnCfg, nWin)
-	if err != nil {
-		return Detectors{}, err
-	}
-
-	return Detectors{
-		Day:        pipeline.NewDayDuskDetector(dayModel),
-		Dusk:       pipeline.NewDayDuskDetector(duskModel),
-		Dark:       darkDet,
-		Pedestrian: pipeline.NewPedestrianDetector(pedModel),
-	}, nil
 }
 
 // RenderScene renders one synthetic road scene of the given size and
@@ -189,17 +132,50 @@ func MatchBoxes(truth, detected []Rect, iouThresh float64) Confusion {
 	return eval.MatchBoxes(truth, detected, iouThresh)
 }
 
+// ReconfigResult is one controller's measured reconfiguration
+// performance.
+type ReconfigResult struct {
+	// Controller is the controller name ("pcap", "axi-hwicap",
+	// "zycap", "dma-icap").
+	Controller string
+	// MBPerSec is the modeled bitstream throughput.
+	MBPerSec float64
+	// Elapsed is the modeled wall time to load the whole bitstream.
+	Elapsed time.Duration
+}
+
 // ReconfigThroughputs measures all four reconfiguration controllers
-// on a bitstream of the given size and reports MB/s by controller
-// name — the §IV-A comparison.
-func ReconfigThroughputs(bytes int) (map[string]float64, error) {
-	out := map[string]float64{}
+// on a bitstream of the given size — the §IV-A comparison. Results
+// are ordered as pr.All() lists the controllers (slowest mechanism
+// first, the paper's DMA-ICAP last), so output is stable across runs.
+func ReconfigThroughputs(bytes int) ([]ReconfigResult, error) {
+	out := make([]ReconfigResult, 0, 4)
 	for _, ctrl := range pr.All() {
 		res, err := pr.Measure(ctrl, bytes)
 		if err != nil {
 			return nil, err
 		}
-		out[res.Controller] = res.MBPerSec
+		out = append(out, ReconfigResult{
+			Controller: res.Controller,
+			MBPerSec:   res.MBPerSec,
+			Elapsed:    time.Duration(res.PS / 1000), // ps -> ns
+		})
+	}
+	return out, nil
+}
+
+// ReconfigThroughputsMap reports MB/s keyed by controller name.
+//
+// Deprecated: use ReconfigThroughputs, which preserves measurement
+// order and carries elapsed time.
+func ReconfigThroughputsMap(bytes int) (map[string]float64, error) {
+	results, err := ReconfigThroughputs(bytes)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(results))
+	for _, r := range results {
+		out[r.Controller] = r.MBPerSec
 	}
 	return out, nil
 }

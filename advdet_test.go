@@ -30,7 +30,7 @@ func TestTrainDetectorsProducesAllModels(t *testing.T) {
 
 func TestEndToEndDayFrame(t *testing.T) {
 	d := getDets(t)
-	sys, err := NewSystem(d, DefaultSystemOptions())
+	sys, err := NewSystem(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,10 +49,7 @@ func TestEndToEndDayFrame(t *testing.T) {
 
 func TestEndToEndDarkTransition(t *testing.T) {
 	d := getDets(t)
-	opt := DefaultSystemOptions()
-	opt.Initial = Dusk
-	opt.RunDetectors = false
-	sys, err := NewSystem(d, opt)
+	sys, err := NewSystem(d, WithInitial(Dusk), WithTimingOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +70,36 @@ func TestEndToEndDarkTransition(t *testing.T) {
 }
 
 func TestReconfigThroughputsAPI(t *testing.T) {
-	th, err := ReconfigThroughputs(8_000_000)
+	results, err := ReconfigThroughputs(8_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("controllers measured: %d", len(results))
+	}
+	byName := map[string]ReconfigResult{}
+	for _, r := range results {
+		if r.Elapsed <= 0 {
+			t.Fatalf("%s: non-positive elapsed %v", r.Controller, r.Elapsed)
+		}
+		byName[r.Controller] = r
+	}
+	if !(byName["axi-hwicap"].MBPerSec < byName["pcap"].MBPerSec &&
+		byName["pcap"].MBPerSec < byName["zycap"].MBPerSec &&
+		byName["zycap"].MBPerSec < byName["dma-icap"].MBPerSec) {
+		t.Fatalf("throughput ordering wrong: %v", results)
+	}
+	// Elapsed and MB/s must agree: 8 MB over dma-icap's ~380 MB/s is
+	// ~20 ms.
+	dma := byName["dma-icap"]
+	gotMBs := 8.0 / dma.Elapsed.Seconds() // 8e6 bytes / (MB/s * 1e6)
+	if gotMBs/dma.MBPerSec < 0.99 || gotMBs/dma.MBPerSec > 1.01 {
+		t.Fatalf("Elapsed %v inconsistent with %.1f MB/s", dma.Elapsed, dma.MBPerSec)
+	}
+}
+
+func TestReconfigThroughputsMapCompat(t *testing.T) {
+	th, err := ReconfigThroughputsMap(8_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +133,7 @@ func TestTrackingThroughReconfiguration(t *testing.T) {
 	// End-to-end: with tracking enabled, the system maintains track
 	// identity across the dusk->dark reconfiguration's dropped frame.
 	d := getDets(t)
-	opt := DefaultSystemOptions()
-	opt.Initial = Dusk
-	opt.EnableTracking = true
-	sys, err := NewSystem(d, opt)
+	sys, err := NewSystem(d, WithInitial(Dusk), WithTracking())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package advdet
 // the usual time/op numbers.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -534,12 +535,59 @@ func BenchmarkSceneRender(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectProcessFrame compares a full detection frame
+// (vehicle + pedestrian scans over 640x360) through the adaptive
+// system on the serial path against the worker pool at NumCPU — the
+// software stand-in for the PL's replicated window-evaluation lanes.
+// Output is identical on both paths; only wall time differs.
+func BenchmarkDetectProcessFrame(b *testing.B) {
+	day, dark, ped := benchDetectors(b)
+	dets := Detectors{Day: day, Dusk: day, Dark: dark, Pedestrian: ped}
+	sc := synth.RenderScene(synth.NewRNG(9), synth.DefaultSceneConfig(640, 360, synth.Day))
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sys, err := NewSystem(dets, WithParallelism(bc.par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.ProcessFrame(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectDayDusk compares the raw day/dusk detector scan
+// serial vs parallel, isolating the worker pool from system overhead.
+func BenchmarkDetectDayDusk(b *testing.B) {
+	day, _, _ := benchDetectors(b)
+	sc := synth.RenderScene(synth.NewRNG(9), synth.DefaultSceneConfig(640, 360, synth.Day))
+	gray := img.RGBToGray(sc.Frame)
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := day.DetectCtx(ctx, gray, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAdaptiveFrame measures one timing-mode frame through the
 // adaptive system.
 func BenchmarkAdaptiveFrame(b *testing.B) {
-	opt := DefaultSystemOptions()
-	opt.RunDetectors = false
-	sys, err := NewSystem(Detectors{}, opt)
+	sys, err := NewSystem(Detectors{}, WithTimingOnly())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -70,12 +70,12 @@ func main() {
 		}
 	}
 
-	opt := advdet.DefaultSystemOptions()
-	opt.FPS = *fps
-	opt.RunDetectors = !*timingOnly
 	cond0, _ := scenario.CondAt(0)
-	opt.Initial = cond0
-	sys, err := advdet.NewSystem(dets, opt)
+	sysOpts := []advdet.Option{advdet.WithFPS(*fps), advdet.WithInitial(cond0)}
+	if *timingOnly {
+		sysOpts = append(sysOpts, advdet.WithTimingOnly())
+	}
+	sys, err := advdet.NewSystem(dets, sysOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

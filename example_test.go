@@ -9,14 +9,12 @@ import (
 // Example demonstrates the timing behaviour of the adaptive system:
 // entering darkness swaps the vehicle-detection bitstream, costing
 // exactly one vehicle frame at 50 fps, while the pedestrian pipeline
-// never stops. Detection itself is disabled (RunDetectors: false) so
-// the example runs in milliseconds; see examples/quickstart for the
-// full path.
+// never stops. Detection itself is disabled (WithTimingOnly) so the
+// example runs in milliseconds; see examples/quickstart for the full
+// path.
 func Example() {
-	opt := advdet.DefaultSystemOptions()
-	opt.Initial = advdet.Dusk
-	opt.RunDetectors = false
-	sys, err := advdet.NewSystem(advdet.Detectors{}, opt)
+	sys, err := advdet.NewSystem(advdet.Detectors{},
+		advdet.WithInitial(advdet.Dusk), advdet.WithTimingOnly())
 	if err != nil {
 		fmt.Println(err)
 		return

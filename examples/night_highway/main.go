@@ -32,9 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := advdet.DefaultSystemOptions()
-	opt.Initial = advdet.Dark
-	sys, err := advdet.NewSystem(dets, opt)
+	sys, err := advdet.NewSystem(dets, advdet.WithInitial(advdet.Dark))
 	if err != nil {
 		log.Fatal(err)
 	}

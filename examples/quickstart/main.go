@@ -21,9 +21,7 @@ func main() {
 	for _, cond := range []advdet.Condition{advdet.Day, advdet.Dusk, advdet.Dark} {
 		// Each condition gets its own freshly booted system so no
 		// reconfiguration is pending when the frame arrives.
-		opt := advdet.DefaultSystemOptions()
-		opt.Initial = cond
-		sys, err := advdet.NewSystem(dets, opt)
+		sys, err := advdet.NewSystem(dets, advdet.WithInitial(cond))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 
+	"advdet"
 	"advdet/internal/fpga"
 	"advdet/internal/pr"
 	"advdet/internal/soc"
@@ -19,15 +20,15 @@ func main() {
 	fmt.Printf("partial bitstream for the %0.f%%-LUT partition: %.2f MB\n\n",
 		fpga.DefaultFloorplan().Region.UtilPercent(fpga.XC7Z100)[0], float64(bitstream)/1e6)
 
+	results, err := advdet.ReconfigThroughputs(bitstream)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-12s %14s %10s %12s\n", "controller", "throughput", "time", "vs 400 MB/s")
 	var pcapMBs, oursMBs float64
-	for _, ctrl := range pr.All() {
-		res, err := pr.Measure(ctrl, bitstream)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range results {
 		fmt.Printf("%-12s %10.1f MB/s %7.2f ms %11.1f%%\n",
-			res.Controller, res.MBPerSec, soc.Seconds(res.PS)*1e3, 100*res.MBPerSec/400)
+			res.Controller, res.MBPerSec, float64(res.Elapsed.Microseconds())/1e3, 100*res.MBPerSec/400)
 		switch res.Controller {
 		case "pcap":
 			pcapMBs = res.MBPerSec

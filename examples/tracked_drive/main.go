@@ -22,10 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := advdet.DefaultSystemOptions()
-	opt.Initial = advdet.Dusk
-	opt.EnableTracking = true
-	sys, err := advdet.NewSystem(dets, opt)
+	sys, err := advdet.NewSystem(dets, advdet.WithInitial(advdet.Dusk), advdet.WithTracking())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,9 +33,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := advdet.DefaultSystemOptions()
-	opt.FPS = fps
-	sys, err := advdet.NewSystem(dets, opt)
+	sys, err := advdet.NewSystem(dets, advdet.WithFPS(fps))
 	if err != nil {
 		log.Fatal(err)
 	}

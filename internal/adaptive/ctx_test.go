@@ -1,0 +1,57 @@
+package adaptive
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"advdet/internal/synth"
+)
+
+func TestProcessFrameCtxPreCancelled(t *testing.T) {
+	s := timingSystem(t, synth.Day)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.ProcessFrameCtx(ctx, sceneFor(synth.Day, 10_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	// The aborted frame must not advance system state.
+	if got := s.Stats().Frames; got != 0 {
+		t.Fatalf("aborted frame counted: Frames = %d", got)
+	}
+}
+
+func TestRunScenarioCtxCancelledReturnsCompletedFrames(t *testing.T) {
+	s := timingSystem(t, synth.Day)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := &synth.Scenario{W: 64, H: 36, Segments: []synth.Segment{{Cond: synth.Day, Frames: 5}}}
+	out, err := s.RunScenarioCtx(ctx, sc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("pre-cancelled run completed %d frames", len(out))
+	}
+}
+
+func TestRunScenarioMatchesCtxWrapper(t *testing.T) {
+	sc := &synth.Scenario{W: 64, H: 36, Segments: []synth.Segment{{Cond: synth.Day, Frames: 3}}}
+	a, err := timingSystem(t, synth.Day).RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := timingSystem(t, synth.Day).RunScenarioCtx(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("wrapper ran %d frames, ctx ran %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cond != b[i].Cond || a[i].VehicleDropped != b[i].VehicleDropped {
+			t.Fatalf("frame %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 
 	"advdet/internal/fpga"
 	"advdet/internal/img"
+	"advdet/internal/par"
 	"advdet/internal/pipeline"
 	"advdet/internal/pr"
 	"advdet/internal/soc"
@@ -68,6 +70,11 @@ type Options struct {
 	// detections. Confirmed tracks appear in FrameResult.Tracks and
 	// coast through the one-frame reconfiguration dropout.
 	EnableTracking bool
+	// Parallelism bounds the detection worker pool: the software
+	// model of the PL's replicated window-evaluation lanes. Values
+	// <= 0 select runtime.NumCPU(); 1 runs every scan on the calling
+	// goroutine. Detection output is identical for every setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's operating point.
@@ -186,16 +193,36 @@ func (s *System) Stats() Stats {
 	return cp
 }
 
-// ProcessFrame advances simulated time by one frame slot and processes
-// the scene: the monitor classifies the sensor reading, a
+// workers resolves the Parallelism knob for this frame's scans.
+func (s *System) workers() int { return par.Workers(s.Opt.Parallelism) }
+
+// ProcessFrame is ProcessFrameCtx without cancellation.
+func (s *System) ProcessFrame(sc *synth.Scene) (FrameResult, error) {
+	return s.ProcessFrameCtx(context.Background(), sc)
+}
+
+// ProcessFrameCtx advances simulated time by one frame slot and
+// processes the scene: the monitor classifies the sensor reading, a
 // reconfiguration is launched if the needed configuration differs from
 // the loaded one, vehicle detection runs (or is dropped during
-// reconfiguration), and pedestrian detection always runs.
+// reconfiguration), and pedestrian detection always runs. Detection
+// work is fanned out across the Parallelism worker pool.
 //
-// It returns an error if the monitor's bands have been mutated into an
-// incoherent configuration, or if a partial reconfiguration cannot be
-// launched; the frame is not processed in either case.
-func (s *System) ProcessFrame(sc *synth.Scene) (FrameResult, error) {
+// The context cancels mid-frame: detection scans stop at the next row
+// boundary and the frame is aborted with the context's error wrapped
+// (errors.Is(err, context.Canceled/DeadlineExceeded)). Setting a
+// deadline of one frame slot turns the camera's frame budget into a
+// hard bound on software detection time. An aborted frame has already
+// advanced the platform's simulated time and counters, so callers
+// should treat the system as mid-stream, not roll it back.
+//
+// It also returns an error if the monitor's bands have been mutated
+// into an incoherent configuration, or if a partial reconfiguration
+// cannot be launched; the frame is not processed in either case.
+func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameResult, error) {
+	if err := ctx.Err(); err != nil {
+		return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
+	}
 	if err := s.Monitor.Validate(); err != nil {
 		return FrameResult{}, err
 	}
@@ -264,14 +291,22 @@ func (s *System) ProcessFrame(sc *synth.Scene) (FrameResult, error) {
 	} else {
 		stream(s.Z.VehiclePipe, s.Z.HP0, soc.IRQVehicleDMA)
 		if s.Opt.RunDetectors {
-			res.Vehicles = s.detectVehicles(sc, cond)
+			vehicles, err := s.detectVehicles(ctx, sc, cond)
+			if err != nil {
+				return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
+			}
+			res.Vehicles = vehicles
 		}
 	}
 
 	// Pedestrian detection: static partition, never interrupted.
 	stream(s.Z.PedestrianPipe, s.Z.HP1, soc.IRQPedestrianDMA)
 	if s.Opt.RunDetectors && s.Dets.Pedestrian != nil {
-		res.Pedestrians = s.Dets.Pedestrian.Detect(img.RGBToGray(sc.Frame))
+		peds, err := s.Dets.Pedestrian.DetectCtx(ctx, img.RGBToGray(sc.Frame), s.workers())
+		if err != nil {
+			return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
+		}
+		res.Pedestrians = peds
 	}
 	s.stats.PedestrianFrames++
 
@@ -289,24 +324,25 @@ func (s *System) ProcessFrame(sc *synth.Scene) (FrameResult, error) {
 	return res, nil
 }
 
-// detectVehicles dispatches to the condition's detector.
-func (s *System) detectVehicles(sc *synth.Scene, cond synth.Condition) []pipeline.Detection {
+// detectVehicles dispatches to the condition's detector on the shared
+// worker pool.
+func (s *System) detectVehicles(ctx context.Context, sc *synth.Scene, cond synth.Condition) ([]pipeline.Detection, error) {
 	gray := func() *img.Gray { return img.RGBToGray(sc.Frame) }
 	switch cond {
 	case synth.Day:
 		if s.Dets.Day != nil {
-			return s.Dets.Day.Detect(gray())
+			return s.Dets.Day.DetectCtx(ctx, gray(), s.workers())
 		}
 	case synth.Dusk:
 		if s.Dets.Dusk != nil {
-			return s.Dets.Dusk.Detect(gray())
+			return s.Dets.Dusk.DetectCtx(ctx, gray(), s.workers())
 		}
 	case synth.Dark:
 		if s.Dets.Dark != nil {
-			return s.Dets.Dark.Detect(sc.Frame)
+			return s.Dets.Dark.DetectCtx(ctx, sc.Frame, s.workers())
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // startReconfig launches the partial reconfiguration for the target
@@ -336,14 +372,21 @@ func (s *System) startReconfig(target ConfigID) error {
 	return nil
 }
 
-// RunScenario drives a whole synthetic drive through the system,
-// returning the per-frame results. On error the frames completed so
-// far are returned alongside it.
+// RunScenario is RunScenarioCtx without cancellation.
 func (s *System) RunScenario(sc *synth.Scenario) ([]FrameResult, error) {
+	return s.RunScenarioCtx(context.Background(), sc)
+}
+
+// RunScenarioCtx drives a whole synthetic drive through the system,
+// returning the per-frame results. The context is checked every frame
+// and mid-frame inside the detection scans; a deadline bounds the
+// whole drive. On error the frames completed so far are returned
+// alongside it.
+func (s *System) RunScenarioCtx(ctx context.Context, sc *synth.Scenario) ([]FrameResult, error) {
 	n := sc.TotalFrames()
 	out := make([]FrameResult, 0, n)
 	for i := 0; i < n; i++ {
-		res, err := s.ProcessFrame(sc.FrameAt(i))
+		res, err := s.ProcessFrameCtx(ctx, sc.FrameAt(i))
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,119 @@
+package hog
+
+import (
+	"context"
+
+	"advdet/internal/img"
+	"advdet/internal/par"
+)
+
+// FeatureMap caches the two shared front-end stages of the paper's
+// HOG pipeline — gradient computation and cell-histogram generation —
+// for a whole image, so every sliding window (and every worker) reads
+// one precomputed cell grid instead of recomputing both stages per
+// window. This is exactly how the PL datapath works: the "HOG Memory"
+// of Fig. 2 is filled once per frame and the downstream window
+// evaluators only read it.
+//
+// Window descriptors assembled from the cache differ from per-crop
+// Config.Extract only at window borders: the cache sees the true
+// neighboring pixels where a cropped window replicates its own edge.
+// That again matches the hardware, which never crops.
+//
+// A FeatureMap is immutable after construction and safe for
+// concurrent use by any number of readers.
+type FeatureMap struct {
+	Cfg  Config
+	W, H int // source image size in pixels
+
+	cw, ch int       // cell-grid dimensions
+	hist   []float64 // cell-major histograms, as Config.CellHistograms
+}
+
+// NewFeatureMap computes the cache serially.
+func (c Config) NewFeatureMap(g *img.Gray) *FeatureMap {
+	fm, _ := c.NewFeatureMapCtx(context.Background(), g, 1) // background ctx: cannot fail
+	return fm
+}
+
+// NewFeatureMapCtx computes the cache with both stages fanned out
+// across workers goroutines (workers <= 0 means NumCPU): gradient
+// rows first, then cell-histogram rows. The result is bitwise
+// identical for every worker count. On cancellation the partial map
+// is discarded and the context's error returned.
+func (c Config) NewFeatureMapCtx(ctx context.Context, g *img.Gray, workers int) (*FeatureMap, error) {
+	c.validate()
+	cw, ch := c.CellsFor(g.W, g.H)
+	fm := &FeatureMap{Cfg: c, W: g.W, H: g.H, cw: cw, ch: ch}
+	if cw == 0 || ch == 0 {
+		return fm, ctx.Err() // image smaller than one cell: empty grid
+	}
+	fm.hist = make([]float64, cw*ch*c.Bins)
+	mag := make([]float32, g.W*g.H)
+	ang := make([]float32, g.W*g.H)
+	if err := par.ForEach(ctx, workers, g.H, func(y int) {
+		gradientRow(g, y, mag, ang)
+	}); err != nil {
+		return nil, err
+	}
+	binWidth := 180.0 / float64(c.Bins)
+	if err := par.ForEach(ctx, workers, ch, func(cy int) {
+		c.cellRowHistograms(g.W, cy, cw, mag, ang, binWidth, fm.hist)
+	}); err != nil {
+		return nil, err
+	}
+	return fm, nil
+}
+
+// Aligned reports whether a window anchored at (x, y) lies on the
+// cell grid, i.e. its descriptor can be assembled from the cache.
+func (m *FeatureMap) Aligned(x, y int) bool {
+	return x%m.Cfg.CellSize == 0 && y%m.Cfg.CellSize == 0
+}
+
+// Descriptor assembles the normalized HOG descriptor of the
+// winW x winH window anchored at (x, y) from the cached cell
+// histograms, reusing dst when it has sufficient capacity. It returns
+// nil when the window is unaligned to the cell grid or not fully
+// covered by it; the caller then falls back to direct extraction.
+func (m *FeatureMap) Descriptor(x, y, winW, winH int, dst []float64) []float64 {
+	c := m.Cfg
+	if x < 0 || y < 0 || x+winW > m.W || y+winH > m.H || !m.Aligned(x, y) {
+		return nil
+	}
+	bw, bh := c.BlocksFor(winW, winH)
+	if bw == 0 || bh == 0 {
+		return nil
+	}
+	cx0, cy0 := x/c.CellSize, y/c.CellSize
+	// Cells spanned by the window's block grid; the grid floors away
+	// partial border cells, so verify coverage inside the cached grid.
+	spanW := (bw-1)*c.BlockStride + c.BlockCells
+	spanH := (bh-1)*c.BlockStride + c.BlockCells
+	if cx0+spanW > m.cw || cy0+spanH > m.ch {
+		return nil
+	}
+	blockLen := c.BlockCells * c.BlockCells * c.Bins
+	n := bw * bh * blockLen
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	k := 0
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			blk := dst[k : k+blockLen]
+			j := 0
+			for dy := 0; dy < c.BlockCells; dy++ {
+				row := ((cy0+by*c.BlockStride+dy)*m.cw + cx0 + bx*c.BlockStride) * c.Bins
+				for dx := 0; dx < c.BlockCells; dx++ {
+					copy(blk[j:j+c.Bins], m.hist[row+dx*c.Bins:row+(dx+1)*c.Bins])
+					j += c.Bins
+				}
+			}
+			l2hys(blk, c.ClipL2Hys)
+			k += blockLen
+		}
+	}
+	return dst
+}

@@ -68,22 +68,30 @@ func Gradients(g *img.Gray) (mag []float32, ang []float32) {
 	mag = make([]float32, w*h)
 	ang = make([]float32, w*h)
 	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			gx := float64(g.AtClamped(x+1, y)) - float64(g.AtClamped(x-1, y))
-			gy := float64(g.AtClamped(x, y+1)) - float64(g.AtClamped(x, y-1))
-			i := y*w + x
-			mag[i] = float32(math.Hypot(gx, gy))
-			a := math.Atan2(gy, gx) * 180 / math.Pi // [-180, 180]
-			if a < 0 {
-				a += 180 // fold to unsigned orientation
-			}
-			if a >= 180 {
-				a -= 180
-			}
-			ang[i] = float32(a)
-		}
+		gradientRow(g, y, mag, ang)
 	}
 	return mag, ang
+}
+
+// gradientRow computes one row of the gradient image. Rows only read
+// the source image and write disjoint slices of mag/ang, which is what
+// lets the feature cache fan them out across workers.
+func gradientRow(g *img.Gray, y int, mag, ang []float32) {
+	w := g.W
+	for x := 0; x < w; x++ {
+		gx := float64(g.AtClamped(x+1, y)) - float64(g.AtClamped(x-1, y))
+		gy := float64(g.AtClamped(x, y+1)) - float64(g.AtClamped(x, y-1))
+		i := y*w + x
+		mag[i] = float32(math.Hypot(gx, gy))
+		a := math.Atan2(gy, gx) * 180 / math.Pi // [-180, 180]
+		if a < 0 {
+			a += 180 // fold to unsigned orientation
+		}
+		if a >= 180 {
+			a -= 180
+		}
+		ang[i] = float32(a)
+	}
 }
 
 // CellHistograms bins the gradients of a w x h window into per-cell
@@ -97,11 +105,22 @@ func (c Config) CellHistograms(g *img.Gray) []float64 {
 	hist := make([]float64, cw*ch*c.Bins)
 	mag, ang := Gradients(g)
 	binWidth := 180.0 / float64(c.Bins)
-	for y := 0; y < ch*c.CellSize; y++ {
-		cy := y / c.CellSize
+	for cy := 0; cy < ch; cy++ {
+		c.cellRowHistograms(g.W, cy, cw, mag, ang, binWidth, hist)
+	}
+	return hist
+}
+
+// cellRowHistograms accumulates the histograms of cell row cy. Each
+// cell row reads its own CellSize pixel rows and writes a disjoint
+// slice of hist, and pixels are visited in the same y-major order as
+// the serial stage, so a row-parallel accumulation is bitwise
+// identical to CellHistograms.
+func (c Config) cellRowHistograms(imgW, cy, cw int, mag, ang []float32, binWidth float64, hist []float64) {
+	for y := cy * c.CellSize; y < (cy+1)*c.CellSize; y++ {
 		for x := 0; x < cw*c.CellSize; x++ {
 			cx := x / c.CellSize
-			i := y*g.W + x
+			i := y*imgW + x
 			m := float64(mag[i])
 			if m == 0 {
 				continue
@@ -116,7 +135,6 @@ func (c Config) CellHistograms(g *img.Gray) []float64 {
 			hist[base+b1] += m * frac
 		}
 	}
-	return hist
 }
 
 // NormalizeBlocks applies L2-Hys normalization over sliding blocks of

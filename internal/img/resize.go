@@ -95,23 +95,36 @@ func DownsampleBinary(b *Binary, factor int) *Binary {
 	return out
 }
 
+// PyramidSizes returns the level dimensions PyramidGray produces for
+// a w x h source: each level smaller by the given per-level scale
+// (> 1) until the image no longer covers (minW, minH). Exposed so the
+// parallel detection engine can build the levels concurrently while
+// staying geometry-identical to the serial pyramid.
+func PyramidSizes(w, h int, scale float64, minW, minH int) [][2]int {
+	if scale <= 1 {
+		// lint:invariant documented contract: scale must exceed 1
+		panic("img: PyramidGray scale must exceed 1")
+	}
+	var sizes [][2]int
+	fw, fh := float64(w), float64(h)
+	for w >= minW && h >= minH {
+		sizes = append(sizes, [2]int{w, h})
+		fw /= scale
+		fh /= scale
+		w, h = int(fw), int(fh)
+	}
+	return sizes
+}
+
 // PyramidGray returns successively downscaled copies of g, each level
 // smaller by the given per-level scale (> 1), until the image no longer
 // covers (minW, minH). Level 0 is a copy of g itself. The multi-scale
 // pedestrian detector scans every level with a fixed-size window.
 func PyramidGray(g *Gray, scale float64, minW, minH int) []*Gray {
-	if scale <= 1 {
-		// lint:invariant documented contract: scale must exceed 1
-		panic("img: PyramidGray scale must exceed 1")
-	}
-	var levels []*Gray
-	w, h := g.W, g.H
-	fw, fh := float64(w), float64(h)
-	for w >= minW && h >= minH {
-		levels = append(levels, ResizeGray(g, w, h))
-		fw /= scale
-		fh /= scale
-		w, h = int(fw), int(fh)
+	sizes := PyramidSizes(g.W, g.H, scale, minW, minH)
+	levels := make([]*Gray, len(sizes))
+	for i, s := range sizes {
+		levels[i] = ResizeGray(g, s[0], s[1])
 	}
 	return levels
 }

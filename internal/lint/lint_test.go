@@ -39,7 +39,7 @@ func TestGoldenTruePositives(t *testing.T) {
 		{FixedOps(), "./fixedops", 8},
 		{NoFloat(), "./nofloat", 4},
 		{PanicFree(), "./panicfree", 1},
-		{SeededRand(), "./seededrand", 2},
+		{SeededRand(), "./seededrand", 3},
 	} {
 		pkgs, err := Load(goldenCfg(), tc.pattern)
 		if err != nil {

@@ -1,0 +1,43 @@
+package seededrand
+
+// Golden coverage for the worker-pool idiom: a global math/rand draw
+// inside a spawned goroutine is still the shared unseeded source —
+// now also contended across workers.
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// ParallelJitter fans work across goroutines; the global draw inside
+// the closure must be reported like any other.
+func ParallelJitter(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = rand.Intn(10) // want "global math/rand.Intn is unseeded"
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// SeededWorkers is the sanctioned pattern: one seeded generator per
+// goroutine, derived from the caller's seed.
+func SeededWorkers(n int, seed int64) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			out[i] = rng.Intn(10)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

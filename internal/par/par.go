@@ -1,0 +1,79 @@
+// Package par provides the bounded fan-out primitive the parallel
+// detection engine is built on: a fixed-size worker pool that spreads
+// independent index-addressed work items across goroutines while
+// preserving determinism.
+//
+// Determinism contract: ForEach gives every index its own output slot
+// (callers write results[i] inside fn), so the assembled result is
+// independent of worker scheduling. Running with one worker and with
+// N workers produces byte-identical output as long as fn itself is a
+// pure function of its index and of read-only shared state.
+//
+// This mirrors the paper's PL datapath, where HOG windows are
+// evaluated by replicated pipeline lanes whose outputs are recombined
+// in raster order regardless of per-lane latency.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values <= 0 select
+// runtime.NumCPU(), anything else is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning the indices
+// across at most workers goroutines (workers <= 0 means NumCPU). It
+// returns when every index has been processed or the context is
+// cancelled; on cancellation the remaining indices are skipped and
+// the context's error is returned, so callers must discard partial
+// results on a non-nil error.
+//
+// fn must be safe for concurrent invocation with distinct indices and
+// must not retain or mutate state shared across indices except through
+// its own index-addressed slot.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial reference path: no goroutines, same cancellation
+		// granularity as the pool (one check per index).
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,91 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolvesAuto(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {
+		t.Fatal("non-positive knob must resolve to NumCPU")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit knob must pass through")
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		counts := make([]int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicSlots(t *testing.T) {
+	n := 257
+	run := func(workers int) []int {
+		out := make([]int, n)
+		if err := ForEach(context.Background(), workers, n, func(i int) { out[i] = i * i }); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := ForEach(ctx, 4, 100, func(int) { atomic.AddInt32(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Fatalf("%d items ran under a pre-cancelled context", ran)
+	}
+}
+
+func TestForEachCancelledMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 2, 10_000, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("cancellation did not stop the sweep (ran %d)", n)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) { t.Fatal("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}

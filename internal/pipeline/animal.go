@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"advdet/internal/hog"
@@ -52,13 +53,29 @@ func (d *AnimalDetector) ClassifyCrop(g *img.Gray) bool {
 	return d.Model.Margin(d.HOG.Extract(g)) > d.Thresh
 }
 
-// Detect scans the frame at multiple scales for animals. Detections
-// are tagged KindVehicle-independent via their own Kind? Animals use
-// KindAnimal.
+// Detect scans the frame at multiple scales for animals (tagged
+// KindAnimal) on the calling goroutine; see DetectCtx for the
+// parallel engine.
 func (d *AnimalDetector) Detect(g *img.Gray) []Detection {
-	score := func(w *img.Gray) float64 { return d.Model.Margin(d.HOG.Extract(w)) }
-	dets := scanPyramid(g, AnimalWindowW, AnimalWindowH, d.Stride, d.Scale, d.DetectThresh, score, KindAnimal)
-	return NMS(dets, d.NMSIoU)
+	dets, _ := d.DetectCtx(context.Background(), g, 1) // background ctx: cannot fail
+	return dets
+}
+
+// DetectCtx is Detect with cancellation and a bounded worker pool
+// sharing one per-level feature cache (workers <= 0 means NumCPU).
+// Output is identical for every worker count.
+func (d *AnimalDetector) DetectCtx(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	scan := hogScan{
+		Cfg: d.HOG, Model: d.Model,
+		WinW: AnimalWindowW, WinH: AnimalWindowH,
+		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
+		Kind: KindAnimal,
+	}
+	dets, err := scan.run(ctx, g, workers)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: animal detect: %w", err)
+	}
+	return NMS(dets, d.NMSIoU), nil
 }
 
 // TrainAnimalSVM trains the animal model from a crop dataset.

@@ -1,11 +1,13 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"advdet/internal/dbn"
 	"advdet/internal/img"
+	"advdet/internal/par"
 	"advdet/internal/svm"
 	"advdet/internal/synth"
 )
@@ -141,15 +143,33 @@ func (d *DarkDetector) ScanLights(b *img.Binary) []Light {
 	return lights
 }
 
-// ScanLightsStats is ScanLights with work accounting.
+// ScanLightsStats is ScanLights with work accounting, on the calling
+// goroutine; see ScanLightsStatsCtx for the parallel engine.
 func (d *DarkDetector) ScanLightsStats(b *img.Binary) ([]Light, ScanStats) {
+	lights, stats, _ := d.ScanLightsStatsCtx(context.Background(), b, 1) // background ctx: cannot fail
+	return lights, stats
+}
+
+// ScanLightsStatsCtx fans the window rows of the DBN scan across
+// workers goroutines (workers <= 0 means NumCPU). Each row owns its
+// output slot and rows are reassembled in raster order, so the merged
+// light list is identical for every worker count. On cancellation it
+// returns the context's error.
+func (d *DarkDetector) ScanLightsStatsCtx(ctx context.Context, b *img.Binary, workers int) ([]Light, ScanStats, error) {
 	side := dbn.Window
-	var hits []Light
-	var stats ScanStats
-	window := make([]float64, side*side)
+	var ys []int
 	for y := 0; y+side <= b.H; y += d.Cfg.Stride {
+		ys = append(ys, y)
+	}
+	rowHits := make([][]Light, len(ys))
+	rowStats := make([]ScanStats, len(ys))
+	err := par.ForEach(ctx, workers, len(ys), func(i int) {
+		y := ys[i]
+		window := make([]float64, side*side)
+		var st ScanStats
+		var hits []Light
 		for x := 0; x+side <= b.W; x += d.Cfg.Stride {
-			stats.Windows++
+			st.Windows++
 			// ROI gate: skip windows with no foreground at all (the
 			// RTL gates the DBN the same way to hold 50 fps).
 			count := 0
@@ -164,20 +184,32 @@ func (d *DarkDetector) ScanLightsStats(b *img.Binary) ([]Light, ScanStats) {
 			if count == 0 {
 				continue
 			}
-			stats.Evaluated++
+			st.Evaluated++
 			class, prob := d.Net.Classify(window)
 			if class == dbn.ClassNone || prob < d.Cfg.MinProb {
 				continue
 			}
-			stats.Hits++
+			st.Hits++
 			hits = append(hits, Light{
 				Box:   img.Rect{X0: x, Y0: y, X1: x + side, Y1: y + side},
 				Class: class,
 				Prob:  prob,
 			})
 		}
+		rowHits[i], rowStats[i] = hits, st
+	})
+	if err != nil {
+		return nil, ScanStats{}, err
 	}
-	return mergeLights(hits), stats
+	var hits []Light
+	var stats ScanStats
+	for i := range rowHits {
+		hits = append(hits, rowHits[i]...)
+		stats.Windows += rowStats[i].Windows
+		stats.Evaluated += rowStats[i].Evaluated
+		stats.Hits += rowStats[i].Hits
+	}
+	return mergeLights(hits), stats, nil
 }
 
 // mergeLights unions overlapping window hits into one candidate per
@@ -242,11 +274,30 @@ func (d *DarkDetector) geometricPairGate(f []float64) bool {
 }
 
 // Detect runs the full dark pipeline on an RGB frame and returns
-// vehicle detections in frame coordinates.
+// vehicle detections in frame coordinates, on the calling goroutine;
+// see DetectCtx for the parallel engine.
 func (d *DarkDetector) Detect(frame *img.RGB) []Detection {
+	dets, _ := d.DetectCtx(context.Background(), frame, 1) // background ctx: cannot fail
+	return dets
+}
+
+// DetectCtx is Detect with cancellation and a bounded worker pool for
+// the DBN sliding-window stage (workers <= 0 means NumCPU). Output is
+// identical for every worker count.
+func (d *DarkDetector) DetectCtx(ctx context.Context, frame *img.RGB, workers int) ([]Detection, error) {
 	factor := d.Cfg.FactorFor(frame.W)
 	b := d.Preprocess(frame)
-	lights := d.ScanLights(b)
+	lights, _, err := d.ScanLightsStatsCtx(ctx, b, workers)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: dark detect: %w", err)
+	}
+	return d.pairLights(lights, frame, factor), nil
+}
+
+// pairLights runs the spatial-correlation back half of the pipeline:
+// candidate lamps are paired, gated, scored, and expanded to vehicle
+// boxes in full-resolution frame coordinates.
+func (d *DarkDetector) pairLights(lights []Light, frame *img.RGB, factor int) []Detection {
 	var dets []Detection
 	for i := 0; i < len(lights); i++ {
 		for j := i + 1; j < len(lights); j++ {

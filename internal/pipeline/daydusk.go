@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"advdet/internal/hog"
@@ -60,11 +61,30 @@ func (d *DayDuskDetector) MarginCrop(g *img.Gray) float64 {
 }
 
 // Detect scans the full frame at multiple scales and returns
-// NMS-filtered vehicle detections.
+// NMS-filtered vehicle detections. It runs on the calling goroutine
+// without cancellation; see DetectCtx for the parallel engine.
 func (d *DayDuskDetector) Detect(g *img.Gray) []Detection {
-	score := func(w *img.Gray) float64 { return d.Model.Margin(d.HOG.Extract(w)) }
-	dets := scanPyramid(g, VehicleWindow, VehicleWindow, d.Stride, d.Scale, d.DetectThresh, score, KindVehicle)
-	return NMS(dets, d.NMSIoU)
+	dets, _ := d.DetectCtx(context.Background(), g, 1) // background ctx: cannot fail
+	return dets
+}
+
+// DetectCtx is Detect with cancellation and a bounded worker pool:
+// the per-frame HOG feature cache is computed once per pyramid level
+// and window rows are fanned out across workers goroutines
+// (workers <= 0 means NumCPU). Output is identical for every worker
+// count. On cancellation it returns the context's error wrapped.
+func (d *DayDuskDetector) DetectCtx(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	scan := hogScan{
+		Cfg: d.HOG, Model: d.Model,
+		WinW: VehicleWindow, WinH: VehicleWindow,
+		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
+		Kind: KindVehicle,
+	}
+	dets, err := scan.run(ctx, g, workers)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: day-dusk detect: %w", err)
+	}
+	return NMS(dets, d.NMSIoU), nil
 }
 
 // FeatureExtractor turns a fixed-size grayscale window into a feature

@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"context"
+
+	"advdet/internal/hog"
+	"advdet/internal/img"
+	"advdet/internal/par"
+	"advdet/internal/svm"
+)
+
+// hogScan describes one multi-scale HOG+SVM sliding-window scan: the
+// shared-cache, worker-pool equivalent of the serial scanPyramid
+// reference. The pyramid levels are resized concurrently, each
+// level's gradient/cell-histogram stages are computed once into a
+// read-only hog.FeatureMap, and window rows are fanned out across the
+// pool, with every row writing its own output slot so the assembled
+// detection list is identical for every worker count.
+type hogScan struct {
+	Cfg        hog.Config
+	Model      *svm.Model
+	WinW, WinH int
+	Stride     int
+	Scale      float64
+	Thresh     float64
+	Kind       Kind
+}
+
+// run scans every pyramid level of g with the given worker count,
+// returning detections in deterministic level-major, raster order.
+func (s hogScan) run(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	workers = par.Workers(workers)
+
+	// Stage 1: pyramid levels, resized concurrently (each level reads
+	// only the source frame).
+	sizes := img.PyramidSizes(g.W, g.H, s.Scale, s.WinW, s.WinH)
+	levels := make([]*img.Gray, len(sizes))
+	if err := par.ForEach(ctx, workers, len(sizes), func(i int) {
+		levels[i] = img.ResizeGray(g, sizes[i][0], sizes[i][1])
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: one shared feature cache per level (row-parallel), so
+	// gradients and cell histograms are computed once per frame
+	// instead of once per window.
+	maps := make([]*hog.FeatureMap, len(levels))
+	for i, level := range levels {
+		fm, err := s.Cfg.NewFeatureMapCtx(ctx, level, workers)
+		if err != nil {
+			return nil, err
+		}
+		maps[i] = fm
+	}
+
+	// Stage 3: one task per window row across all levels; each task
+	// owns an output slot, so assembly order is independent of worker
+	// scheduling.
+	type rowTask struct{ level, y int }
+	var tasks []rowTask
+	for li, level := range levels {
+		for y := 0; y+s.WinH <= level.H; y += s.Stride {
+			tasks = append(tasks, rowTask{li, y})
+		}
+	}
+	results := make([][]Detection, len(tasks))
+	descLen := s.Cfg.DescriptorLen(s.WinW, s.WinH)
+	err := par.ForEach(ctx, workers, len(tasks), func(ti int) {
+		t := tasks[ti]
+		level, fm := levels[t.level], maps[t.level]
+		fx := float64(g.W) / float64(level.W)
+		fy := float64(g.H) / float64(level.H)
+		scratch := make([]float64, descLen)
+		var dets []Detection
+		for x := 0; x+s.WinW <= level.W; x += s.Stride {
+			desc := fm.Descriptor(x, t.y, s.WinW, s.WinH, scratch)
+			if desc == nil {
+				// Window off the cell grid (stride not a multiple of
+				// the cell size, or partial border cells): fall back
+				// to direct extraction of the crop.
+				desc = s.Cfg.Extract(level.SubImage(img.Rect{X0: x, Y0: t.y, X1: x + s.WinW, Y1: t.y + s.WinH}))
+			}
+			if sc := s.Model.Margin(desc); sc > s.Thresh {
+				dets = append(dets, Detection{
+					Box: img.Rect{
+						X0: int(float64(x) * fx),
+						Y0: int(float64(t.y) * fy),
+						X1: int(float64(x+s.WinW) * fx),
+						Y1: int(float64(t.y+s.WinH) * fy),
+					},
+					Score: sc,
+					Kind:  s.Kind,
+				})
+			}
+		}
+		results[ti] = dets
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []Detection
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all, nil
+}

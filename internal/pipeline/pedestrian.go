@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"advdet/internal/hog"
@@ -52,11 +53,28 @@ func (d *PedestrianDetector) ClassifyCrop(g *img.Gray) bool {
 	return d.Model.Margin(d.HOG.Extract(g)) > d.Thresh
 }
 
-// Detect scans the frame at multiple scales for pedestrians.
+// Detect scans the frame at multiple scales for pedestrians on the
+// calling goroutine; see DetectCtx for the parallel engine.
 func (d *PedestrianDetector) Detect(g *img.Gray) []Detection {
-	score := func(w *img.Gray) float64 { return d.Model.Margin(d.HOG.Extract(w)) }
-	dets := scanPyramid(g, PedWindowW, PedWindowH, d.Stride, d.Scale, d.DetectThresh, score, KindPedestrian)
-	return NMS(dets, d.NMSIoU)
+	dets, _ := d.DetectCtx(context.Background(), g, 1) // background ctx: cannot fail
+	return dets
+}
+
+// DetectCtx is Detect with cancellation and a bounded worker pool
+// sharing one per-level feature cache (workers <= 0 means NumCPU).
+// Output is identical for every worker count.
+func (d *PedestrianDetector) DetectCtx(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	scan := hogScan{
+		Cfg: d.HOG, Model: d.Model,
+		WinW: PedWindowW, WinH: PedWindowH,
+		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
+		Kind: KindPedestrian,
+	}
+	dets, err := scan.run(ctx, g, workers)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: pedestrian detect: %w", err)
+	}
+	return NMS(dets, d.NMSIoU), nil
 }
 
 // TrainPedestrianSVM trains the pedestrian model from a crop dataset.

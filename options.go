@@ -1,0 +1,57 @@
+package advdet
+
+// Option configures a System at construction time. Options are
+// applied in order on top of DefaultSystemOptions, so later options
+// win; WithOptions replaces the whole struct and is therefore usually
+// first when mixed with field options.
+type Option func(*SystemOptions)
+
+// WithOptions replaces the entire option struct — the bridge for
+// callers still building a SystemOptions by hand.
+func WithOptions(opt SystemOptions) Option {
+	return func(o *SystemOptions) { *o = opt }
+}
+
+// WithFPS sets the camera frame rate (the paper runs at 50).
+func WithFPS(fps int) Option {
+	return func(o *SystemOptions) { o.FPS = fps }
+}
+
+// WithBitstreamBytes sets the partial bitstream size used by the
+// reconfiguration model.
+func WithBitstreamBytes(n int) Option {
+	return func(o *SystemOptions) { o.BitstreamBytes = n }
+}
+
+// WithInitial sets the boot lighting condition.
+func WithInitial(c Condition) Option {
+	return func(o *SystemOptions) { o.Initial = c }
+}
+
+// WithParallelism bounds the detection worker pool — the software
+// model of the PL's replicated window-evaluation lanes. n <= 0 means
+// runtime.NumCPU(); 1 runs every scan on the calling goroutine.
+// Detection output is identical for every setting.
+func WithParallelism(n int) Option {
+	return func(o *SystemOptions) { o.Parallelism = n }
+}
+
+// WithTimingOnly disables software detection: the system models frame
+// timing and reconfiguration only, for long timing-focused scenarios.
+func WithTimingOnly() Option {
+	return func(o *SystemOptions) { o.RunDetectors = false }
+}
+
+// WithSenseFromImage estimates ambient light from frame pixels
+// instead of the scene's sensor value — the fallback for platforms
+// without the paper's external light sensor.
+func WithSenseFromImage() Option {
+	return func(o *SystemOptions) { o.SenseFromImage = true }
+}
+
+// WithTracking runs the Kalman/Hungarian tracker over detections;
+// confirmed tracks appear in FrameResult.Tracks and coast through the
+// one-frame reconfiguration dropout.
+func WithTracking() Option {
+	return func(o *SystemOptions) { o.EnableTracking = true }
+}

@@ -1,0 +1,63 @@
+package advdet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestProcessFrameDeterministicAcrossParallelism pins the tentpole
+// guarantee: detection output is identical whatever the worker count,
+// in all three lighting conditions.
+func TestProcessFrameDeterministicAcrossParallelism(t *testing.T) {
+	d := getDets(t)
+	for _, cond := range []Condition{Day, Dusk, Dark} {
+		t.Run(cond.String(), func(t *testing.T) {
+			sc := RenderScene(uint64(200+cond), 320, 180, cond)
+			var ref FrameResult
+			for i, par := range []int{1, 2, runtime.NumCPU()} {
+				sys, err := NewSystem(d, WithInitial(cond), WithParallelism(par))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.ProcessFrame(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					ref = res
+					continue
+				}
+				if !reflect.DeepEqual(res.Vehicles, ref.Vehicles) {
+					t.Fatalf("parallelism %d: vehicles differ from serial:\n got %v\nwant %v",
+						par, res.Vehicles, ref.Vehicles)
+				}
+				if !reflect.DeepEqual(res.Pedestrians, ref.Pedestrians) {
+					t.Fatalf("parallelism %d: pedestrians differ from serial:\n got %v\nwant %v",
+						par, res.Pedestrians, ref.Pedestrians)
+				}
+			}
+		})
+	}
+}
+
+func TestProcessFrameCtxPreCancelled(t *testing.T) {
+	sys, err := NewSystem(getDets(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := RenderScene(210, 320, 180, Day)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = sys.ProcessFrameCtx(ctx, sc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled frame took %v", elapsed)
+	}
+}
