@@ -43,6 +43,7 @@ import (
 	"advdet/internal/adaptive"
 	"advdet/internal/eval"
 	"advdet/internal/img"
+	"advdet/internal/metrics"
 	"advdet/internal/pipeline"
 	"advdet/internal/pr"
 	"advdet/internal/soc"
@@ -86,6 +87,9 @@ type (
 	Track = track.Track
 	// Drive is a temporally coherent scene sequence for tracking.
 	Drive = synth.Drive
+	// MetricsSnapshot is the exported state of a System's telemetry
+	// registry (see WithMetrics and System.Snapshot).
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // DefaultSystemOptions returns the paper's operating point: 50 fps,

@@ -173,6 +173,77 @@ func TestTrackingThroughReconfiguration(t *testing.T) {
 	}
 }
 
+func TestMetricsSnapshotEndToEnd(t *testing.T) {
+	// Full-stack telemetry: real detectors, WithMetrics(), a drive
+	// across day -> dusk (free model switch) -> dark (one partial
+	// reconfiguration with its dropped vehicle frame), then the
+	// public snapshot must account for every stage.
+	d := getDets(t)
+	sys, err := NewSystem(d, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 16
+	drops := 0
+	for i := 0; i < frames; i++ {
+		cond := Day
+		switch {
+		case i >= 10:
+			cond = Dark
+		case i >= 5:
+			cond = Dusk
+		}
+		res, err := sys.ProcessFrame(RenderScene(uint64(200+i), 64, 36, cond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VehicleDropped {
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Fatalf("drive dropped %d vehicle frames, want 1", drops)
+	}
+
+	var snap MetricsSnapshot = sys.Snapshot()
+	if !snap.Enabled {
+		t.Fatal("snapshot not enabled despite WithMetrics")
+	}
+	if snap.Frames.Frames != frames {
+		t.Fatalf("frame count %d, want %d", snap.Frames.Frames, frames)
+	}
+	if snap.Frames.DeadlineHits+snap.Frames.DeadlineMisses != frames {
+		t.Fatalf("hits %d + misses %d != %d frames",
+			snap.Frames.DeadlineHits, snap.Frames.DeadlineMisses, frames)
+	}
+	want := map[string]uint64{
+		"sense":           frames,
+		"model-select":    1,          // day->dusk BRAM switch
+		"reconfig":        1,          // dusk->dark bitstream swap
+		"vehicle-scan":    frames - 1, // skipped on the dropped frame
+		"pedestrian-scan": frames,     // static partition, never interrupted
+	}
+	for name, n := range want {
+		st, ok := snap.StageByName(name)
+		if !ok {
+			t.Fatalf("stage %q missing from snapshot", name)
+		}
+		if st.Count != n {
+			t.Fatalf("stage %q count %d, want %d", name, st.Count, n)
+		}
+	}
+	// Software scans run on the CPU: their cost is wall time.
+	for _, name := range []string{"vehicle-scan", "pedestrian-scan"} {
+		if st, _ := snap.StageByName(name); st.WallNSTotal == 0 {
+			t.Fatalf("stage %q recorded no wall time", name)
+		}
+	}
+	// The reconfiguration is simulated hardware: ~20 ms of sim time.
+	if rc, _ := snap.StageByName("reconfig"); rc.SimPSTotal < 19_000_000_000 || rc.SimPSTotal > 22_000_000_000 {
+		t.Fatalf("reconfig stage %d ps outside ~20 ms", rc.SimPSTotal)
+	}
+}
+
 func TestMatchBoxesAPI(t *testing.T) {
 	truth := []Rect{{X0: 0, Y0: 0, X1: 10, Y1: 10}}
 	c := MatchBoxes(truth, truth, 0.5)

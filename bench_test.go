@@ -545,11 +545,16 @@ func BenchmarkDetectProcessFrame(b *testing.B) {
 	dets := Detectors{Day: day, Dusk: day, Dark: dark, Pedestrian: ped}
 	sc := synth.RenderScene(synth.NewRNG(9), synth.DefaultSceneConfig(640, 360, synth.Day))
 	for _, bc := range []struct {
-		name string
-		par  int
-	}{{"serial", 1}, {"parallel", 0}} {
+		name    string
+		par     int
+		metrics bool
+	}{{"serial", 1, false}, {"parallel", 0, false}, {"metrics", 1, true}} {
 		b.Run(bc.name, func(b *testing.B) {
-			sys, err := NewSystem(dets, WithParallelism(bc.par))
+			opts := []Option{WithParallelism(bc.par)}
+			if bc.metrics {
+				opts = append(opts, WithMetrics())
+			}
+			sys, err := NewSystem(dets, opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -585,15 +590,29 @@ func BenchmarkDetectDayDusk(b *testing.B) {
 }
 
 // BenchmarkAdaptiveFrame measures one timing-mode frame through the
-// adaptive system.
+// adaptive system, with telemetry off and on. The delta between the
+// two sub-benchmarks is the whole per-frame metrics cost on the
+// timing-only path, where no detection work hides it.
 func BenchmarkAdaptiveFrame(b *testing.B) {
-	sys, err := NewSystem(Detectors{}, WithTimingOnly())
-	if err != nil {
-		b.Fatal(err)
-	}
-	sc := synth.RenderScene(synth.NewRNG(63), synth.DefaultSceneConfig(64, 36, synth.Day))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys.ProcessFrame(sc)
+	for _, bc := range []struct {
+		name    string
+		metrics bool
+	}{{"off", false}, {"metrics", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := []Option{WithTimingOnly()}
+			if bc.metrics {
+				opts = append(opts, WithMetrics())
+			}
+			sys, err := NewSystem(Detectors{}, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := synth.RenderScene(synth.NewRNG(63), synth.DefaultSceneConfig(64, 36, synth.Day))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.ProcessFrame(sc)
+			}
+		})
 	}
 }

@@ -6,13 +6,17 @@
 //
 //	advdet [-scenario tunnel|night] [-w 640] [-h 360] [-fps 50]
 //	       [-seed 1] [-timing-only] [-snapshots dir]
+//	       [-metrics file] [-metrics-json file] [-pprof addr]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 
@@ -37,7 +41,19 @@ func main() {
 	snapshots := flag.String("snapshots", "", "directory for PPM overlay snapshots (optional)")
 	modelDir := flag.String("models", "", "load a trained bundle (from cmd/trainmodels) instead of retraining")
 	jsonOut := flag.String("json", "", "write a machine-readable run report to this file")
+	metricsOut := flag.String("metrics", "", "write frame-budget telemetry in Prometheus text format to this file (\"-\" for stdout)")
+	metricsJSON := flag.String("metrics-json", "", "write the telemetry snapshot as JSON to this file (\"-\" for stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var scenario *synth.Scenario
 	switch *scenarioName {
@@ -74,6 +90,9 @@ func main() {
 	sysOpts := []advdet.Option{advdet.WithFPS(*fps), advdet.WithInitial(cond0)}
 	if *timingOnly {
 		sysOpts = append(sysOpts, advdet.WithTimingOnly())
+	}
+	if *metricsOut != "" || *metricsJSON != "" {
+		sysOpts = append(sysOpts, advdet.WithMetrics())
 	}
 	sys, err := advdet.NewSystem(dets, sysOpts...)
 	if err != nil {
@@ -172,6 +191,34 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *jsonOut)
 	}
+
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, sys.Metrics().WriteProm); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsJSON != "" {
+		if err := writeTo(*metricsJSON, sys.Snapshot().WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTo streams fn's output to the named file, or to stdout for "-".
+func writeTo(path string, fn func(w io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("telemetry written to %s\n", path)
+	return f.Close()
 }
 
 // runReport is the machine-readable run summary (-json).

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	benchrepro [-table1] [-table2] [-reconfig] [-dark] [-fps] [-all]
-//	           [-quick]
+//	           [-quick] [-json file]
 //
 // With no selection flags, -all is assumed. -quick shrinks the
-// Table I datasets (for CI-speed runs).
+// Table I datasets (for CI-speed runs). -json runs the timing-mode
+// performance benchmark alone (fast, no training) and writes the
+// schema-stable report (BENCH_pr3.json) to the given file; combine
+// with other flags to also run those sections.
 package main
 
 import (
@@ -34,10 +37,31 @@ func main() {
 	av := flag.Bool("adaptive", false, "system-level adaptive vs fixed-pipeline comparison")
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "smaller Table I datasets")
+	jsonOut := flag.String("json", "", "write the machine-readable performance report (BENCH_pr3.json schema) to this file")
 	flag.Parse()
 
-	if !(*t1 || *t2 || *rc || *dk || *fp || *bl || *sw || *av) {
+	if !(*t1 || *t2 || *rc || *dk || *fp || *bl || *sw || *av || *jsonOut != "") {
 		*all = true
+	}
+
+	if *jsonOut != "" {
+		rep, err := experiments.PerfBench()
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.WritePerf(os.Stdout, rep)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WritePerfJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("performance report written to %s\n\n", *jsonOut)
 	}
 
 	if *all || *t1 {

@@ -6,12 +6,16 @@
 // Usage:
 //
 //	socsim [-frames 200] [-fps 50] [-csv trace.csv]
+//	       [-metrics file] [-metrics-json file] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"advdet/internal/adaptive"
@@ -28,12 +32,25 @@ func main() {
 	frames := flag.Int("frames", 200, "frames to simulate")
 	fps := flag.Int("fps", 50, "camera frame rate")
 	csvPath := flag.String("csv", "", "write the full event trace as CSV")
+	metricsOut := flag.String("metrics", "", "write frame-budget telemetry in Prometheus text format to this file (\"-\" for stdout)")
+	metricsJSON := flag.String("metrics-json", "", "write the telemetry snapshot as JSON to this file (\"-\" for stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	opt := adaptive.DefaultOptions()
 	opt.FPS = *fps
 	opt.RunDetectors = false
 	opt.Initial = synth.Day
+	opt.EnableMetrics = *metricsOut != "" || *metricsJSON != ""
 	// Placeholder models so the BRAM model bank is instantiated and
 	// its register traffic appears in the trace; timing mode never
 	// evaluates them.
@@ -115,4 +132,32 @@ func main() {
 		}
 		fmt.Printf("full trace written to %s\n", *csvPath)
 	}
+
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, sys.Metrics().WriteProm); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsJSON != "" {
+		if err := writeTo(*metricsJSON, sys.Snapshot().WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTo streams fn's output to the named file, or to stdout for "-".
+func writeTo(path string, fn func(w io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("telemetry written to %s\n", path)
+	return f.Close()
 }

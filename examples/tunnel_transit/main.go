@@ -33,7 +33,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys, err := advdet.NewSystem(dets, advdet.WithFPS(fps))
+	sys, err := advdet.NewSystem(dets, advdet.WithFPS(fps), advdet.WithMetrics())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +78,20 @@ func main() {
 	if n := len(st.Reconfigs); n == 1 && st.Reconfigs[0].To.String() == "dark" {
 		fmt.Println("  -> as in the paper: the lit tunnel is handled as dusk with no")
 		fmt.Println("     reconfiguration; only true darkness swaps the bitstream.")
+	}
+
+	// The telemetry layer (WithMetrics) accounts every frame against
+	// its slot deadline — the software analogue of watching the ARM
+	// event counters during a drive.
+	snap := sys.Snapshot()
+	fmt.Printf("\nframe budget (telemetry snapshot):\n")
+	fmt.Printf("  deadline hits/misses:    %d / %d\n",
+		snap.Frames.DeadlineHits, snap.Frames.DeadlineMisses)
+	fmt.Printf("  hw latency p50/p99:      %.3f / %.3f ms of the %.0f ms slot\n",
+		float64(snap.Frames.LatencyP50PS)/1e9, float64(snap.Frames.LatencyP99PS)/1e9, 1000/float64(fps))
+	if rc, ok := snap.StageByName("reconfig"); ok && rc.Count > 0 {
+		fmt.Printf("  reconfig stage:          %d run(s), %.2f ms total\n",
+			rc.Count, float64(rc.SimPSTotal)/1e9)
 	}
 	_ = synth.Dark
 }

@@ -81,6 +81,66 @@ func TestMonitorNoiseSpikeIgnored(t *testing.T) {
 	}
 }
 
+func TestMonitorDebounceOneSwitchesImmediately(t *testing.T) {
+	// Debounce=1 is the degenerate-but-valid minimum: the first
+	// disagreeing frame switches, with no waiting period.
+	m := NewMonitor(synth.Day)
+	m.Debounce = 1
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Debounce=1 rejected: %v", err)
+	}
+	if got := m.Update(10); got != synth.Dark {
+		t.Fatalf("first dark frame with Debounce=1 gave %v, want immediate switch", got)
+	}
+	if got := m.Update(10000); got != synth.Day {
+		t.Fatalf("first day frame with Debounce=1 gave %v, want immediate switch", got)
+	}
+}
+
+func TestMonitorOscillationAtHysteresisBoundary(t *testing.T) {
+	// Readings landing exactly ON the band edges (the strict < / >
+	// comparisons) belong to the current condition, so a signal
+	// oscillating between the two edge values of the dusk/dark band
+	// must never switch, from either side.
+	m := NewMonitor(synth.Dusk)
+	for i := 0; i < 20; i++ {
+		lux := m.DuskDarkDown // exactly 40: not < 40, stays dusk
+		if i%2 == 1 {
+			lux = m.DuskDarkUp // exactly 70
+		}
+		if got := m.Update(lux); got != synth.Dusk {
+			t.Fatalf("boundary oscillation flipped dusk to %v at frame %d", got, i)
+		}
+	}
+	m = NewMonitor(synth.Dark)
+	for i := 0; i < 20; i++ {
+		lux := m.DuskDarkUp // exactly 70: not > 70, stays dark
+		if i%2 == 1 {
+			lux = m.DuskDarkDown
+		}
+		if got := m.Update(lux); got != synth.Dark {
+			t.Fatalf("boundary oscillation flipped dark to %v at frame %d", got, i)
+		}
+	}
+}
+
+func TestMonitorPendingSwitchCancelledByAgreement(t *testing.T) {
+	// A single frame agreeing with the current condition must fully
+	// reset the debounce counter: two dark frames, one dusk frame,
+	// then two more dark frames is never three consecutive darks.
+	m := NewMonitor(synth.Dusk)
+	feedN(m, 5, 2) // pending dark, one short of Debounce=3
+	if got := m.Update(300); got != synth.Dusk {
+		t.Fatalf("agreement frame gave %v", got)
+	}
+	if got := feedN(m, 5, 2); got != synth.Dusk {
+		t.Fatalf("switched after 2 darks post-reset: %v (stale debounce counter)", got)
+	}
+	if got := m.Update(5); got != synth.Dark {
+		t.Fatalf("third consecutive dark gave %v, want the switch", got)
+	}
+}
+
 func TestMonitorInvalidBandsError(t *testing.T) {
 	m := NewMonitor(synth.Day)
 	if err := m.Validate(); err != nil {

@@ -3,9 +3,11 @@ package adaptive
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"advdet/internal/fpga"
 	"advdet/internal/img"
+	"advdet/internal/metrics"
 	"advdet/internal/par"
 	"advdet/internal/pipeline"
 	"advdet/internal/pr"
@@ -75,6 +77,12 @@ type Options struct {
 	// <= 0 select runtime.NumCPU(); 1 runs every scan on the calling
 	// goroutine. Detection output is identical for every setting.
 	Parallelism int
+	// EnableMetrics attaches the frame-budget telemetry registry
+	// (internal/metrics): per-stage counters and histograms in
+	// simulated and wall time plus slot-deadline accounting, exposed
+	// through Metrics() and Snapshot(). Disabled, the per-frame path
+	// performs no metrics work at all.
+	EnableMetrics bool
 }
 
 // DefaultOptions returns the paper's operating point.
@@ -102,9 +110,13 @@ type Stats struct {
 	VehicleDropped   int // vehicle-detection frames lost to reconfiguration
 	PedestrianFrames int // pedestrian frames processed (never drops)
 	ModelSwitches    int // day<->dusk BRAM model selects (free: no reconfig)
-	// SlotOverruns counts frames whose hardware processing (DMA +
-	// pipeline) finished after the frame slot ended — the soft
-	// real-time violations that would eventually drop frames. Zero at
+	// SlotOverruns counts streams whose hardware processing (DMA +
+	// pipeline, including any port queueing) finished after the frame
+	// slot's deadline — the soft real-time violations that would
+	// accumulate into dropped frames. The comparison is against the
+	// absolute slot end (slot start + period), so a stream launched
+	// late in the slot (the post-reconfiguration catch-up frame) is
+	// held to the same deadline as one launched at slot start. Zero at
 	// the paper's 50 fps operating point.
 	SlotOverruns int
 	Reconfigs    []Reconfiguration
@@ -135,10 +147,12 @@ type System struct {
 
 	loaded        ConfigID
 	reconfiguring bool
+	epoch         uint64 // simulated time when boot finished; slot 0 starts here
 	frameIdx      int
 	stats         Stats
 	tracker       *track.Tracker
 	bank          *ModelBank
+	metrics       *metrics.Registry
 }
 
 // New boots the system: it builds the platform, stages both partial
@@ -162,21 +176,40 @@ func New(dets Detectors, opt Options) (*System, error) {
 	if opt.EnableTracking {
 		s.tracker = track.NewTracker(track.DefaultConfig())
 	}
+	if opt.EnableMetrics {
+		s.metrics = metrics.NewRegistry()
+	}
 	if dets.Day != nil && dets.Dusk != nil {
 		s.bank = NewModelBank(s.Z.Sim, s.Z.GP0, dets.Day.Model, dets.Dusk.Model)
 		if opt.Initial == synth.Dusk {
-			_ = s.bank.Select(1)
+			if err := s.bank.Select(1); err != nil {
+				return nil, fmt.Errorf("adaptive: selecting dusk model at boot: %w", err)
+			}
 		}
 	}
 	s.PR.Stage(s.Z, CfgDayDusk.String(), opt.BitstreamBytes, nil)
 	s.PR.Stage(s.Z, CfgDark.String(), opt.BitstreamBytes, nil)
 	s.Z.Sim.Run() // complete boot staging before frame 0
+	// The camera's slot clock is anchored here: frame 0's slot begins
+	// when boot completes, so the one-time staging cost is not charged
+	// against frame 0's real-time budget.
+	s.epoch = s.Z.Sim.Now()
 	return s, nil
 }
 
-// framePeriodPS returns one frame slot in picoseconds.
-func (s *System) framePeriodPS() uint64 {
-	return uint64(1e12 / float64(s.Opt.FPS))
+// psPerSecond is one second of simulated time.
+const psPerSecond = 1_000_000_000_000
+
+// slotStartPS returns the exact start of frame slot i in simulated
+// picoseconds, anchored at the post-boot epoch. Whole seconds resolve
+// exactly and the remaining frames split the second with integer
+// arithmetic, so the non-divisible picoseconds of rates like 30 or
+// 60 fps distribute across the second instead of accumulating: slot
+// boundaries never drift from real time no matter how long the
+// scenario runs.
+func (s *System) slotStartPS(i int) uint64 {
+	fps := uint64(s.Opt.FPS)
+	return s.epoch + uint64(i)/fps*psPerSecond + uint64(i)%fps*psPerSecond/fps
 }
 
 // Loaded returns the currently loaded partial configuration.
@@ -195,6 +228,15 @@ func (s *System) Stats() Stats {
 
 // workers resolves the Parallelism knob for this frame's scans.
 func (s *System) workers() int { return par.Workers(s.Opt.Parallelism) }
+
+// Metrics returns the telemetry registry, or nil when metrics are
+// disabled. All registry methods are nil-safe, so callers may use the
+// result unconditionally.
+func (s *System) Metrics() *metrics.Registry { return s.metrics }
+
+// Snapshot exports the telemetry registry's current state. With
+// metrics disabled it returns a zero snapshot with Enabled=false.
+func (s *System) Snapshot() metrics.Snapshot { return s.metrics.Snapshot() }
 
 // ProcessFrame is ProcessFrameCtx without cancellation.
 func (s *System) ProcessFrame(sc *synth.Scene) (FrameResult, error) {
@@ -226,17 +268,29 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	if err := s.Monitor.Validate(); err != nil {
 		return FrameResult{}, err
 	}
+	var frameWall time.Time
+	if s.metrics != nil {
+		frameWall = time.Now()
+	}
 	// Advance the platform to this frame's slot; pending DMA and
 	// reconfiguration completions scheduled earlier fire here.
-	slotStart := uint64(s.frameIdx) * s.framePeriodPS()
+	slotStart := s.slotStartPS(s.frameIdx)
+	slotDeadline := s.slotStartPS(s.frameIdx + 1)
 	s.Z.Sim.RunUntil(slotStart)
 
 	res := FrameResult{Index: s.frameIdx}
+	var senseWall time.Time
+	if s.metrics != nil {
+		senseWall = time.Now()
+	}
 	lux := sc.Lux
 	if s.Opt.SenseFromImage {
 		lux = EstimateLux(sc.Frame)
 	}
 	cond := s.Monitor.Update(lux)
+	if s.metrics != nil {
+		s.metrics.StageObserve(metrics.StageSense, 0, uint64(time.Since(senseWall)))
+	}
 	res.Cond = cond
 	need := configFor(cond)
 
@@ -248,8 +302,13 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	}
 
 	// Day<->dusk is a BRAM model select on the running configuration:
-	// one AXI-Lite write, no reconfiguration, no dropped frame.
-	if s.bank != nil && need == CfgDayDusk {
+	// one AXI-Lite write, no reconfiguration, no dropped frame. It is
+	// gated on no reconfiguration being in flight: the select register
+	// lives in the partition being rewritten, and an AXI-Lite write
+	// into a partial bitstream mid-load is undefined on real hardware.
+	// A select deferred by an in-flight reconfiguration happens on the
+	// first clean frame after it completes.
+	if s.bank != nil && need == CfgDayDusk && !s.reconfiguring {
 		slot := 0
 		if cond == synth.Dusk {
 			slot = 1
@@ -258,30 +317,50 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 		if err := s.bank.Select(slot); err == nil && s.bank.Switches > before {
 			s.stats.ModelSwitches++
 			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "model-select", cond.String())
+			if s.metrics != nil {
+				s.metrics.StageObserve(metrics.StageModelSelect, 0, 0)
+			}
 		}
 	}
 
-	// Vehicle detection: the reconfigurable partition is unusable
-	// while its bitstream is being rewritten, and useless if the
-	// loaded algorithm does not match the condition. Frames are
-	// buffered in DDR by the input DMA, so a reconfiguration that
-	// spills slightly into the next slot does not cost that next
-	// frame: the drop decision is taken at mid-slot, which makes an
-	// ~20.5 ms reconfiguration cost exactly one frame at 50 fps, as
-	// the paper reports.
-	s.Z.Sim.RunUntil(slotStart + s.framePeriodPS()/2)
 	// A pipeline sustains the camera rate only if each frame's
-	// processing (DMA + pipeline, including any port queueing) fits
-	// one slot period; longer processing is a soft real-time overrun
-	// that would accumulate into dropped frames.
-	period := s.framePeriodPS()
+	// hardware processing (DMA + pipeline, including any port
+	// queueing) finishes by the end of the frame slot; a later finish
+	// is a soft real-time overrun that would accumulate into dropped
+	// frames. hwFinish tracks the latest completion for the frame's
+	// budget accounting.
+	var hwFinish uint64
 	stream := func(pipe soc.PipelineModel, hp *soc.BurstLink, irq int) {
 		start := s.Z.Sim.Now()
 		finish := s.Z.StreamFrame(pipe, sc.Frame.W, sc.Frame.H, 3, hp, irq, nil)
-		if finish-start > period {
+		if finish > hwFinish {
+			hwFinish = finish
+		}
+		if s.metrics != nil {
+			s.metrics.StageObserve(metrics.StageDMAStream, finish-start, 0)
+		}
+		if finish > slotDeadline {
 			s.stats.SlotOverruns++
 			s.Z.Trace.Record(start, "adaptive", "slot-overrun", pipe.Name)
 		}
+	}
+
+	// Pedestrian detection: static partition, capture-synchronous and
+	// never interrupted.
+	stream(s.Z.PedestrianPipe, s.Z.HP1, soc.IRQPedestrianDMA)
+
+	// Vehicle detection: the reconfigurable partition is unusable
+	// while its bitstream is being rewritten, and useless if the
+	// loaded algorithm does not match the condition. In steady state
+	// the stream launches at slot start, in lockstep with capture.
+	// During a reconfiguration the frame sits buffered in DDR by the
+	// input DMA and the drop decision is deferred to mid-slot: a
+	// reconfiguration that spills slightly into this slot does not
+	// cost this frame (the buffered pixels are processed late, from
+	// DDR), which makes an ~20.5 ms reconfiguration cost exactly one
+	// frame at 50 fps, as the paper reports.
+	if s.reconfiguring || need != s.loaded {
+		s.Z.Sim.RunUntil(slotStart + (slotDeadline-slotStart)/2)
 	}
 	if s.reconfiguring || need != s.loaded {
 		res.VehicleDropped = true
@@ -291,20 +370,32 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	} else {
 		stream(s.Z.VehiclePipe, s.Z.HP0, soc.IRQVehicleDMA)
 		if s.Opt.RunDetectors {
+			var scanWall time.Time
+			if s.metrics != nil {
+				scanWall = time.Now()
+			}
 			vehicles, err := s.detectVehicles(ctx, sc, cond)
 			if err != nil {
 				return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
+			}
+			if s.metrics != nil {
+				s.metrics.StageObserve(metrics.StageVehicleScan, 0, uint64(time.Since(scanWall)))
 			}
 			res.Vehicles = vehicles
 		}
 	}
 
-	// Pedestrian detection: static partition, never interrupted.
-	stream(s.Z.PedestrianPipe, s.Z.HP1, soc.IRQPedestrianDMA)
 	if s.Opt.RunDetectors && s.Dets.Pedestrian != nil {
+		var scanWall time.Time
+		if s.metrics != nil {
+			scanWall = time.Now()
+		}
 		peds, err := s.Dets.Pedestrian.DetectCtx(ctx, img.RGBToGray(sc.Frame), s.workers())
 		if err != nil {
 			return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
+		}
+		if s.metrics != nil {
+			s.metrics.StageObserve(metrics.StagePedestrianScan, 0, uint64(time.Since(scanWall)))
 		}
 		res.Pedestrians = peds
 	}
@@ -321,6 +412,17 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 
 	s.stats.Frames++
 	s.frameIdx++
+	if s.metrics != nil {
+		s.metrics.FrameObserve(hwFinish-slotStart,
+			int64(slotDeadline)-int64(hwFinish), uint64(time.Since(frameWall)))
+		s.metrics.SetGauge(metrics.GaugeLoadedConfig, uint64(s.loaded))
+		inFlight := uint64(0)
+		if s.reconfiguring {
+			inFlight = 1
+		}
+		s.metrics.SetGauge(metrics.GaugeReconfigInFlight, inFlight)
+		s.metrics.SetGauge(metrics.GaugeFrameIndex, uint64(res.Index))
+	}
 	return res, nil
 }
 
@@ -363,6 +465,10 @@ func (s *System) startReconfig(target ConfigID) error {
 		s.loaded = target
 		s.reconfiguring = false
 		s.stats.Reconfigs[idx].DonePS = s.Z.Sim.Now()
+		if s.metrics != nil {
+			s.metrics.StageObserve(metrics.StageReconfig,
+				s.stats.Reconfigs[idx].DonePS-s.stats.Reconfigs[idx].StartPS, 0)
+		}
 	})
 	if err != nil {
 		s.reconfiguring = false

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"advdet/internal/adaptive"
+	"advdet/internal/metrics"
+	"advdet/internal/pipeline"
+	"advdet/internal/soc"
+	"advdet/internal/svm"
+	"advdet/internal/synth"
+)
+
+// PerfSchema identifies the machine-readable performance report
+// format. Bump only on breaking changes; additive fields keep the
+// version.
+const PerfSchema = "advdet-bench/v1"
+
+// ControllerPerf is one reconfiguration controller's measured
+// performance inside a PerfReport.
+type ControllerPerf struct {
+	Name       string  `json:"name"`
+	MBPerSec   float64 `json:"mb_per_sec"`
+	ReconfigMS float64 `json:"reconfig_ms"`
+}
+
+// PerfReport is the schema-stable performance summary emitted as
+// BENCH_pr3.json: the headline frame-rate and latency numbers of the
+// paper's §IV/§V plus the full telemetry snapshot for drill-down.
+type PerfReport struct {
+	Schema          string  `json:"schema"`
+	CameraFPS       int     `json:"camera_fps"`
+	ModeledFPS1080p float64 `json:"modeled_fps_1080p"`
+
+	// Timing-mode drive across day -> dusk -> dark -> day.
+	Frames               int     `json:"frames"`
+	FrameLatencyP50MS    float64 `json:"frame_latency_p50_ms"`
+	FrameLatencyP99MS    float64 `json:"frame_latency_p99_ms"`
+	DeadlineHits         uint64  `json:"deadline_hits"`
+	DeadlineMisses       uint64  `json:"deadline_misses"`
+	ReconfigMS           float64 `json:"reconfig_ms"`
+	VehicleFramesDropped int     `json:"vehicle_frames_dropped"`
+	ModelSwitches        int     `json:"model_switches"`
+	SlotOverruns         int     `json:"slot_overruns"`
+
+	Controllers []ControllerPerf `json:"controllers"`
+
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// PerfBench produces the PerfReport: a 120-frame timing-mode drive
+// spanning all three conditions (one free model switch, two partial
+// reconfigurations) with telemetry enabled, plus the §IV-A controller
+// comparison. Everything runs on simulated time, so the report is
+// deterministic apart from the wall-clock histograms inside Metrics.
+func PerfBench() (PerfReport, error) {
+	rep := PerfReport{
+		Schema:          PerfSchema,
+		CameraFPS:       50,
+		ModeledFPS1080p: FrameRate(),
+	}
+
+	opt := adaptive.DefaultOptions()
+	opt.RunDetectors = false
+	opt.EnableMetrics = true
+	// Placeholder models instantiate the BRAM model bank so the free
+	// day<->dusk switch appears in the report; timing mode never
+	// evaluates them.
+	sys, err := adaptive.New(adaptive.Detectors{
+		Day:  pipeline.NewDayDuskDetector(&svm.Model{W: make([]float64, 1)}),
+		Dusk: pipeline.NewDayDuskDetector(&svm.Model{W: make([]float64, 1)}),
+	}, opt)
+	if err != nil {
+		return rep, err
+	}
+
+	const frames = 120
+	rng := synth.NewRNG(9)
+	condAt := func(i int) (synth.Condition, float64) {
+		switch {
+		case i < frames/4:
+			return synth.Day, 10000
+		case i < frames/2:
+			return synth.Dusk, 300
+		case i < 3*frames/4:
+			return synth.Dark, 5
+		default:
+			return synth.Day, 10000
+		}
+	}
+	for i := 0; i < frames; i++ {
+		cond, lux := condAt(i)
+		sc := synth.RenderScene(rng.Split(), synth.SceneConfig{W: 64, H: 36, Cond: cond})
+		sc.Lux = lux
+		if _, err := sys.ProcessFrame(sc); err != nil {
+			return rep, err
+		}
+	}
+
+	st := sys.Stats()
+	snap := sys.Snapshot()
+	rep.Frames = st.Frames
+	rep.FrameLatencyP50MS = float64(snap.Frames.LatencyP50PS) / 1e9
+	rep.FrameLatencyP99MS = float64(snap.Frames.LatencyP99PS) / 1e9
+	rep.DeadlineHits = snap.Frames.DeadlineHits
+	rep.DeadlineMisses = snap.Frames.DeadlineMisses
+	rep.VehicleFramesDropped = st.VehicleDropped
+	rep.ModelSwitches = st.ModelSwitches
+	rep.SlotOverruns = st.SlotOverruns
+	rep.Metrics = snap
+	for _, r := range st.Reconfigs {
+		if r.DonePS == 0 {
+			return rep, fmt.Errorf("experiments: reconfiguration at frame %d never completed", r.Frame)
+		}
+		if ms := soc.Seconds(r.DonePS-r.StartPS) * 1e3; ms > rep.ReconfigMS {
+			rep.ReconfigMS = ms
+		}
+	}
+
+	results, err := ReconfigComparison()
+	if err != nil {
+		return rep, err
+	}
+	for _, r := range results {
+		rep.Controllers = append(rep.Controllers, ControllerPerf{
+			Name:       r.Controller,
+			MBPerSec:   r.MBPerSec,
+			ReconfigMS: soc.Seconds(r.PS) * 1e3,
+		})
+	}
+	return rep, nil
+}
+
+// WritePerfJSON writes the report as indented JSON.
+func (p PerfReport) WritePerfJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WritePerf prints the report's headline rows for humans.
+func WritePerf(w io.Writer, p PerfReport) {
+	fmt.Fprintln(w, "performance summary (timing-mode drive, day->dusk->dark->day):")
+	fmt.Fprintf(w, "  camera rate: %d fps; modeled pipeline at 1080p: %.1f fps\n",
+		p.CameraFPS, p.ModeledFPS1080p)
+	fmt.Fprintf(w, "  %d frames: latency p50 %.3f ms / p99 %.3f ms, deadline %d hit / %d missed\n",
+		p.Frames, p.FrameLatencyP50MS, p.FrameLatencyP99MS, p.DeadlineHits, p.DeadlineMisses)
+	fmt.Fprintf(w, "  reconfiguration %.2f ms; %d vehicle frame(s) dropped, %d model switch(es), %d overrun(s)\n",
+		p.ReconfigMS, p.VehicleFramesDropped, p.ModelSwitches, p.SlotOverruns)
+	for _, c := range p.Controllers {
+		fmt.Fprintf(w, "  controller %-12s %7.1f MB/s, %7.2f ms per 8 MB bitstream\n",
+			c.Name, c.MBPerSec, c.ReconfigMS)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"advdet/internal/pr"
+)
+
+// TestPerfBenchReportSchema pins the BENCH_pr3.json contract: the
+// schema tag, the drive shape, and the fields downstream tooling keys
+// on. Breaking any of these requires a schema bump.
+func TestPerfBenchReportSchema(t *testing.T) {
+	rep, err := PerfBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != PerfSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, PerfSchema)
+	}
+	if rep.CameraFPS != 50 {
+		t.Fatalf("camera fps %d", rep.CameraFPS)
+	}
+	if rep.ModeledFPS1080p < 48 || rep.ModeledFPS1080p > 55 {
+		t.Fatalf("modeled 1080p fps %.1f outside the paper's band", rep.ModeledFPS1080p)
+	}
+	if rep.Frames != 120 {
+		t.Fatalf("frames %d, want 120", rep.Frames)
+	}
+	if rep.DeadlineHits+rep.DeadlineMisses != uint64(rep.Frames) {
+		t.Fatalf("hits %d + misses %d != frames %d",
+			rep.DeadlineHits, rep.DeadlineMisses, rep.Frames)
+	}
+	// The drive crosses dusk->dark and dark->day: two partial
+	// reconfigurations, each ~20 ms on dma-icap (paper §IV-B).
+	if rep.ReconfigMS < 19 || rep.ReconfigMS > 22 {
+		t.Fatalf("reconfig %.2f ms outside [19, 22]", rep.ReconfigMS)
+	}
+	if rep.VehicleFramesDropped == 0 {
+		t.Fatal("drive with two reconfigurations dropped no vehicle frames")
+	}
+	if !rep.Metrics.Enabled {
+		t.Fatal("report's telemetry snapshot not enabled")
+	}
+	if sense, ok := rep.Metrics.StageByName("sense"); !ok || sense.Count != uint64(rep.Frames) {
+		t.Fatalf("sense stage count %d, want %d", sense.Count, rep.Frames)
+	}
+
+	// Controllers appear in pr.All() order with positive throughputs.
+	all := pr.All()
+	if len(rep.Controllers) != len(all) {
+		t.Fatalf("%d controllers, want %d", len(rep.Controllers), len(all))
+	}
+	for i, c := range rep.Controllers {
+		if c.Name != all[i].Name() {
+			t.Fatalf("controller[%d] = %q, want %q", i, c.Name, all[i].Name())
+		}
+		if c.MBPerSec <= 0 || c.ReconfigMS <= 0 {
+			t.Fatalf("controller %s has non-positive perf: %+v", c.Name, c)
+		}
+	}
+}
+
+// TestPerfBenchJSONRoundTrip ensures the emitted JSON carries every
+// schema field faithfully through encode/decode.
+func TestPerfBenchJSONRoundTrip(t *testing.T) {
+	rep, err := PerfBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WritePerfJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got PerfReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != rep.Schema || got.Frames != rep.Frames ||
+		got.DeadlineHits != rep.DeadlineHits || len(got.Controllers) != len(rep.Controllers) {
+		t.Fatalf("round trip lost fields:\n got %+v\nwant %+v", got, rep)
+	}
+	// The raw JSON must expose the stable top-level keys by name.
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"schema", "camera_fps", "modeled_fps_1080p", "frames",
+		"frame_latency_p50_ms", "frame_latency_p99_ms", "deadline_hits", "deadline_misses",
+		"reconfig_ms", "vehicle_frames_dropped", "model_switches", "slot_overruns",
+		"controllers", "metrics"} {
+		if _, ok := keys[k]; !ok {
+			t.Fatalf("JSON missing key %q", k)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram over uint64 samples (ps or
+// ns). Bounds are upper edges in ascending order; one implicit
+// overflow bucket catches everything above the last bound. Observe is
+// lock-free and allocation-free; exact count, sum, min and max ride
+// along so quantile estimates can be clamped to observed extremes.
+//
+// The zero value is unusable; it must be initialised with init (done
+// by NewRegistry). Histograms are value fields inside Registry so the
+// whole arena is one allocation.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	min    atomic.Uint64
+	max    atomic.Uint64
+}
+
+func (h *Histogram) init(bounds []uint64) {
+	h.bounds = bounds
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	h.min.Store(math.MaxUint64)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h.counts == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMin(&h.min, v)
+	atomicMax(&h.max, v)
+}
+
+func atomicMin(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running total of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Min returns the smallest observed sample (0 if none).
+func (h *Histogram) Min() uint64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of all samples (0 if none).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank, clamped to
+// the observed min/max so coarse buckets never report values outside
+// the sample range. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 || h.counts == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := h.bucketEdges(i)
+			frac := (rank - cum) / c
+			est := float64(lo) + frac*float64(hi-lo)
+			return clampU64(est, h.Min(), h.Max())
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// bucketEdges returns the [lo, hi] value range of bucket i, using the
+// observed max as the upper edge of the overflow bucket.
+func (h *Histogram) bucketEdges(i int) (lo, hi uint64) {
+	if i > 0 {
+		lo = h.bounds[i-1]
+	}
+	if i < len(h.bounds) {
+		hi = h.bounds[i]
+	} else {
+		hi = h.Max()
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func clampU64(v float64, lo, hi uint64) uint64 {
+	if v < float64(lo) {
+		return lo
+	}
+	if v > float64(hi) {
+		return hi
+	}
+	return uint64(v)
+}
+
+// BucketCount is one exported (upper-bound, cumulative-count) pair.
+type BucketCount struct {
+	UpperBound uint64 `json:"le"` // math.MaxUint64 for the overflow bucket
+	Count      uint64 `json:"count"`
+}
+
+// Buckets returns the cumulative bucket counts, Prometheus-style.
+// Allocates; intended for export, not the hot path.
+func (h *Histogram) Buckets() []BucketCount {
+	out := make([]BucketCount, len(h.counts))
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := uint64(math.MaxUint64)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = BucketCount{UpperBound: ub, Count: cum}
+	}
+	return out
+}

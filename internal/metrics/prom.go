@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (metric families prefixed advdet_), so a scrape endpoint or a
+// file dump drops straight into existing tooling. Output order is
+// deterministic. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP advdet_stage_invocations_total Stage invocations per frame-datapath stage.\n")
+	p("# TYPE advdet_stage_invocations_total counter\n")
+	for i := Stage(0); i < NumStages; i++ {
+		p("advdet_stage_invocations_total{stage=%q} %d\n", i.String(), r.stages[i].count.Load())
+	}
+	p("# HELP advdet_stage_sim_picoseconds_total Simulated time spent per stage.\n")
+	p("# TYPE advdet_stage_sim_picoseconds_total counter\n")
+	for i := Stage(0); i < NumStages; i++ {
+		p("advdet_stage_sim_picoseconds_total{stage=%q} %d\n", i.String(), r.stages[i].simPS.Load())
+	}
+	p("# HELP advdet_stage_wall_nanoseconds_total Wall-clock time spent per stage.\n")
+	p("# TYPE advdet_stage_wall_nanoseconds_total counter\n")
+	for i := Stage(0); i < NumStages; i++ {
+		p("advdet_stage_wall_nanoseconds_total{stage=%q} %d\n", i.String(), r.stages[i].wallNS.Load())
+	}
+
+	p("# HELP advdet_frames_total Frames processed.\n")
+	p("# TYPE advdet_frames_total counter\n")
+	p("advdet_frames_total %d\n", r.frame.frames.Load())
+	p("# HELP advdet_frame_deadline_hits_total Frames whose hardware path met the slot deadline.\n")
+	p("# TYPE advdet_frame_deadline_hits_total counter\n")
+	p("advdet_frame_deadline_hits_total %d\n", r.frame.hits.Load())
+	p("# HELP advdet_frame_deadline_misses_total Frames whose hardware path missed the slot deadline.\n")
+	p("# TYPE advdet_frame_deadline_misses_total counter\n")
+	p("advdet_frame_deadline_misses_total %d\n", r.frame.misses.Load())
+
+	writeHist := func(name, help string, h *Histogram) {
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s histogram\n", name)
+		for _, b := range h.Buckets() {
+			le := "+Inf"
+			if b.UpperBound != math.MaxUint64 {
+				le = fmt.Sprintf("%d", b.UpperBound)
+			}
+			p("%s_bucket{le=%q} %d\n", name, le, b.Count)
+		}
+		p("%s_sum %d\n", name, h.Sum())
+		p("%s_count %d\n", name, h.Count())
+	}
+	writeHist("advdet_frame_latency_ps", "Hardware frame latency from slot start, simulated ps.", &r.frame.latency)
+	writeHist("advdet_frame_headroom_ps", "Slack before the slot deadline on deadline hits, simulated ps.", &r.frame.headrm)
+	writeHist("advdet_frame_overrun_ps", "Overshoot past the slot deadline on misses, simulated ps.", &r.frame.overrun)
+	writeHist("advdet_frame_wall_ns", "Wall-clock frame cost, ns.", &r.frame.wall)
+
+	p("# HELP advdet_gauge Instantaneous system state.\n")
+	p("# TYPE advdet_gauge gauge\n")
+	for g := Gauge(0); g < NumGauges; g++ {
+		p("advdet_gauge{name=%q} %d\n", g.String(), r.gauges[g].Load())
+	}
+	return err
+}

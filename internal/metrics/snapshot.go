@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// StageSnapshot is the exported state of one stage's series.
+type StageSnapshot struct {
+	Stage       string  `json:"stage"`
+	Count       uint64  `json:"count"`
+	SimPSTotal  uint64  `json:"sim_ps_total"`
+	WallNSTotal uint64  `json:"wall_ns_total"`
+	SimP50PS    uint64  `json:"sim_p50_ps"`
+	SimP99PS    uint64  `json:"sim_p99_ps"`
+	SimMaxPS    uint64  `json:"sim_max_ps"`
+	SimMeanPS   float64 `json:"sim_mean_ps"`
+}
+
+// FrameSnapshot is the exported per-frame budget accounting.
+type FrameSnapshot struct {
+	Frames         uint64 `json:"frames"`
+	DeadlineHits   uint64 `json:"deadline_hits"`
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	LatencyP50PS   uint64 `json:"latency_p50_ps"`
+	LatencyP99PS   uint64 `json:"latency_p99_ps"`
+	LatencyMaxPS   uint64 `json:"latency_max_ps"`
+	HeadroomP50PS  uint64 `json:"headroom_p50_ps"`
+	HeadroomMinPS  uint64 `json:"headroom_min_ps"`
+	OverrunMaxPS   uint64 `json:"overrun_max_ps"`
+	WallP50NS      uint64 `json:"wall_p50_ns"`
+	WallP99NS      uint64 `json:"wall_p99_ns"`
+}
+
+// GaugeSnapshot is one exported gauge value.
+type GaugeSnapshot struct {
+	Gauge string `json:"gauge"`
+	Value uint64 `json:"value"`
+}
+
+// Snapshot is a consistent-enough copy of the registry for export:
+// individual cells are read atomically (the registry keeps no global
+// lock, matching how hardware event counters are sampled live).
+type Snapshot struct {
+	Enabled bool            `json:"enabled"`
+	Stages  []StageSnapshot `json:"stages"`
+	Frames  FrameSnapshot   `json:"frames"`
+	Gauges  []GaugeSnapshot `json:"gauges"`
+}
+
+// Snapshot exports the registry. On a nil registry it returns a
+// zero-valued snapshot with Enabled=false, so disabled systems can
+// still expose the API.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{Enabled: true}
+	snap.Stages = make([]StageSnapshot, 0, NumStages)
+	for i := Stage(0); i < NumStages; i++ {
+		st := &r.stages[i]
+		snap.Stages = append(snap.Stages, StageSnapshot{
+			Stage:       i.String(),
+			Count:       st.count.Load(),
+			SimPSTotal:  st.simPS.Load(),
+			WallNSTotal: st.wallNS.Load(),
+			SimP50PS:    st.sim.Quantile(0.50),
+			SimP99PS:    st.sim.Quantile(0.99),
+			SimMaxPS:    st.sim.Max(),
+			SimMeanPS:   st.sim.Mean(),
+		})
+	}
+	f := &r.frame
+	snap.Frames = FrameSnapshot{
+		Frames:         f.frames.Load(),
+		DeadlineHits:   f.hits.Load(),
+		DeadlineMisses: f.misses.Load(),
+		LatencyP50PS:   f.latency.Quantile(0.50),
+		LatencyP99PS:   f.latency.Quantile(0.99),
+		LatencyMaxPS:   f.latency.Max(),
+		HeadroomP50PS:  f.headrm.Quantile(0.50),
+		HeadroomMinPS:  f.headrm.Min(),
+		OverrunMaxPS:   f.overrun.Max(),
+		WallP50NS:      f.wall.Quantile(0.50),
+		WallP99NS:      f.wall.Quantile(0.99),
+	}
+	snap.Gauges = make([]GaugeSnapshot, 0, NumGauges)
+	for g := Gauge(0); g < NumGauges; g++ {
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{Gauge: g.String(), Value: r.gauges[g].Load()})
+	}
+	return snap
+}
+
+// StageByName returns the snapshot row for the named stage (zero row,
+// false if absent) — the lookup tests and tools use.
+func (s Snapshot) StageByName(name string) (StageSnapshot, bool) {
+	for _, st := range s.Stages {
+		if st.Stage == name {
+			return st, true
+		}
+	}
+	return StageSnapshot{}, false
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

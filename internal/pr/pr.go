@@ -42,17 +42,24 @@ type Result struct {
 // Measure runs a single reconfiguration of the given size on a fresh
 // platform and reports its throughput — the experiment behind the
 // §IV-A comparison (ARM event counters / ILA in the paper, the
-// simulation tracer here).
+// simulation tracer here). The size must be positive: a zero-byte
+// bitstream is a caller bug, not a measurement.
 func Measure(ctrl Controller, bytes int) (Result, error) {
+	if bytes <= 0 {
+		return Result{}, fmt.Errorf("pr: bitstream size must be positive, got %d", bytes)
+	}
 	z := soc.NewZynq()
 	start := z.Sim.Now()
-	var finish uint64
-	err := ctrl.Reconfigure(z, bytes, func() { finish = z.Sim.Now() })
+	var (
+		finish    uint64
+		completed bool
+	)
+	err := ctrl.Reconfigure(z, bytes, func() { finish, completed = z.Sim.Now(), true })
 	if err != nil {
 		return Result{}, err
 	}
 	z.Sim.Run()
-	if finish == 0 && bytes > 0 {
+	if !completed {
 		return Result{}, fmt.Errorf("pr: %s never completed", ctrl.Name())
 	}
 	d := finish - start

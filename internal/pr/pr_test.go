@@ -134,6 +134,55 @@ func TestStagingIsSlowerPathThanReconfig(t *testing.T) {
 	}
 }
 
+// instantController completes synchronously at whatever time the
+// simulator already shows — for a fresh platform, t=0. A completion
+// timestamp of zero is legitimate, so Measure must track completion
+// with an explicit flag rather than treating finish==0 as "never ran".
+type instantController struct{}
+
+func (instantController) Name() string { return "instant" }
+func (instantController) Reconfigure(z *soc.Zynq, bytes int, done func()) error {
+	if done != nil {
+		done()
+	}
+	return nil
+}
+
+func TestMeasureAcceptsCompletionAtTimeZero(t *testing.T) {
+	res, err := Measure(instantController{}, 1024)
+	if err != nil {
+		t.Fatalf("completion at t=0 misread as never-completed: %v", err)
+	}
+	if res.PS != 0 || res.MBPerSec != 0 {
+		t.Fatalf("instant completion measured as %+v, want zero duration and zero throughput", res)
+	}
+}
+
+// silentController never invokes done: the failure the completed flag
+// must still catch.
+type silentController struct{}
+
+func (silentController) Name() string { return "silent" }
+func (silentController) Reconfigure(z *soc.Zynq, bytes int, done func()) error {
+	return nil
+}
+
+func TestMeasureDetectsNeverCompleted(t *testing.T) {
+	if _, err := Measure(silentController{}, 1024); err == nil {
+		t.Fatal("controller that never completed measured successfully")
+	}
+}
+
+func TestMeasureRejectsNonPositiveSize(t *testing.T) {
+	for _, ctrl := range All() {
+		for _, n := range []int{0, -1} {
+			if _, err := Measure(ctrl, n); err == nil {
+				t.Errorf("%s: Measure accepted %d bytes", ctrl.Name(), n)
+			}
+		}
+	}
+}
+
 func TestMeasureScalesLinearly(t *testing.T) {
 	small, err := Measure(&PCAP{}, 1_000_000)
 	if err != nil {

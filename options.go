@@ -55,3 +55,12 @@ func WithSenseFromImage() Option {
 func WithTracking() Option {
 	return func(o *SystemOptions) { o.EnableTracking = true }
 }
+
+// WithMetrics attaches the frame-budget telemetry registry: per-stage
+// counters and histograms in simulated and wall time plus
+// slot-deadline accounting, read back through System.Snapshot or
+// System.Metrics. Disabled (the default), the per-frame path performs
+// no metrics work at all.
+func WithMetrics() Option {
+	return func(o *SystemOptions) { o.EnableMetrics = true }
+}
