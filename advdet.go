@@ -42,6 +42,7 @@ import (
 
 	"advdet/internal/adaptive"
 	"advdet/internal/eval"
+	"advdet/internal/fault"
 	"advdet/internal/img"
 	"advdet/internal/metrics"
 	"advdet/internal/pipeline"
@@ -90,7 +91,62 @@ type (
 	// MetricsSnapshot is the exported state of a System's telemetry
 	// registry (see WithMetrics and System.Snapshot).
 	MetricsSnapshot = metrics.Snapshot
+	// FaultPlan is a deterministic, seedable fault injector for the
+	// reconfiguration datapath (see NewFaultPlan and WithFaultPlan).
+	FaultPlan = fault.Plan
+	// RetryPolicy bounds the reconfiguration watchdog and retry/backoff
+	// loop, in simulated picoseconds (see WithRetryPolicy).
+	RetryPolicy = adaptive.RetryPolicy
+	// Mode is the resilience state a System reports (see System.Mode
+	// and FrameResult.Mode).
+	Mode = adaptive.Mode
+	// FaultRecord is one reconfiguration fault in Stats.FaultLog; its
+	// Err wraps the typed sentinels for errors.Is dispatch.
+	FaultRecord = adaptive.FaultRecord
 )
+
+// Resilience modes: how well the reconfigurable partition is doing.
+// The static (pedestrian) partition runs every frame in every mode.
+const (
+	ModeNominal    = adaptive.ModeNominal
+	ModeRecovering = adaptive.ModeRecovering
+	ModeDegraded   = adaptive.ModeDegraded
+)
+
+// IRQPRDone is the platform interrupt line asserted when a partial
+// reconfiguration completes — the line to name in FaultPlan.DropIRQ.
+const IRQPRDone = soc.IRQPRDone
+
+// Typed reconfiguration failures, for errors.Is against
+// Stats.FaultLog entries and controller errors.
+var (
+	// ErrReconfigBusy: a reconfiguration was requested while one was
+	// already in flight on the same controller.
+	ErrReconfigBusy = pr.ErrBusy
+	// ErrNotStaged: the named bitstream is not resident in PL DDR.
+	ErrNotStaged = pr.ErrNotStaged
+	// ErrVerify: a staged bitstream failed its CRC check before
+	// streaming.
+	ErrVerify = pr.ErrVerify
+	// ErrReconfigTimeout: the PR-done interrupt was not seen within the
+	// watchdog deadline and the attempt was abandoned.
+	ErrReconfigTimeout = pr.ErrTimeout
+	// ErrBankSelect: a BRAM model-bank select write failed; the
+	// previous model keeps serving.
+	ErrBankSelect = adaptive.ErrBankSelect
+)
+
+// NewFaultPlan returns an empty fault plan seeded for its
+// probabilistic (Chaos) rules. Arm deterministic rules with
+// CorruptStage, StallDMA, AbortDMA, DropIRQ and FailBankSelect, then
+// install the plan with WithFaultPlan. A nil plan injects nothing at
+// zero cost.
+func NewFaultPlan(seed uint64) *FaultPlan { return fault.NewPlan(seed) }
+
+// DefaultRetryPolicy returns the retry policy matched to the paper's
+// timing: a 31 ms PR-done watchdog (1.5x the ~20.5 ms stream), three
+// retries, and 2 ms exponential backoff capped at 40 ms.
+func DefaultRetryPolicy() RetryPolicy { return adaptive.DefaultRetryPolicy() }
 
 // DefaultSystemOptions returns the paper's operating point: 50 fps,
 // ~8 MB partial bitstreams, booting in day condition.
@@ -148,14 +204,31 @@ type ReconfigResult struct {
 	Elapsed time.Duration
 }
 
+// ReconfigOption configures a ReconfigThroughputs measurement.
+type ReconfigOption func(*reconfigConfig)
+
+type reconfigConfig struct{ repeats int }
+
+// WithMeasureRepeats averages each controller's measurement over n
+// runs (each on a fresh platform). The model is deterministic today,
+// so repeats tighten nothing yet; the knob keeps the bench surface
+// stable for models with contention jitter.
+func WithMeasureRepeats(n int) ReconfigOption {
+	return func(c *reconfigConfig) { c.repeats = n }
+}
+
 // ReconfigThroughputs measures all four reconfiguration controllers
 // on a bitstream of the given size — the §IV-A comparison. Results
 // are ordered as pr.All() lists the controllers (slowest mechanism
 // first, the paper's DMA-ICAP last), so output is stable across runs.
-func ReconfigThroughputs(bytes int) ([]ReconfigResult, error) {
+func ReconfigThroughputs(bytes int, opts ...ReconfigOption) ([]ReconfigResult, error) {
+	cfg := reconfigConfig{repeats: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	out := make([]ReconfigResult, 0, 4)
 	for _, ctrl := range pr.All() {
-		res, err := pr.Measure(ctrl, bytes)
+		res, err := pr.MeasureN(ctrl, bytes, cfg.repeats)
 		if err != nil {
 			return nil, err
 		}
@@ -164,22 +237,6 @@ func ReconfigThroughputs(bytes int) ([]ReconfigResult, error) {
 			MBPerSec:   res.MBPerSec,
 			Elapsed:    time.Duration(res.PS / 1000), // ps -> ns
 		})
-	}
-	return out, nil
-}
-
-// ReconfigThroughputsMap reports MB/s keyed by controller name.
-//
-// Deprecated: use ReconfigThroughputs, which preserves measurement
-// order and carries elapsed time.
-func ReconfigThroughputsMap(bytes int) (map[string]float64, error) {
-	results, err := ReconfigThroughputs(bytes)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]float64, len(results))
-	for _, r := range results {
-		out[r.Controller] = r.MBPerSec
 	}
 	return out, nil
 }

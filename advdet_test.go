@@ -98,16 +98,24 @@ func TestReconfigThroughputsAPI(t *testing.T) {
 	}
 }
 
-func TestReconfigThroughputsMapCompat(t *testing.T) {
-	th, err := ReconfigThroughputsMap(8_000_000)
+func TestReconfigThroughputsRepeats(t *testing.T) {
+	// The model is deterministic: a repeated measurement's mean equals
+	// the single run exactly.
+	one, err := ReconfigThroughputs(8_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(th) != 4 {
-		t.Fatalf("controllers measured: %d", len(th))
+	three, err := ReconfigThroughputs(8_000_000, WithMeasureRepeats(3))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !(th["axi-hwicap"] < th["pcap"] && th["pcap"] < th["zycap"] && th["zycap"] < th["dma-icap"]) {
-		t.Fatalf("throughput ordering wrong: %v", th)
+	for i := range one {
+		if one[i] != three[i] {
+			t.Fatalf("repeats changed a deterministic measurement: %+v != %+v", one[i], three[i])
+		}
+	}
+	if _, err := ReconfigThroughputs(8_000_000, WithMeasureRepeats(0)); err == nil {
+		t.Fatal("repeats=0 accepted")
 	}
 }
 

@@ -37,6 +37,7 @@ func main() {
 	av := flag.Bool("adaptive", false, "system-level adaptive vs fixed-pipeline comparison")
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "smaller Table I datasets")
+	repeats := flag.Int("repeats", 1, "measurement repeats per reconfiguration controller")
 	jsonOut := flag.String("json", "", "write the machine-readable performance report (BENCH_pr3.json schema) to this file")
 	flag.Parse()
 
@@ -93,7 +94,7 @@ func main() {
 	}
 
 	if *all || *rc {
-		results, err := experiments.ReconfigComparison()
+		results, err := experiments.ReconfigComparison(*repeats)
 		if err != nil {
 			log.Fatal(err)
 		}

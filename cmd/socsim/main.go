@@ -7,6 +7,21 @@
 //
 //	socsim [-frames 200] [-fps 50] [-csv trace.csv]
 //	       [-metrics file] [-metrics-json file] [-pprof addr]
+//	       [-faults spec] [-fault-seed n]
+//
+// The -faults spec is a comma-separated rule list armed on the
+// reconfiguration datapath (occurrences are 1-based; 0 = every time):
+//
+//	corrupt:<id>:<occ>          CRC-corrupt a staging of bitstream id
+//	stall:<occ>:<byte>:<ms>     stall the PR DMA mid-stream
+//	abort:<occ>:<byte>          error-halt the PR DMA mid-stream
+//	irq:<occ>                   drop a PR-done interrupt
+//	bank:<occ>                  fail a model-bank select write
+//	chaos:<site>:<prob>         random faults at a site (stage, dma-stall,
+//	                            dma-abort, irq, bank), seeded by -fault-seed
+//
+// Example: -faults corrupt:dark:1,irq:1 runs the acceptance scenario
+// of the resilience layer.
 package main
 
 import (
@@ -17,8 +32,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 
 	"advdet/internal/adaptive"
+	"advdet/internal/fault"
 	"advdet/internal/pipeline"
 	"advdet/internal/soc"
 	"advdet/internal/svm"
@@ -35,6 +53,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write frame-budget telemetry in Prometheus text format to this file (\"-\" for stdout)")
 	metricsJSON := flag.String("metrics-json", "", "write the telemetry snapshot as JSON to this file (\"-\" for stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+	faultSpec := flag.String("faults", "", "comma-separated fault rules for the reconfiguration datapath (see package doc)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for probabilistic (chaos) fault rules")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -51,6 +71,15 @@ func main() {
 	opt.RunDetectors = false
 	opt.Initial = synth.Day
 	opt.EnableMetrics = *metricsOut != "" || *metricsJSON != ""
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		var err error
+		if plan, err = parseFaults(*faultSpec, *faultSeed); err != nil {
+			log.Fatal(err)
+		}
+		opt.FaultPlan = plan
+		opt.EnableMetrics = true
+	}
 	// Placeholder models so the BRAM model bank is instantiated and
 	// its register traffic appears in the trace; timing mode never
 	// evaluates them.
@@ -94,6 +123,19 @@ func main() {
 		st.Frames, *fps, float64(st.Frames)/float64(*fps), 1000/float64(*fps))
 	fmt.Printf("model switches: %d, reconfigurations: %d, vehicle frames dropped: %d\n",
 		st.ModelSwitches, len(st.Reconfigs), st.VehicleDropped)
+
+	if plan != nil {
+		fmt.Printf("\nresilience: mode %s\n", sys.Mode())
+		fmt.Printf("  injected fault events: %d\n", len(plan.Events()))
+		fmt.Printf("  verify failures: %d, watchdog trips: %d, retries: %d, IRQs dropped: %d\n",
+			st.VerifyFailures, st.WatchdogTrips, st.Retries, st.IRQsDropped)
+		fmt.Printf("  stale vehicle frames: %d, degraded frames: %d, bank-select faults: %d\n",
+			st.StaleVehicleFrames, st.DegradedFrames, st.BankSelectFaults)
+		for _, f := range st.FaultLog {
+			fmt.Printf("  fault @%8.2f ms frame %3d attempt %d -> %s: %v\n",
+				soc.Seconds(f.PS)*1e3, f.Frame, f.Attempt, f.Target, f.Err)
+		}
+	}
 
 	// Event summary by (source, name).
 	type key struct{ src, name string }
@@ -143,6 +185,94 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// prDMAName is the DMA engine the DMA-ICAP controller owns; stall and
+// abort rules target it.
+const prDMAName = "pr-dma"
+
+// parseFaults builds a fault plan from the -faults rule list.
+func parseFaults(spec string, seed uint64) (*fault.Plan, error) {
+	plan := fault.NewPlan(seed)
+	for _, rule := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(rule), ":")
+		bad := func() (*fault.Plan, error) {
+			return nil, fmt.Errorf("bad fault rule %q (see socsim package doc)", rule)
+		}
+		num := func(s string) (int, bool) { n, err := strconv.Atoi(s); return n, err == nil }
+		switch parts[0] {
+		case "corrupt":
+			if len(parts) != 3 {
+				return bad()
+			}
+			occ, ok := num(parts[2])
+			if !ok {
+				return bad()
+			}
+			plan.CorruptStage(parts[1], occ)
+		case "stall":
+			if len(parts) != 4 {
+				return bad()
+			}
+			occ, ok1 := num(parts[1])
+			at, ok2 := num(parts[2])
+			ms, ok3 := num(parts[3])
+			if !ok1 || !ok2 || !ok3 {
+				return bad()
+			}
+			plan.StallDMA(prDMAName, occ, at, uint64(ms)*1_000_000_000)
+		case "abort":
+			if len(parts) != 3 {
+				return bad()
+			}
+			occ, ok1 := num(parts[1])
+			at, ok2 := num(parts[2])
+			if !ok1 || !ok2 {
+				return bad()
+			}
+			plan.AbortDMA(prDMAName, occ, at)
+		case "irq":
+			if len(parts) != 2 {
+				return bad()
+			}
+			occ, ok := num(parts[1])
+			if !ok {
+				return bad()
+			}
+			plan.DropIRQ(soc.IRQPRDone, occ)
+		case "bank":
+			if len(parts) != 2 {
+				return bad()
+			}
+			occ, ok := num(parts[1])
+			if !ok {
+				return bad()
+			}
+			plan.FailBankSelect(occ)
+		case "chaos":
+			if len(parts) != 3 {
+				return bad()
+			}
+			site, ok := map[string]fault.Site{
+				"stage":     fault.SiteStageCorrupt,
+				"dma-stall": fault.SiteDMAStall,
+				"dma-abort": fault.SiteDMAAbort,
+				"irq":       fault.SiteIRQDrop,
+				"bank":      fault.SiteBankSelect,
+			}[parts[1]]
+			if !ok {
+				return bad()
+			}
+			prob, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return bad()
+			}
+			plan.Chaos(site, prob)
+		default:
+			return bad()
+		}
+	}
+	return plan, nil
 }
 
 // writeTo streams fn's output to the named file, or to stdout for "-".

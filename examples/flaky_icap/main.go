@@ -1,0 +1,109 @@
+// Flaky ICAP: the resilience layer under deliberate fire. A night
+// drive forces a dusk->dark partial reconfiguration while the fault
+// plan corrupts the staged dark bitstream AND drops the first PR-done
+// interrupt, with the retry budget squeezed to one.
+//
+// The example shows:
+//   - CRC-verified staging catching the corrupt image before it ever
+//     reaches the fabric (ErrVerify), and re-staging from PS DDR,
+//   - the simulated-time watchdog abandoning the attempt whose
+//     completion interrupt was lost (ErrReconfigTimeout),
+//   - bounded exponential backoff between retries,
+//   - graceful degradation: pedestrian detection on the static
+//     partition never misses a frame, and vehicle detection serves the
+//     last-good resident model (stale, but live) instead of dropping,
+//   - ModeDegraded only once the retry budget is exhausted, and
+//     automatic recovery to ModeNominal on the next clean completion.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"advdet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	plan := advdet.NewFaultPlan(42).
+		CorruptStage("dark", 1).     // boot staging of the dark bitstream
+		DropIRQ(advdet.IRQPRDone, 1) // first reconfiguration completion
+	sys, err := advdet.NewSystem(advdet.Detectors{},
+		advdet.WithTimingOnly(),
+		advdet.WithInitial(advdet.Dusk),
+		advdet.WithMetrics(),
+		advdet.WithFaultPlan(plan),
+		advdet.WithRetryPolicy(advdet.RetryPolicy{MaxRetries: 1}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("drive: 5 dusk frames, then darkness with a corrupt bitstream and a lost interrupt")
+	fmt.Println()
+
+	mode := advdet.ModeNominal
+	drive := func(cond advdet.Condition, lux float64, n int) {
+		sc := advdet.RenderScene(3, 64, 36, cond)
+		sc.Lux = lux
+		for i := 0; i < n; i++ {
+			r, err := sys.ProcessFrame(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tag := ""
+			if r.VehicleDropped {
+				tag = "  [vehicle dropped: fabric rewriting]"
+			}
+			if r.VehicleStale {
+				tag = "  [vehicle stale: serving last-good model]"
+			}
+			if r.Mode != mode {
+				mode = r.Mode
+				fmt.Printf("frame %3d: mode -> %-10s%s\n", r.Index, mode, tag)
+			} else if tag != "" {
+				fmt.Printf("frame %3d: %-18s%s\n", r.Index, mode, tag)
+			}
+		}
+	}
+	drive(advdet.Dusk, 300, 5)
+	drive(advdet.Dark, 5, 45)
+
+	st := sys.Stats()
+	fmt.Println()
+	fmt.Printf("final mode: %s, loaded configuration: %s\n", sys.Mode(), sys.Loaded())
+	fmt.Printf("pedestrian frames: %d of %d (the static partition never stops)\n",
+		st.PedestrianFrames, st.Frames)
+	fmt.Printf("vehicle frames: %d dropped (fabric busy), %d stale (last-good model)\n",
+		st.VehicleDropped, st.StaleVehicleFrames)
+	fmt.Printf("faults absorbed: %d verify, %d watchdog, %d retries, %d IRQs dropped\n",
+		st.VerifyFailures, st.WatchdogTrips, st.Retries, st.IRQsDropped)
+	if len(st.Reconfigs) > 0 {
+		r := st.Reconfigs[0]
+		fmt.Printf("the dusk->dark transition took %d attempts before completing\n", r.Attempts)
+	}
+
+	fmt.Println("\nfault log (typed sentinels, errors.Is-dispatchable):")
+	for _, f := range st.FaultLog {
+		kind := "other"
+		switch {
+		case errors.Is(f.Err, advdet.ErrVerify):
+			kind = "ErrVerify"
+		case errors.Is(f.Err, advdet.ErrReconfigTimeout):
+			kind = "ErrReconfigTimeout"
+		case errors.Is(f.Err, advdet.ErrBankSelect):
+			kind = "ErrBankSelect"
+		}
+		fmt.Printf("  frame %3d attempt %d  %-18s %v\n", f.Frame, f.Attempt, kind, f.Err)
+	}
+
+	snap := sys.Snapshot()
+	fmt.Println("\nmetrics snapshot (fault counters):")
+	for _, row := range snap.Faults {
+		if row.Count > 0 {
+			fmt.Printf("  %-20s %d\n", row.Kind, row.Count)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package advdet
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultScenarioEndToEnd is the acceptance scenario for the
+// resilience layer: a drive hits darkness while the dark bitstream's
+// staged image is corrupt AND the first PR-done interrupt is lost.
+// The system must re-stage and retry, burn through its (deliberately
+// small) retry budget into ModeDegraded, serve the last-good vehicle
+// model throughout, never miss a pedestrian frame, recover
+// automatically on the next clean completion, and then execute a
+// later clean switch as if nothing happened — all visible through the
+// public API and the metrics snapshot.
+func TestFaultScenarioEndToEnd(t *testing.T) {
+	plan := NewFaultPlan(42).
+		CorruptStage("dark", 1). // boot staging of the dark bitstream
+		DropIRQ(IRQPRDone, 1)    // first reconfiguration completion
+	sys, err := NewSystem(Detectors{},
+		WithTimingOnly(),
+		WithInitial(Dusk),
+		WithMetrics(),
+		WithFaultPlan(plan),
+		WithRetryPolicy(RetryPolicy{MaxRetries: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var results []FrameResult
+	drive := func(cond Condition, lux float64, n int) {
+		sc := RenderScene(3, 64, 36, cond)
+		sc.Lux = lux
+		for i := 0; i < n; i++ {
+			r, err := sys.ProcessFrame(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	drive(Dusk, 300, 5)
+	drive(Dark, 5, 45) // the faulted switch plus recovery headroom
+
+	st := sys.Stats()
+	if sys.Loaded().String() != "dark" || sys.Mode() != ModeNominal {
+		t.Fatalf("loaded=%v mode=%v, want dark/nominal after recovery", sys.Loaded(), sys.Mode())
+	}
+
+	// The static partition is sacrosanct: pedestrian detection ran on
+	// every single frame of the drive, faults or not.
+	if st.PedestrianFrames != len(results) {
+		t.Fatalf("pedestrian frames = %d, want %d", st.PedestrianFrames, len(results))
+	}
+
+	// During the retry windows the vehicle path served the last-good
+	// resident model instead of dropping.
+	if st.StaleVehicleFrames == 0 {
+		t.Fatal("no stale vehicle frames: retries must serve the last-good model")
+	}
+	for _, r := range results {
+		if r.VehicleStale && r.VehicleDropped {
+			t.Fatalf("frame %d both stale and dropped", r.Index)
+		}
+	}
+
+	// Mode trajectory: nominal until the fault, recovering within
+	// budget, degraded only once the budget is exhausted, nominal again
+	// after the clean completion.
+	var seq []Mode
+	for _, r := range results {
+		if len(seq) == 0 || seq[len(seq)-1] != r.Mode {
+			seq = append(seq, r.Mode)
+		}
+	}
+	want := []Mode{ModeNominal, ModeRecovering, ModeDegraded, ModeNominal}
+	bad := len(seq) != len(want)
+	for i := 0; !bad && i < len(want); i++ {
+		bad = seq[i] != want[i]
+	}
+	if bad {
+		t.Fatalf("mode sequence %v, want %v", seq, want)
+	}
+
+	// The fault log carries typed sentinels: the corrupt image failed
+	// verification, the lost interrupt tripped the watchdog.
+	var sawVerify, sawTimeout bool
+	for _, f := range st.FaultLog {
+		sawVerify = sawVerify || errors.Is(f.Err, ErrVerify)
+		sawTimeout = sawTimeout || errors.Is(f.Err, ErrReconfigTimeout)
+	}
+	if !sawVerify || !sawTimeout {
+		t.Fatalf("fault log verify=%v timeout=%v, want both: %+v", sawVerify, sawTimeout, st.FaultLog)
+	}
+	if st.VerifyFailures != 1 || st.WatchdogTrips != 1 || st.Retries != 2 || st.IRQsDropped != 1 {
+		t.Fatalf("verify=%d trips=%d retries=%d dropped=%d, want 1/1/2/1",
+			st.VerifyFailures, st.WatchdogTrips, st.Retries, st.IRQsDropped)
+	}
+	if len(st.Reconfigs) != 1 || st.Reconfigs[0].Attempts != 3 || st.Reconfigs[0].DonePS == 0 {
+		t.Fatalf("reconfigs = %+v, want one completed record with 3 attempts", st.Reconfigs)
+	}
+
+	// The whole story is visible in the metrics snapshot.
+	snap := sys.Snapshot()
+	wantFaults := map[string]uint64{"verify": 1, "watchdog": 1, "retry": 2, "irq-dropped": 1}
+	for kind, n := range wantFaults {
+		if row, ok := snap.FaultByKind(kind); !ok || row.Count != n {
+			t.Fatalf("metrics fault %q = %+v, want %d", kind, row, n)
+		}
+	}
+	if row, _ := snap.FaultByKind("degraded-frame"); row.Count == 0 {
+		t.Fatal("metrics recorded no degraded frames")
+	}
+	if row, _ := snap.StageByName("reconfig-fault"); row.Count != 2 {
+		t.Fatalf("reconfig-fault stage count = %d, want 2 (one per retry)", row.Count)
+	}
+	if g, ok := snap.GaugeByName("mode"); !ok || g.Value != uint64(ModeNominal) {
+		t.Fatalf("mode gauge = %+v, want nominal", g)
+	}
+
+	// The next transition is clean: a single-attempt switch back, one
+	// dropped frame, mode never leaves nominal.
+	preDrops, preStale := st.VehicleDropped, st.StaleVehicleFrames
+	drive(Dusk, 300, 20)
+	st = sys.Stats()
+	if sys.Loaded().String() != "day-dusk" || sys.Mode() != ModeNominal {
+		t.Fatalf("loaded=%v mode=%v after clean switch back", sys.Loaded(), sys.Mode())
+	}
+	if len(st.Reconfigs) != 2 || st.Reconfigs[1].Attempts != 1 || st.Reconfigs[1].DonePS == 0 {
+		t.Fatalf("second reconfig = %+v, want one clean single-attempt completion", st.Reconfigs)
+	}
+	if st.VehicleDropped != preDrops+1 {
+		t.Fatalf("clean switch dropped %d frames, want 1", st.VehicleDropped-preDrops)
+	}
+	if st.StaleVehicleFrames != preStale {
+		t.Fatalf("clean switch added %d stale frames, want 0", st.StaleVehicleFrames-preStale)
+	}
+}

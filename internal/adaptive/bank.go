@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"advdet/internal/axi"
+	"advdet/internal/fault"
 	"advdet/internal/soc"
 	"advdet/internal/svm"
 )
@@ -19,6 +20,7 @@ type ModelBank struct {
 	models [2]*svm.Model
 	names  [2]string
 	active int
+	fault  *fault.Plan
 	// Switches counts model-select writes, for the stats the examples
 	// report.
 	Switches int
@@ -36,11 +38,20 @@ func NewModelBank(sim *soc.Sim, port *soc.BurstLink, dayModel, duskModel *svm.Mo
 	}
 }
 
+// SetFaultPlan installs the fault injector consulted on every select
+// write. Nil disables injection.
+func (mb *ModelBank) SetFaultPlan(p *fault.Plan) { mb.fault = p }
+
 // Select activates slot 0 (day) or 1 (dusk); any other slot is an
-// error. The register write cost is accounted on the GP port.
+// error. The register write cost is accounted on the GP port. A
+// fault-injected failure returns before any state changes, wrapping
+// ErrBankSelect: the previously active model stays live.
 func (mb *ModelBank) Select(slot int) error {
 	if slot != 0 && slot != 1 {
 		return fmt.Errorf("adaptive: model bank slot %d out of range", slot)
+	}
+	if mb.fault.OnBankSelect() {
+		return fmt.Errorf("adaptive: model bank slot %d: %w", slot, ErrBankSelect)
 	}
 	if slot != mb.active {
 		mb.Switches++

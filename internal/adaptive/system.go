@@ -2,9 +2,11 @@ package adaptive
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"advdet/internal/fault"
 	"advdet/internal/fpga"
 	"advdet/internal/img"
 	"advdet/internal/metrics"
@@ -83,6 +85,14 @@ type Options struct {
 	// through Metrics() and Snapshot(). Disabled, the per-frame path
 	// performs no metrics work at all.
 	EnableMetrics bool
+	// FaultPlan installs a fault injector on the reconfiguration
+	// datapath (staging CRC, PR DMA, PR-done IRQ, model-bank select).
+	// Nil disables injection at zero cost.
+	FaultPlan *fault.Plan
+	// Retry bounds the reconfiguration watchdog and retry/backoff
+	// loop. The zero value selects DefaultRetryPolicy; zero fields are
+	// filled from it.
+	Retry RetryPolicy
 }
 
 // DefaultOptions returns the paper's operating point.
@@ -95,13 +105,15 @@ func DefaultOptions() Options {
 	}
 }
 
-// Reconfiguration records one partial reconfiguration of the vehicle
-// detection block.
+// Reconfiguration records one requested configuration transition of
+// the vehicle detection block. A transition may take several attempts
+// when faults are injected; Attempts counts them.
 type Reconfiguration struct {
 	Frame    int
 	From, To ConfigID
 	StartPS  uint64
 	DonePS   uint64 // zero until complete
+	Attempts int
 }
 
 // Stats accumulates system-level counters.
@@ -120,6 +132,19 @@ type Stats struct {
 	// the paper's 50 fps operating point.
 	SlotOverruns int
 	Reconfigs    []Reconfiguration
+	// Resilience counters: faults observed on the reconfiguration
+	// datapath and how the system absorbed them.
+	WatchdogTrips      int // PR-done deadlines missed, attempt abandoned
+	Retries            int // reconfiguration retries scheduled
+	VerifyFailures     int // staged bitstreams that failed the CRC pass
+	StaleVehicleFrames int // frames served from the last-good resident model
+	DegradedFrames     int // frames completed in ModeDegraded
+	BankSelectFaults   int // failed BRAM model-select writes
+	IRQsDropped        int // PR-done assertions lost (filled by Stats)
+	// FaultLog records every fault in order; Err wraps the typed
+	// sentinels (pr.ErrVerify, pr.ErrTimeout, pr.ErrBusy,
+	// ErrBankSelect) for errors.Is dispatch.
+	FaultLog []FaultRecord
 }
 
 // FrameResult is the output for one input frame.
@@ -133,6 +158,12 @@ type FrameResult struct {
 	Tracks          []*track.Track
 	VehicleDropped  bool
 	ReconfigStarted bool
+	// VehicleStale marks a frame whose vehicle detections came from
+	// the last-good resident model because the wanted switch had not
+	// landed yet (the graceful-degradation path).
+	VehicleStale bool
+	// Mode is the resilience state at the end of the frame.
+	Mode Mode
 }
 
 // System is the adaptive detection unit: the SoC platform, the PR
@@ -153,6 +184,20 @@ type System struct {
 	tracker       *track.Tracker
 	bank          *ModelBank
 	metrics       *metrics.Registry
+
+	// Resilience state (see resilience.go). pending is an open
+	// transition toward pendTarget; attemptGen/inFlightGen pair each
+	// launched attempt with its watchdog and PR-done completion so
+	// stale events are ignored.
+	mode           Mode
+	pending        bool
+	pendTarget     ConfigID
+	attemptGen     uint64
+	inFlightGen    uint64
+	inFlightTarget ConfigID
+	retries        int
+	recIdx         int // index of the open Reconfiguration record
+	seenIRQDrops   int
 }
 
 // New boots the system: it builds the platform, stages both partial
@@ -165,6 +210,7 @@ func New(dets Detectors, opt Options) (*System, error) {
 	if opt.BitstreamBytes <= 0 {
 		return nil, fmt.Errorf("adaptive: bitstream size must be positive, got %d", opt.BitstreamBytes)
 	}
+	opt.Retry = opt.Retry.withDefaults()
 	s := &System{
 		Z:       soc.NewZynq(),
 		PR:      pr.NewDMAICAP(),
@@ -179,8 +225,15 @@ func New(dets Detectors, opt Options) (*System, error) {
 	if opt.EnableMetrics {
 		s.metrics = metrics.NewRegistry()
 	}
+	// Fault wiring happens before boot staging so even the boot-time
+	// transfers are injectable; reconfiguration completion is
+	// IRQ-driven, so a dropped PR-done genuinely loses the completion.
+	s.Z.SetFaultPlan(opt.FaultPlan)
+	s.PR.SetFaultPlan(opt.FaultPlan)
+	s.Z.IRQ.Register(soc.IRQPRDone, s.onPRDone)
 	if dets.Day != nil && dets.Dusk != nil {
 		s.bank = NewModelBank(s.Z.Sim, s.Z.GP0, dets.Day.Model, dets.Dusk.Model)
+		s.bank.SetFaultPlan(opt.FaultPlan)
 		if opt.Initial == synth.Dusk {
 			if err := s.bank.Select(1); err != nil {
 				return nil, fmt.Errorf("adaptive: selecting dusk model at boot: %w", err)
@@ -223,6 +276,8 @@ func (s *System) Reconfiguring() bool { return s.reconfiguring }
 func (s *System) Stats() Stats {
 	cp := s.stats
 	cp.Reconfigs = append([]Reconfiguration(nil), s.stats.Reconfigs...)
+	cp.FaultLog = append([]FaultRecord(nil), s.stats.FaultLog...)
+	cp.IRQsDropped = s.Z.IRQ.Dropped(soc.IRQPRDone)
 	return cp
 }
 
@@ -294,11 +349,16 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	res.Cond = cond
 	need := configFor(cond)
 
-	if need != s.loaded && !s.reconfiguring {
-		if err := s.startReconfig(need); err != nil {
-			return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
+	if need != s.loaded {
+		if !s.pending || s.pendTarget != need {
+			s.requestReconfig(need)
+			res.ReconfigStarted = true
 		}
-		res.ReconfigStarted = true
+	} else if s.pending && !s.reconfiguring {
+		// The light reverted to the loaded configuration while a
+		// failing switch was still backing off: nothing to recover
+		// toward anymore.
+		s.cancelPending()
 	}
 
 	// Day<->dusk is a BRAM model select on the running configuration:
@@ -308,17 +368,30 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	// into a partial bitstream mid-load is undefined on real hardware.
 	// A select deferred by an in-flight reconfiguration happens on the
 	// first clean frame after it completes.
-	if s.bank != nil && need == CfgDayDusk && !s.reconfiguring {
+	// The select is additionally gated on the day-dusk partition being
+	// the loaded one: while a failing switch leaves dark resident, the
+	// select register does not exist in the fabric.
+	if s.bank != nil && need == CfgDayDusk && s.loaded == CfgDayDusk && !s.reconfiguring {
 		slot := 0
 		if cond == synth.Dusk {
 			slot = 1
 		}
 		before := s.bank.Switches
-		if err := s.bank.Select(slot); err == nil && s.bank.Switches > before {
+		switch err := s.bank.Select(slot); {
+		case err == nil && s.bank.Switches > before:
 			s.stats.ModelSwitches++
 			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "model-select", cond.String())
 			if s.metrics != nil {
 				s.metrics.StageObserve(metrics.StageModelSelect, 0, 0)
+			}
+		case errors.Is(err, ErrBankSelect):
+			// Fault-injected select failure: the previously active
+			// model keeps serving and the select retries on the next
+			// frame (the register write is idempotent).
+			s.stats.BankSelectFaults++
+			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "bank-select-fault", cond.String())
+			if s.metrics != nil {
+				s.metrics.FaultAdd(metrics.FaultBankSelect)
 			}
 		}
 	}
@@ -350,31 +423,45 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	stream(s.Z.PedestrianPipe, s.Z.HP1, soc.IRQPedestrianDMA)
 
 	// Vehicle detection: the reconfigurable partition is unusable
-	// while its bitstream is being rewritten, and useless if the
-	// loaded algorithm does not match the condition. In steady state
-	// the stream launches at slot start, in lockstep with capture.
-	// During a reconfiguration the frame sits buffered in DDR by the
-	// input DMA and the drop decision is deferred to mid-slot: a
+	// while its bitstream is being rewritten. In steady state the
+	// stream launches at slot start, in lockstep with capture. During
+	// a reconfiguration the frame sits buffered in DDR by the input
+	// DMA and the drop decision is deferred to mid-slot: a
 	// reconfiguration that spills slightly into this slot does not
 	// cost this frame (the buffered pixels are processed late, from
 	// DDR), which makes an ~20.5 ms reconfiguration cost exactly one
-	// frame at 50 fps, as the paper reports.
-	if s.reconfiguring || need != s.loaded {
+	// frame at 50 fps, as the paper reports. A frame whose wanted
+	// switch has NOT launched a stream (retry backoff, exhausted
+	// budget) is not dropped: the partition still holds the last-good
+	// configuration and serves it, stale — the graceful-degradation
+	// contract that only an actively rewriting fabric loses frames.
+	if s.reconfiguring {
 		s.Z.Sim.RunUntil(slotStart + (slotDeadline-slotStart)/2)
 	}
-	if s.reconfiguring || need != s.loaded {
+	if s.reconfiguring {
 		res.VehicleDropped = true
 		s.stats.VehicleDropped++
 		s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "vehicle-frame-dropped",
 			fmt.Sprintf("frame %d", s.frameIdx))
 	} else {
 		stream(s.Z.VehiclePipe, s.Z.HP0, soc.IRQVehicleDMA)
+		serveCond := cond
+		if need != s.loaded {
+			res.VehicleStale = true
+			s.stats.StaleVehicleFrames++
+			serveCond = s.residentCondition()
+			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "vehicle-stale",
+				fmt.Sprintf("frame %d serving %s for %s", s.frameIdx, serveCond, cond))
+			if s.metrics != nil {
+				s.metrics.FaultAdd(metrics.FaultStaleVehicleFrame)
+			}
+		}
 		if s.Opt.RunDetectors {
 			var scanWall time.Time
 			if s.metrics != nil {
 				scanWall = time.Now()
 			}
-			vehicles, err := s.detectVehicles(ctx, sc, cond)
+			vehicles, err := s.detectVehicles(ctx, sc, serveCond)
 			if err != nil {
 				return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
 			}
@@ -410,6 +497,15 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 		res.Tracks = s.tracker.Confirmed()
 	}
 
+	res.Mode = s.mode
+	if s.mode == ModeDegraded {
+		s.stats.DegradedFrames++
+		if s.metrics != nil {
+			s.metrics.FaultAdd(metrics.FaultDegradedFrame)
+		}
+	}
+	s.syncIRQDropMetrics()
+
 	s.stats.Frames++
 	s.frameIdx++
 	if s.metrics != nil {
@@ -422,6 +518,7 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 		}
 		s.metrics.SetGauge(metrics.GaugeReconfigInFlight, inFlight)
 		s.metrics.SetGauge(metrics.GaugeFrameIndex, uint64(res.Index))
+		s.metrics.SetGauge(metrics.GaugeMode, uint64(s.mode))
 	}
 	return res, nil
 }
@@ -445,37 +542,6 @@ func (s *System) detectVehicles(ctx context.Context, sc *synth.Scene, cond synth
 		}
 	}
 	return nil, nil
-}
-
-// startReconfig launches the partial reconfiguration for the target
-// configuration through the DMA-ICAP controller. On failure the
-// bookkeeping is rolled back so the system stays consistent (the
-// previously loaded configuration remains usable).
-func (s *System) startReconfig(target ConfigID) error {
-	rec := Reconfiguration{
-		Frame:   s.frameIdx,
-		From:    s.loaded,
-		To:      target,
-		StartPS: s.Z.Sim.Now(),
-	}
-	idx := len(s.stats.Reconfigs)
-	s.stats.Reconfigs = append(s.stats.Reconfigs, rec)
-	s.reconfiguring = true
-	err := s.PR.ReconfigureStaged(s.Z, target.String(), func() {
-		s.loaded = target
-		s.reconfiguring = false
-		s.stats.Reconfigs[idx].DonePS = s.Z.Sim.Now()
-		if s.metrics != nil {
-			s.metrics.StageObserve(metrics.StageReconfig,
-				s.stats.Reconfigs[idx].DonePS-s.stats.Reconfigs[idx].StartPS, 0)
-		}
-	})
-	if err != nil {
-		s.reconfiguring = false
-		s.stats.Reconfigs = s.stats.Reconfigs[:idx]
-		return fmt.Errorf("reconfiguration to %s failed: %w", target, err)
-	}
-	return nil
 }
 
 // RunScenario is RunScenarioCtx without cancellation.

@@ -9,16 +9,23 @@ package axi
 import (
 	"fmt"
 
+	"advdet/internal/fault"
 	"advdet/internal/soc"
 )
 
 // AXI DMA register offsets (subset of the Xilinx AXI DMA map used by
 // the paper's drivers).
 const (
-	RegDMACR   = 0x00 // control: bit 0 = run/stop
+	RegDMACR   = 0x00 // control: bit 0 = run/stop, bit 2 = soft reset
 	RegDMASR   = 0x04 // status: bit 0 = halted, bit 1 = idle
 	RegSrcAddr = 0x18 // source address
 	RegLength  = 0x28 // transfer length in bytes; writing starts the DMA
+)
+
+// Control bits of RegDMACR.
+const (
+	CtrlRun   = 1 << 0
+	CtrlReset = 1 << 2 // self-clearing soft reset, as on the Xilinx core
 )
 
 // Status bits of RegDMASR.
@@ -26,6 +33,7 @@ const (
 	StatusHalted = 1 << 0
 	StatusIdle   = 1 << 1
 	StatusIOCIrq = 1 << 12 // interrupt-on-complete latched
+	StatusErrIrq = 1 << 14 // transfer error latched (aborted stream)
 )
 
 // DMA is a one-channel AXI DMA engine bound to a transfer link. The
@@ -43,6 +51,13 @@ type DMA struct {
 	busy        bool
 	transferred uint64
 	completions int
+	faults      int
+	fault       *fault.Plan
+	// gen invalidates in-flight completion callbacks across a Reset:
+	// a completion scheduled before the reset finds the generation
+	// advanced and delivers nothing, exactly like a halted engine
+	// ignoring a late stream beat.
+	gen uint64
 }
 
 // NewDMA builds a DMA on the simulator moving data over link; irq
@@ -62,6 +77,10 @@ func NewDMA(name string, sim *soc.Sim, link *soc.BurstLink, irq func()) *DMA {
 func (d *DMA) WriteReg(addr, val uint32) error {
 	switch addr {
 	case RegDMACR:
+		if val&CtrlReset != 0 {
+			d.Reset()
+			return nil
+		}
 		d.regs[RegDMACR] = val
 		if val&1 == 1 {
 			d.regs[RegDMASR] &^= StatusHalted
@@ -101,19 +120,65 @@ func (d *DMA) ReadReg(addr uint32) (uint32, error) {
 func (d *DMA) start(bytes int) {
 	d.busy = true
 	d.regs[RegDMASR] &^= StatusIdle
-	d.link.Start(d.sim, bytes, func() {
-		d.busy = false
-		d.transferred += uint64(bytes)
-		d.completions++
-		d.regs[RegDMASR] |= StatusIdle | StatusIOCIrq
-		if d.irq != nil {
-			d.irq()
-		}
-	})
+	gen := d.gen
+	switch fv := d.fault.OnDMA(d.Name, bytes); fv.Action {
+	case fault.DMAAbort:
+		// The stream dies at the fault offset: the engine error-halts,
+		// no completion interrupt ever fires, and the link goes idle
+		// after the partial transfer.
+		d.link.Start(d.sim, fv.Offset, func() {
+			if d.gen != gen {
+				return
+			}
+			d.busy = false
+			d.faults++
+			d.regs[RegDMASR] |= StatusHalted | StatusErrIrq
+		})
+	case fault.DMAStall:
+		// The full transfer happens, with the stall folded into the
+		// link occupancy, so anything queued behind it waits too.
+		d.link.StartExtra(d.sim, bytes, fv.StallPS, func() { d.complete(gen, bytes) })
+	default:
+		d.link.Start(d.sim, bytes, func() { d.complete(gen, bytes) })
+	}
 }
+
+// complete delivers a transfer completion unless a Reset has
+// invalidated it.
+func (d *DMA) complete(gen uint64, bytes int) {
+	if d.gen != gen {
+		return
+	}
+	d.busy = false
+	d.transferred += uint64(bytes)
+	d.completions++
+	d.regs[RegDMASR] |= StatusIdle | StatusIOCIrq
+	if d.irq != nil {
+		d.irq()
+	}
+}
+
+// Reset models the DMACR soft-reset bit: the engine halts, any
+// in-flight transfer is abandoned (its completion and interrupt are
+// swallowed), the link is released, and the register file returns to
+// the power-on state. This is the watchdog's re-arm path.
+func (d *DMA) Reset() {
+	d.gen++
+	d.busy = false
+	d.link.Release(d.sim)
+	d.regs[RegDMACR] = 0
+	d.regs[RegDMASR] = StatusHalted
+}
+
+// SetFaultPlan installs the fault injector consulted at each transfer
+// launch. A nil plan disables injection.
+func (d *DMA) SetFaultPlan(p *fault.Plan) { d.fault = p }
 
 // Busy reports whether a transfer is in flight.
 func (d *DMA) Busy() bool { return d.busy }
+
+// Faults returns the number of transfers that error-halted.
+func (d *DMA) Faults() int { return d.faults }
 
 // Transferred returns the total bytes moved.
 func (d *DMA) Transferred() uint64 { return d.transferred }

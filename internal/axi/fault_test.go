@@ -1,0 +1,143 @@
+package axi
+
+import (
+	"testing"
+
+	"advdet/internal/fault"
+	"advdet/internal/soc"
+)
+
+func launch(t *testing.T, d *DMA, bytes int) {
+	t.Helper()
+	if err := d.WriteReg(RegDMACR, CtrlRun); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(RegSrcAddr, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteReg(RegLength, uint32(bytes)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDMAAbortErrorHalts pins the abort fault: the engine error-halts,
+// the completion IRQ never fires, and the fault is counted.
+func TestDMAAbortErrorHalts(t *testing.T) {
+	irqs := 0
+	sim, d := newTestDMA(func() { irqs++ })
+	d.SetFaultPlan(fault.NewPlan(1).AbortDMA("test", 1, 1024))
+	launch(t, d, 4096)
+	sim.Run()
+	if irqs != 0 {
+		t.Fatalf("aborted transfer raised %d IRQs, want 0", irqs)
+	}
+	if d.Busy() {
+		t.Fatal("aborted DMA still busy")
+	}
+	if d.Faults() != 1 {
+		t.Fatalf("Faults() = %d, want 1", d.Faults())
+	}
+	if d.Completions() != 0 || d.Transferred() != 0 {
+		t.Fatalf("aborted transfer counted as completed: %d completions, %d bytes",
+			d.Completions(), d.Transferred())
+	}
+	sr, err := d.ReadReg(RegDMASR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr&StatusErrIrq == 0 || sr&StatusHalted == 0 {
+		t.Fatalf("status %#x, want error+halted latched", sr)
+	}
+}
+
+// TestDMAStallDelaysCompletion pins the stall fault: the transfer
+// completes, late by exactly the stall duration.
+func TestDMAStallDelaysCompletion(t *testing.T) {
+	const bytes, stallPS = 4096, 5_000_000
+	timeOne := func(p *fault.Plan) uint64 {
+		sim, d := newTestDMA(nil)
+		d.SetFaultPlan(p)
+		launch(t, d, bytes)
+		sim.Run()
+		if d.Completions() != 1 {
+			t.Fatalf("transfer did not complete (completions=%d)", d.Completions())
+		}
+		return sim.Now()
+	}
+	clean := timeOne(nil)
+	stalled := timeOne(fault.NewPlan(1).StallDMA("test", 1, 1024, stallPS))
+	if stalled != clean+stallPS {
+		t.Fatalf("stalled finish %d, want clean %d + stall %d", stalled, clean, stallPS)
+	}
+}
+
+// TestDMAResetInvalidatesInFlightTransfer pins the watchdog re-arm
+// path: a soft reset abandons the in-flight transfer (its completion
+// and IRQ are swallowed), frees the link, and a retried transfer
+// completes normally.
+func TestDMAResetInvalidatesInFlightTransfer(t *testing.T) {
+	irqs := 0
+	sim := &soc.Sim{}
+	link := soc.NewICAPLink()
+	d := NewDMA("test", sim, link, func() { irqs++ })
+	launch(t, d, 1<<20)
+	if !d.Busy() {
+		t.Fatal("DMA not busy after launch")
+	}
+	// Reset via the DMACR soft-reset bit before the completion fires.
+	if err := d.WriteReg(RegDMACR, CtrlReset); err != nil {
+		t.Fatal(err)
+	}
+	if d.Busy() {
+		t.Fatal("DMA busy after reset")
+	}
+	// Relaunch: the retry must complete even though the stale
+	// completion event is still queued on the simulator.
+	launch(t, d, 4096)
+	sim.Run()
+	if d.Completions() != 1 {
+		t.Fatalf("retry completed %d times, want 1", d.Completions())
+	}
+	if irqs != 1 {
+		t.Fatalf("IRQs = %d, want 1 (stale completion must be swallowed)", irqs)
+	}
+	if d.Transferred() != 4096 {
+		t.Fatalf("Transferred = %d, want 4096 (abandoned bytes must not count)", d.Transferred())
+	}
+}
+
+// TestLinkReleaseFreesReservation pins that Release lets a new
+// transfer start immediately instead of queueing behind an abandoned
+// one.
+func TestLinkReleaseFreesReservation(t *testing.T) {
+	sim := &soc.Sim{}
+	link := soc.NewICAPLink()
+	base := link.TransferPS(4096)
+	link.Start(sim, 1<<24, nil) // long abandoned reservation
+	link.Release(sim)
+	if finish := link.Start(sim, 4096, nil); finish != base {
+		t.Fatalf("post-release transfer finishes at %d, want %d", finish, base)
+	}
+}
+
+// TestIRQDropSkipsHandler pins the interrupt-loss fault: the raise is
+// counted, the handler never runs, and Dropped records the loss.
+func TestIRQDropSkipsHandler(t *testing.T) {
+	sim := &soc.Sim{}
+	ic := soc.NewIRQController(sim)
+	runs := 0
+	ic.Register(soc.IRQPRDone, func() { runs++ })
+	ic.SetFaultPlan(fault.NewPlan(1).DropIRQ(soc.IRQPRDone, 1))
+	ic.Raise(soc.IRQPRDone)
+	ic.Raise(soc.IRQPRDone)
+	sim.Run()
+	if runs != 1 {
+		t.Fatalf("handler ran %d times, want 1 (first raise dropped)", runs)
+	}
+	if got := ic.Raised(soc.IRQPRDone); got != 2 {
+		t.Fatalf("Raised = %d, want 2 (assertions count even when lost)", got)
+	}
+	if got := ic.Dropped(soc.IRQPRDone); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+}

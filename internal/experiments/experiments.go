@@ -183,12 +183,14 @@ var PaperThroughputs = map[string]float64{
 }
 
 // ReconfigComparison measures all controllers on one partial
-// bitstream.
-func ReconfigComparison() ([]pr.Result, error) {
+// bitstream, averaging each over repeats runs (the model is
+// deterministic, so repeats > 1 is a stability check, not a
+// variance-reduction need).
+func ReconfigComparison(repeats int) ([]pr.Result, error) {
 	bytes := fpga.DefaultFloorplan().PartialBitstreamBytes()
 	var out []pr.Result
 	for _, ctrl := range pr.All() {
-		res, err := pr.Measure(ctrl, bytes)
+		res, err := pr.MeasureN(ctrl, bytes, repeats)
 		if err != nil {
 			return nil, err
 		}

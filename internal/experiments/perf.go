@@ -119,7 +119,7 @@ func PerfBench() (PerfReport, error) {
 		}
 	}
 
-	results, err := ReconfigComparison()
+	results, err := ReconfigComparison(1)
 	if err != nil {
 		return rep, err
 	}

@@ -1,0 +1,172 @@
+package fault
+
+import "testing"
+
+// TestNilPlanIsNoFault pins the zero-cost disabled path: every hook on
+// a nil plan reports "no fault".
+func TestNilPlanIsNoFault(t *testing.T) {
+	var p *Plan
+	if _, corrupt := p.OnStage("dark"); corrupt {
+		t.Fatal("nil plan corrupted a staging")
+	}
+	if f := p.OnDMA("pr-dma", 1024); f.Action != DMANone {
+		t.Fatalf("nil plan injected DMA fault %v", f)
+	}
+	if p.OnIRQ(2) {
+		t.Fatal("nil plan dropped an IRQ")
+	}
+	if p.OnBankSelect() {
+		t.Fatal("nil plan failed a bank select")
+	}
+	if ev := p.Events(); ev != nil {
+		t.Fatalf("nil plan has events %v", ev)
+	}
+	if p.Count(SiteIRQDrop) != 0 {
+		t.Fatal("nil plan has a nonzero count")
+	}
+}
+
+// TestOccurrenceMatching pins the 1-based occurrence semantics: a rule
+// armed for occurrence 2 skips the first consult and fires exactly
+// once.
+func TestOccurrenceMatching(t *testing.T) {
+	p := NewPlan(1).CorruptStage("dark", 2)
+	if _, corrupt := p.OnStage("dark"); corrupt {
+		t.Fatal("occurrence-2 rule fired on the first staging")
+	}
+	mask, corrupt := p.OnStage("dark")
+	if !corrupt {
+		t.Fatal("occurrence-2 rule did not fire on the second staging")
+	}
+	if mask == 0 {
+		t.Fatal("corruption mask must be nonzero or the CRC would still match")
+	}
+	if _, corrupt := p.OnStage("dark"); corrupt {
+		t.Fatal("occurrence-2 rule fired a third time")
+	}
+	if got := p.Count(SiteStageCorrupt); got != 1 {
+		t.Fatalf("Count(SiteStageCorrupt) = %d, want 1", got)
+	}
+}
+
+// TestOccurrenceZeroFiresEveryTime pins occ=0 as "every occurrence".
+func TestOccurrenceZeroFiresEveryTime(t *testing.T) {
+	p := NewPlan(1).DropIRQ(2, 0)
+	for i := 0; i < 5; i++ {
+		if !p.OnIRQ(2) {
+			t.Fatalf("occ=0 drop rule did not fire on assertion %d", i+1)
+		}
+	}
+	if p.OnIRQ(1) {
+		t.Fatal("drop rule for line 2 fired on line 1")
+	}
+	if got := p.Count(SiteIRQDrop); got != 5 {
+		t.Fatalf("Count(SiteIRQDrop) = %d, want 5", got)
+	}
+}
+
+// TestKeysAreIndependent pins that occurrence counters are per key:
+// staging other ids does not advance the dark counter.
+func TestKeysAreIndependent(t *testing.T) {
+	p := NewPlan(1).CorruptStage("dark", 1)
+	if _, corrupt := p.OnStage("day-dusk"); corrupt {
+		t.Fatal("rule for dark fired on day-dusk")
+	}
+	if _, corrupt := p.OnStage("dark"); !corrupt {
+		t.Fatal("dark's first staging should be corrupted despite earlier day-dusk stagings")
+	}
+}
+
+// TestDMAAbortAndStall pins the DMA decision payloads, the abort >
+// stall priority, and the shared occurrence counter.
+func TestDMAAbortAndStall(t *testing.T) {
+	p := NewPlan(1).
+		AbortDMA("pr-dma", 1, 4096).
+		StallDMA("pr-dma", 2, 100, 7_000)
+
+	f := p.OnDMA("pr-dma", 1<<20)
+	if f.Action != DMAAbort || f.Offset != 4096 {
+		t.Fatalf("first transfer = %+v, want abort at 4096", f)
+	}
+	f = p.OnDMA("pr-dma", 1<<20)
+	if f.Action != DMAStall || f.Offset != 100 || f.StallPS != 7_000 {
+		t.Fatalf("second transfer = %+v, want stall at 100 for 7000 ps", f)
+	}
+	if f = p.OnDMA("pr-dma", 1<<20); f.Action != DMANone {
+		t.Fatalf("third transfer = %+v, want none", f)
+	}
+	// An out-of-range offset clamps to mid-transfer.
+	p2 := NewPlan(1).AbortDMA("x", 1, 1<<30)
+	if f := p2.OnDMA("x", 1000); f.Offset != 500 {
+		t.Fatalf("oversized offset clamped to %d, want 500", f.Offset)
+	}
+}
+
+// TestChaosIsDeterministic pins that two plans with the same seed make
+// identical probabilistic decisions, and different seeds diverge.
+func TestChaosIsDeterministic(t *testing.T) {
+	decide := func(seed uint64) []bool {
+		p := NewPlan(seed).Chaos(SiteIRQDrop, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.OnIRQ(2)
+		}
+		return out
+	}
+	a, b := decide(42), decide(42)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at consult %d", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("chaos at p=0.5 dropped %d/%d — generator looks broken", drops, len(a))
+	}
+	c := decide(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decisions")
+	}
+}
+
+// TestEventsRecordFiringOrder pins the event log shape.
+func TestEventsRecordFiringOrder(t *testing.T) {
+	p := NewPlan(1).CorruptStage("dark", 1).DropIRQ(2, 1).FailBankSelect(1)
+	p.OnStage("dark")
+	p.OnIRQ(2)
+	if !p.OnBankSelect() {
+		t.Fatal("bank-select rule did not fire")
+	}
+	ev := p.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3: %v", len(ev), ev)
+	}
+	want := []Site{SiteStageCorrupt, SiteIRQDrop, SiteBankSelect}
+	for i, e := range ev {
+		if e.Site != want[i] {
+			t.Fatalf("event %d = %v, want site %v", i, e, want[i])
+		}
+		if e.String() == "" {
+			t.Fatalf("event %d has empty String()", i)
+		}
+	}
+}
+
+// TestZeroSeedIsUsable pins that seed 0 does not wedge the xorshift
+// generator (all-zero state would never fire chaos).
+func TestZeroSeedIsUsable(t *testing.T) {
+	p := NewPlan(0).Chaos(SiteBankSelect, 1.0)
+	if !p.OnBankSelect() {
+		t.Fatal("p=1.0 chaos never fired with seed 0")
+	}
+}

@@ -77,6 +77,25 @@ func TestNoFloatNeedsOptIn(t *testing.T) {
 	}
 }
 
+// TestNoFloatExemptsFaultPackage pins that the fault injector stays
+// outside the datapath float rules: fault.Plan models driver-level
+// chaos (probabilities are float64 by nature) and runs on the PS, so
+// it must never carry the lint:datapath directive. If someone adds
+// the directive — or nofloat starts firing there for any reason —
+// this test catches it before CI does.
+func TestNoFloatExemptsFaultPackage(t *testing.T) {
+	pkgs, err := Load(Config{Root: "../.."}, "./internal/fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want advdet/internal/fault alone", len(pkgs))
+	}
+	if diags := RunAnalyzers(pkgs, []*Analyzer{NoFloat()}); len(diags) != 0 {
+		t.Fatalf("nofloat fired inside advdet/internal/fault: %v", diags)
+	}
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("all")
 	if err != nil || len(all) != 4 {

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFaultCounters pins the fault-counter API: nil safety, counting,
+// and the snapshot/prom exports.
+func TestFaultCounters(t *testing.T) {
+	var nilReg *Registry
+	nilReg.FaultAdd(FaultVerify) // must not panic
+	if nilReg.FaultCount(FaultVerify) != 0 {
+		t.Fatal("nil registry has a nonzero fault count")
+	}
+
+	r := NewRegistry()
+	r.FaultAdd(FaultVerify)
+	r.FaultAdd(FaultVerify)
+	r.FaultAdd(FaultWatchdog)
+	r.FaultAdd(FaultKind(-1)) // out of range: ignored
+	r.FaultAdd(NumFaultKinds) // out of range: ignored
+	if got := r.FaultCount(FaultVerify); got != 2 {
+		t.Fatalf("FaultCount(verify) = %d, want 2", got)
+	}
+	if got := r.FaultCount(FaultWatchdog); got != 1 {
+		t.Fatalf("FaultCount(watchdog) = %d, want 1", got)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Faults) != int(NumFaultKinds) {
+		t.Fatalf("snapshot has %d fault rows, want %d", len(snap.Faults), NumFaultKinds)
+	}
+	row, ok := snap.FaultByKind("verify")
+	if !ok || row.Count != 2 {
+		t.Fatalf("FaultByKind(verify) = %+v, %v", row, ok)
+	}
+
+	// JSON round trip preserves the fault rows.
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := back.FaultByKind("watchdog"); got.Count != 1 {
+		t.Fatalf("round-tripped watchdog count = %d, want 1", got.Count)
+	}
+
+	var prom strings.Builder
+	if err := r.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `advdet_reconfig_faults_total{kind="verify"} 2`) {
+		t.Fatalf("prom output missing fault family:\n%s", prom.String())
+	}
+}
+
+// TestFaultKindNames pins the exported names (dashboards key on them).
+func TestFaultKindNames(t *testing.T) {
+	want := []string{
+		"verify", "watchdog", "retry", "irq-dropped", "bank-select",
+		"stale-vehicle-frame", "degraded-frame",
+	}
+	if len(want) != int(NumFaultKinds) {
+		t.Fatalf("want list has %d entries, NumFaultKinds = %d", len(want), NumFaultKinds)
+	}
+	for i, w := range want {
+		if got := FaultKind(i).String(); got != w {
+			t.Fatalf("FaultKind(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if FaultKind(-1).String() != "unknown" || NumFaultKinds.String() != "unknown" {
+		t.Fatal("out-of-range fault kinds must stringify as unknown")
+	}
+}
+
+// TestReconfigFaultStageName pins the new stage's wire name.
+func TestReconfigFaultStageName(t *testing.T) {
+	if got := StageReconfigFault.String(); got != "reconfig-fault" {
+		t.Fatalf("StageReconfigFault = %q, want reconfig-fault", got)
+	}
+	if got := GaugeMode.String(); got != "mode" {
+		t.Fatalf("GaugeMode = %q, want mode", got)
+	}
+}

@@ -36,13 +36,17 @@ const (
 	StageDMAStream
 	// StageReconfig is one partial reconfiguration of the vehicle block.
 	StageReconfig
+	// StageReconfigFault is one retry cycle of a failing
+	// reconfiguration: the count is the retries scheduled and the
+	// simulated total is the backoff time spent waiting to re-arm.
+	StageReconfigFault
 	// NumStages bounds the stage space.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"sense", "model-select", "vehicle-scan", "pedestrian-scan",
-	"dma-stream", "reconfig",
+	"dma-stream", "reconfig", "reconfig-fault",
 }
 
 func (s Stage) String() string {
@@ -63,12 +67,15 @@ const (
 	GaugeReconfigInFlight
 	// GaugeFrameIndex is the index of the last completed frame.
 	GaugeFrameIndex
+	// GaugeMode is the resilience mode of the adaptive system
+	// (0 nominal, 1 recovering, 2 degraded).
+	GaugeMode
 	// NumGauges bounds the gauge space.
 	NumGauges
 )
 
 var gaugeNames = [NumGauges]string{
-	"loaded_config", "reconfig_in_flight", "frame_index",
+	"loaded_config", "reconfig_in_flight", "frame_index", "mode",
 }
 
 func (g Gauge) String() string {
@@ -76,6 +83,44 @@ func (g Gauge) String() string {
 		return "unknown"
 	}
 	return gaugeNames[g]
+}
+
+// FaultKind identifies one class of reconfiguration-fault event the
+// resilience layer counts.
+type FaultKind int
+
+const (
+	// FaultVerify: a staged bitstream failed its CRC verify pass.
+	FaultVerify FaultKind = iota
+	// FaultWatchdog: the PR-done interrupt missed its deadline and the
+	// in-flight reconfiguration was abandoned.
+	FaultWatchdog
+	// FaultRetry: a reconfiguration retry was scheduled.
+	FaultRetry
+	// FaultIRQDrop: a PL-to-PS interrupt assertion was lost.
+	FaultIRQDrop
+	// FaultBankSelect: a BRAM model-bank select write failed.
+	FaultBankSelect
+	// FaultStaleVehicleFrame: a frame served vehicle detections from
+	// the last-good resident model while the wanted switch was failing.
+	FaultStaleVehicleFrame
+	// FaultDegradedFrame: a frame completed while the system was in
+	// degraded mode (retry budget exhausted).
+	FaultDegradedFrame
+	// NumFaultKinds bounds the fault-kind space.
+	NumFaultKinds
+)
+
+var faultNames = [NumFaultKinds]string{
+	"verify", "watchdog", "retry", "irq-dropped", "bank-select",
+	"stale-vehicle-frame", "degraded-frame",
+}
+
+func (k FaultKind) String() string {
+	if k < 0 || k >= NumFaultKinds {
+		return "unknown"
+	}
+	return faultNames[k]
 }
 
 // stageSeries aggregates one stage: an invocation counter, running
@@ -108,6 +153,7 @@ type Registry struct {
 	stages [NumStages]stageSeries
 	frame  frameSeries
 	gauges [NumGauges]atomic.Uint64
+	faults [NumFaultKinds]atomic.Uint64
 }
 
 // NewRegistry returns a registry with the default exponential buckets:
@@ -201,4 +247,21 @@ func (r *Registry) StageCount(s Stage) uint64 {
 		return 0
 	}
 	return r.stages[s].count.Load()
+}
+
+// FaultAdd counts one reconfiguration-fault event. No-op on a nil
+// registry.
+func (r *Registry) FaultAdd(k FaultKind) {
+	if r == nil || k < 0 || k >= NumFaultKinds {
+		return
+	}
+	r.faults[k].Add(1)
+}
+
+// FaultCount reads a fault counter (zero on nil).
+func (r *Registry) FaultCount(k FaultKind) uint64 {
+	if r == nil || k < 0 || k >= NumFaultKinds {
+		return 0
+	}
+	return r.faults[k].Load()
 }

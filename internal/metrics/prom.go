@@ -65,6 +65,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	writeHist("advdet_frame_overrun_ps", "Overshoot past the slot deadline on misses, simulated ps.", &r.frame.overrun)
 	writeHist("advdet_frame_wall_ns", "Wall-clock frame cost, ns.", &r.frame.wall)
 
+	p("# HELP advdet_reconfig_faults_total Reconfiguration-fault events by kind.\n")
+	p("# TYPE advdet_reconfig_faults_total counter\n")
+	for k := FaultKind(0); k < NumFaultKinds; k++ {
+		p("advdet_reconfig_faults_total{kind=%q} %d\n", k.String(), r.faults[k].Load())
+	}
+
 	p("# HELP advdet_gauge Instantaneous system state.\n")
 	p("# TYPE advdet_gauge gauge\n")
 	for g := Gauge(0); g < NumGauges; g++ {

@@ -38,6 +38,12 @@ type GaugeSnapshot struct {
 	Value uint64 `json:"value"`
 }
 
+// FaultSnapshot is one exported reconfiguration-fault counter.
+type FaultSnapshot struct {
+	Kind  string `json:"kind"`
+	Count uint64 `json:"count"`
+}
+
 // Snapshot is a consistent-enough copy of the registry for export:
 // individual cells are read atomically (the registry keeps no global
 // lock, matching how hardware event counters are sampled live).
@@ -46,6 +52,7 @@ type Snapshot struct {
 	Stages  []StageSnapshot `json:"stages"`
 	Frames  FrameSnapshot   `json:"frames"`
 	Gauges  []GaugeSnapshot `json:"gauges"`
+	Faults  []FaultSnapshot `json:"faults"`
 }
 
 // Snapshot exports the registry. On a nil registry it returns a
@@ -88,7 +95,33 @@ func (r *Registry) Snapshot() Snapshot {
 	for g := Gauge(0); g < NumGauges; g++ {
 		snap.Gauges = append(snap.Gauges, GaugeSnapshot{Gauge: g.String(), Value: r.gauges[g].Load()})
 	}
+	snap.Faults = make([]FaultSnapshot, 0, NumFaultKinds)
+	for k := FaultKind(0); k < NumFaultKinds; k++ {
+		snap.Faults = append(snap.Faults, FaultSnapshot{Kind: k.String(), Count: r.faults[k].Load()})
+	}
 	return snap
+}
+
+// FaultByKind returns the snapshot row for the named fault kind (zero
+// row, false if absent).
+func (s Snapshot) FaultByKind(kind string) (FaultSnapshot, bool) {
+	for _, f := range s.Faults {
+		if f.Kind == kind {
+			return f, true
+		}
+	}
+	return FaultSnapshot{}, false
+}
+
+// GaugeByName returns the snapshot row for the named gauge (zero row,
+// false if absent).
+func (s Snapshot) GaugeByName(name string) (GaugeSnapshot, bool) {
+	for _, g := range s.Gauges {
+		if g.Gauge == name {
+			return g, true
+		}
+	}
+	return GaugeSnapshot{}, false
 }
 
 // StageByName returns the snapshot row for the named stage (zero row,

@@ -1,0 +1,24 @@
+package pr
+
+import "errors"
+
+// Typed sentinel errors for the reconfiguration flow. Every error the
+// controllers return wraps one of these with %w, so callers in
+// adaptive and above dispatch with errors.Is instead of matching
+// message substrings.
+var (
+	// ErrBusy: a reconfiguration (or staging transfer) is already in
+	// flight on the engine.
+	ErrBusy = errors.New("reconfiguration already in flight")
+	// ErrNotStaged: the named bitstream is not resident in PL DDR.
+	ErrNotStaged = errors.New("bitstream not staged")
+	// ErrVerify: the staged bitstream's checksum does not match the one
+	// recorded at generation time — the image in PL DDR is corrupt and
+	// must not be streamed into the ICAP.
+	ErrVerify = errors.New("staged bitstream failed CRC verification")
+	// ErrTimeout: the reconfiguration never signaled completion. The
+	// controllers return it from Measure when the simulator drains
+	// without a completion; adaptive's watchdog wraps it when the
+	// PR-done interrupt misses its deadline.
+	ErrTimeout = errors.New("reconfiguration timed out")
+)

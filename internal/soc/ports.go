@@ -50,16 +50,35 @@ func (l *BurstLink) Throughput() float64 {
 // transfer already using the link, and calls done at completion.
 // It returns the scheduled completion time.
 func (l *BurstLink) Start(sim *Sim, n int, done func()) uint64 {
+	return l.StartExtra(sim, n, 0, done)
+}
+
+// StartExtra is Start with extraPS of additional occupancy folded into
+// the transfer — the hook fault injection uses to model a mid-stream
+// stall. The link stays reserved through the stall, so transfers
+// queued behind a stalled one are delayed exactly as they would be on
+// the wire.
+func (l *BurstLink) StartExtra(sim *Sim, n int, extraPS uint64, done func()) uint64 {
 	start := sim.Now()
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	finish := start + l.TransferPS(n)
+	finish := start + l.TransferPS(n) + extraPS
 	l.busyUntil = finish
 	if done != nil {
 		sim.Schedule(finish-sim.Now(), done)
 	}
 	return finish
+}
+
+// Release frees the link immediately: an aborted transfer deasserts
+// the stream, so transfers launched afterwards need not queue behind
+// the abandoned reservation. Already-scheduled completion callbacks
+// are unaffected (their owners guard against stale delivery).
+func (l *BurstLink) Release(sim *Sim) {
+	if l.busyUntil > sim.Now() {
+		l.busyUntil = sim.Now()
+	}
 }
 
 // Efficiency returns the fraction of theoretical wire bandwidth the

@@ -3,6 +3,7 @@ package soc
 import (
 	"fmt"
 
+	"advdet/internal/fault"
 	"advdet/internal/trace"
 )
 
@@ -23,6 +24,8 @@ type IRQController struct {
 	// EntryCycles is the interrupt entry latency in PS CPU cycles.
 	EntryCycles uint64
 	raised      [numIRQs]int
+	dropped     [numIRQs]int
+	fault       *fault.Plan
 }
 
 // NewIRQController returns a controller bound to sim with a typical
@@ -48,6 +51,13 @@ func (ic *IRQController) Raise(irq int) {
 		panic(fmt.Sprintf("soc: invalid IRQ %d", irq))
 	}
 	ic.raised[irq]++
+	if ic.fault.OnIRQ(irq) {
+		// The line was asserted but the PS never sees it: the fault
+		// model for a masked/lost interrupt. Raised still counts the
+		// assertion; Dropped records the loss.
+		ic.dropped[irq]++
+		return
+	}
 	if fn := ic.handlers[irq]; fn != nil {
 		ic.sim.Schedule(ClkPS.CyclesPS(ic.EntryCycles), fn)
 	}
@@ -55,6 +65,14 @@ func (ic *IRQController) Raise(irq int) {
 
 // Raised reports how many times the line has been asserted.
 func (ic *IRQController) Raised(irq int) int { return ic.raised[irq] }
+
+// Dropped reports how many assertions of the line were lost to fault
+// injection.
+func (ic *IRQController) Dropped(irq int) int { return ic.dropped[irq] }
+
+// SetFaultPlan installs the fault injector consulted on every Raise.
+// A nil plan disables injection.
+func (ic *IRQController) SetFaultPlan(p *fault.Plan) { ic.fault = p }
 
 // PipelineModel is the timing model of a streaming detection
 // accelerator on the PL: a deep pipeline consuming CyclesPerPixel
@@ -108,6 +126,12 @@ type Zynq struct {
 	VehiclePipe    PipelineModel
 	PedestrianPipe PipelineModel
 }
+
+// SetFaultPlan installs the fault injector on the platform's shared
+// infrastructure (currently the interrupt controller; DMA engines and
+// PR controllers take the plan directly). A nil plan disables
+// injection.
+func (z *Zynq) SetFaultPlan(p *fault.Plan) { z.IRQ.SetFaultPlan(p) }
 
 // NewZynq builds the platform.
 func NewZynq() *Zynq {

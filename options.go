@@ -64,3 +64,18 @@ func WithTracking() Option {
 func WithMetrics() Option {
 	return func(o *SystemOptions) { o.EnableMetrics = true }
 }
+
+// WithFaultPlan installs a fault injector on the reconfiguration
+// datapath: staging CRC corruption, PR DMA stalls and aborts, dropped
+// PR-done interrupts and failed model-bank selects (see NewFaultPlan).
+// A nil plan — the default — injects nothing at zero cost.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(o *SystemOptions) { o.FaultPlan = p }
+}
+
+// WithRetryPolicy bounds the reconfiguration watchdog and
+// retry/backoff loop. Zero fields are filled from
+// DefaultRetryPolicy, so partial policies tweak one knob at a time.
+func WithRetryPolicy(rp RetryPolicy) Option {
+	return func(o *SystemOptions) { o.Retry = rp }
+}
