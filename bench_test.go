@@ -589,6 +589,34 @@ func BenchmarkDetectDayDusk(b *testing.B) {
 	}
 }
 
+// BenchmarkScanBlockResponse isolates the PR's tentpole: the same
+// 640x360 day scan with the block-response engine on ("block") and
+// forced onto the per-window descriptor path ("descriptor"), serial so
+// the comparison is pure arithmetic, not scheduling. Both produce
+// identical detections; block must be >= 2x faster.
+func BenchmarkScanBlockResponse(b *testing.B) {
+	day, _, _ := benchDetectors(b)
+	sc := synth.RenderScene(synth.NewRNG(9), synth.DefaultSceneConfig(640, 360, synth.Day))
+	gray := img.RGBToGray(sc.Frame)
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name     string
+		noBlocks bool
+	}{{"block", false}, {"descriptor", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			det := *day
+			det.NoBlockResponse = bc.noBlocks
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.DetectCtx(ctx, gray, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAdaptiveFrame measures one timing-mode frame through the
 // adaptive system, with telemetry off and on. The delta between the
 // two sub-benchmarks is the whole per-frame metrics cost on the

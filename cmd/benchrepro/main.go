@@ -10,7 +10,7 @@
 // With no selection flags, -all is assumed. -quick shrinks the
 // Table I datasets (for CI-speed runs). -json runs the timing-mode
 // performance benchmark alone (fast, no training) and writes the
-// schema-stable report (BENCH_pr3.json) to the given file; combine
+// schema-stable report (BENCH_pr5.json) to the given file; combine
 // with other flags to also run those sections.
 package main
 
@@ -38,7 +38,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "smaller Table I datasets")
 	repeats := flag.Int("repeats", 1, "measurement repeats per reconfiguration controller")
-	jsonOut := flag.String("json", "", "write the machine-readable performance report (BENCH_pr3.json schema) to this file")
+	jsonOut := flag.String("json", "", "write the machine-readable performance report (BENCH_pr5.json schema) to this file")
 	flag.Parse()
 
 	if !(*t1 || *t2 || *rc || *dk || *fp || *bl || *sw || *av || *jsonOut != "") {

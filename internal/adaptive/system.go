@@ -524,24 +524,42 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 }
 
 // detectVehicles dispatches to the condition's detector on the shared
-// worker pool.
+// worker pool. With metrics enabled, the HOG scans additionally report
+// per-stage wall time through the scan-* stages, attributing the
+// vehicle-scan budget to the block-response engine's sub-stages.
 func (s *System) detectVehicles(ctx context.Context, sc *synth.Scene, cond synth.Condition) ([]pipeline.Detection, error) {
 	gray := func() *img.Gray { return img.RGBToGray(sc.Frame) }
-	switch cond {
-	case synth.Day:
-		if s.Dets.Day != nil {
-			return s.Dets.Day.DetectCtx(ctx, gray(), s.workers())
-		}
-	case synth.Dusk:
-		if s.Dets.Dusk != nil {
-			return s.Dets.Dusk.DetectCtx(ctx, gray(), s.workers())
-		}
-	case synth.Dark:
-		if s.Dets.Dark != nil {
-			return s.Dets.Dark.DetectCtx(ctx, sc.Frame, s.workers())
-		}
+	var tm *pipeline.ScanTimings
+	if s.metrics != nil {
+		tm = new(pipeline.ScanTimings)
 	}
-	return nil, nil
+	dets, err := func() ([]pipeline.Detection, error) {
+		switch cond {
+		case synth.Day:
+			if s.Dets.Day != nil {
+				return s.Dets.Day.DetectTimedCtx(ctx, gray(), s.workers(), tm)
+			}
+		case synth.Dusk:
+			if s.Dets.Dusk != nil {
+				return s.Dets.Dusk.DetectTimedCtx(ctx, gray(), s.workers(), tm)
+			}
+		case synth.Dark:
+			if s.Dets.Dark != nil {
+				tm = nil // dark pipeline is taillight-based, not a HOG scan
+				return s.Dets.Dark.DetectCtx(ctx, sc.Frame, s.workers())
+			}
+		}
+		tm = nil
+		return nil, nil
+	}()
+	if err == nil && tm != nil {
+		s.metrics.StageObserve(metrics.StageScanResize, 0, uint64(tm.Resize))
+		s.metrics.StageObserve(metrics.StageScanFeature, 0, uint64(tm.Feature))
+		s.metrics.StageObserve(metrics.StageScanBlocks, 0, uint64(tm.Blocks))
+		s.metrics.StageObserve(metrics.StageScanResponse, 0, uint64(tm.Response))
+		s.metrics.StageObserve(metrics.StageScanWindows, 0, uint64(tm.Windows))
+	}
+	return dets, err
 }
 
 // RunScenario is RunScenarioCtx without cancellation.

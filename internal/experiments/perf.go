@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"advdet/internal/adaptive"
+	"advdet/internal/hog"
+	"advdet/internal/img"
 	"advdet/internal/metrics"
 	"advdet/internal/pipeline"
 	"advdet/internal/soc"
@@ -27,7 +30,7 @@ type ControllerPerf struct {
 }
 
 // PerfReport is the schema-stable performance summary emitted as
-// BENCH_pr3.json: the headline frame-rate and latency numbers of the
+// BENCH_pr5.json: the headline frame-rate and latency numbers of the
 // paper's §IV/§V plus the full telemetry snapshot for drill-down.
 type PerfReport struct {
 	Schema          string  `json:"schema"`
@@ -47,7 +50,19 @@ type PerfReport struct {
 
 	Controllers []ControllerPerf `json:"controllers"`
 
+	// One real serial day scan over a 640x360 frame, broken into the
+	// block-response engine's stages (additive in advdet-bench/v1).
+	ScanBlockPath bool            `json:"scan_block_path"`
+	ScanTotalMS   float64         `json:"scan_total_ms"`
+	ScanStages    []ScanStagePerf `json:"scan_stages"`
+
 	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// ScanStagePerf is one scan sub-stage's wall time inside a PerfReport.
+type ScanStagePerf struct {
+	Stage  string  `json:"stage"`
+	WallMS float64 `json:"wall_ms"`
 }
 
 // PerfBench produces the PerfReport: a 120-frame timing-mode drive
@@ -119,6 +134,33 @@ func PerfBench() (PerfReport, error) {
 		}
 	}
 
+	// One real serial vehicle scan (zero-weight model: identical flop
+	// count to a trained one) attributes wall time to the
+	// block-response engine's stages.
+	scanDet := pipeline.NewDayDuskDetector(&svm.Model{
+		W: make([]float64, hog.DefaultConfig().DescriptorLen(pipeline.VehicleWindow, pipeline.VehicleWindow)),
+	})
+	scanFrame := img.RGBToGray(synth.RenderScene(synth.NewRNG(9),
+		synth.DefaultSceneConfig(640, 360, synth.Day)).Frame)
+	// Warm-up scan: builds the one-time histogram LUT and grows the
+	// pooled scratch so the timed scan is the steady-state frame.
+	if _, err := scanDet.DetectCtx(context.Background(), scanFrame, 1); err != nil {
+		return rep, err
+	}
+	var tm pipeline.ScanTimings
+	if _, err := scanDet.DetectTimedCtx(context.Background(), scanFrame, 1, &tm); err != nil {
+		return rep, err
+	}
+	rep.ScanBlockPath = tm.BlockPath
+	rep.ScanTotalMS = (tm.Resize + tm.Feature + tm.Blocks + tm.Response + tm.Windows).Seconds() * 1e3
+	rep.ScanStages = []ScanStagePerf{
+		{Stage: "resize", WallMS: tm.Resize.Seconds() * 1e3},
+		{Stage: "feature", WallMS: tm.Feature.Seconds() * 1e3},
+		{Stage: "blocks", WallMS: tm.Blocks.Seconds() * 1e3},
+		{Stage: "response", WallMS: tm.Response.Seconds() * 1e3},
+		{Stage: "windows", WallMS: tm.Windows.Seconds() * 1e3},
+	}
+
 	results, err := ReconfigComparison(1)
 	if err != nil {
 		return rep, err
@@ -149,6 +191,14 @@ func WritePerf(w io.Writer, p PerfReport) {
 		p.Frames, p.FrameLatencyP50MS, p.FrameLatencyP99MS, p.DeadlineHits, p.DeadlineMisses)
 	fmt.Fprintf(w, "  reconfiguration %.2f ms; %d vehicle frame(s) dropped, %d model switch(es), %d overrun(s)\n",
 		p.ReconfigMS, p.VehicleFramesDropped, p.ModelSwitches, p.SlotOverruns)
+	path := "descriptor"
+	if p.ScanBlockPath {
+		path = "block-response"
+	}
+	fmt.Fprintf(w, "  vehicle scan (640x360, serial, %s path): %.2f ms total\n", path, p.ScanTotalMS)
+	for _, s := range p.ScanStages {
+		fmt.Fprintf(w, "    stage %-9s %7.3f ms\n", s.Stage, s.WallMS)
+	}
 	for _, c := range p.Controllers {
 		fmt.Fprintf(w, "  controller %-12s %7.1f MB/s, %7.2f ms per 8 MB bitstream\n",
 			c.Name, c.MBPerSec, c.ReconfigMS)

@@ -8,7 +8,7 @@ import (
 	"advdet/internal/pr"
 )
 
-// TestPerfBenchReportSchema pins the BENCH_pr3.json contract: the
+// TestPerfBenchReportSchema pins the BENCH_pr5.json contract: the
 // schema tag, the drive shape, and the fields downstream tooling keys
 // on. Breaking any of these requires a schema bump.
 func TestPerfBenchReportSchema(t *testing.T) {
@@ -45,6 +45,29 @@ func TestPerfBenchReportSchema(t *testing.T) {
 	}
 	if sense, ok := rep.Metrics.StageByName("sense"); !ok || sense.Count != uint64(rep.Frames) {
 		t.Fatalf("sense stage count %d, want %d", sense.Count, rep.Frames)
+	}
+
+	// The scan breakdown took the block-response path and covers the
+	// engine's five stages in datapath order.
+	if !rep.ScanBlockPath {
+		t.Fatal("scan breakdown did not take the block-response path")
+	}
+	wantStages := []string{"resize", "feature", "blocks", "response", "windows"}
+	if len(rep.ScanStages) != len(wantStages) {
+		t.Fatalf("%d scan stages, want %d", len(rep.ScanStages), len(wantStages))
+	}
+	sum := 0.0
+	for i, s := range rep.ScanStages {
+		if s.Stage != wantStages[i] {
+			t.Fatalf("scan stage[%d] = %q, want %q", i, s.Stage, wantStages[i])
+		}
+		if s.WallMS <= 0 {
+			t.Fatalf("scan stage %s reported no wall time", s.Stage)
+		}
+		sum += s.WallMS
+	}
+	if rep.ScanTotalMS <= 0 || sum > rep.ScanTotalMS*1.001 || sum < rep.ScanTotalMS*0.999 {
+		t.Fatalf("scan stages sum %.3f ms, total %.3f ms", sum, rep.ScanTotalMS)
 	}
 
 	// Controllers appear in pr.All() order with positive throughputs.

@@ -1,0 +1,109 @@
+package hog
+
+import (
+	"context"
+
+	"advdet/internal/par"
+)
+
+// BlockGrid is the per-level output of the paper's block-normalization
+// stage computed exactly once: the L2Hys-normalized vector of every
+// cell-aligned BlockCells x BlockCells block of a FeatureMap's cell
+// grid, at every cell offset. Where FeatureMap is the software
+// analogue of the "HOG Memory" of Fig. 2, BlockGrid is the
+// "Normalized HOG Memory" that feeds the SVM stage: the hardware fills
+// it once per frame and every overlapping window evaluator only reads
+// it, which is why the descriptor path's per-window copy+normalize is
+// pure waste — a block shared by ten windows was being renormalized
+// ten times.
+//
+// Blocks are indexed by their top-left cell (cx, cy), so a window
+// anchored at cell (cx0, cy0) finds its window-relative block (bx, by)
+// at grid position (cx0+bx*BlockStride, cy0+by*BlockStride) for any
+// anchor lattice. Each stored vector is bitwise identical to the
+// corresponding block of FeatureMap.Descriptor (same copy order, same
+// l2hys), so a descriptor assembled from the grid equals the
+// descriptor path byte for byte.
+//
+// A BlockGrid is immutable between ComputeCtx calls and safe for
+// concurrent readers.
+type BlockGrid struct {
+	Cfg      Config
+	nbx, nby int // blocks per axis (one per cell offset)
+	blockLen int
+	norm     []float64 // (cy*nbx+cx)*blockLen holds block (cx, cy)
+}
+
+// NewBlockGridCtx computes the normalized block grid of fm with block
+// rows fanned out across workers goroutines (workers <= 0 means
+// NumCPU). The result is bitwise identical for every worker count; on
+// cancellation the partial grid is discarded and the context's error
+// returned.
+func NewBlockGridCtx(ctx context.Context, fm *FeatureMap, workers int) (*BlockGrid, error) {
+	bg := &BlockGrid{}
+	if err := bg.ComputeCtx(ctx, fm, workers); err != nil {
+		return nil, err
+	}
+	return bg, nil
+}
+
+// ComputeCtx fills bg from fm, reusing bg's buffer when it has
+// sufficient capacity. Every block is fully overwritten, so reuse
+// never leaks state across frames. On a non-nil error the grid is
+// partial and must not be read.
+func (bg *BlockGrid) ComputeCtx(ctx context.Context, fm *FeatureMap, workers int) error {
+	c := fm.Cfg
+	bg.Cfg = c
+	bg.blockLen = c.BlockCells * c.BlockCells * c.Bins
+	bg.nbx, bg.nby = fm.cw-c.BlockCells+1, fm.ch-c.BlockCells+1
+	if bg.nbx <= 0 || bg.nby <= 0 {
+		bg.nbx, bg.nby = 0, 0
+		bg.norm = bg.norm[:0] // grid smaller than one block
+		return ctx.Err()
+	}
+	n := bg.nbx * bg.nby * bg.blockLen
+	if cap(bg.norm) < n {
+		bg.norm = make([]float64, n)
+	} else {
+		bg.norm = bg.norm[:n]
+	}
+	return par.ForEach(ctx, workers, bg.nby, func(cy int) {
+		bg.normalizeRow(fm, cy)
+	})
+}
+
+// normalizeRow copies and L2Hys-normalizes every block of block row
+// cy. Each row reads the shared histogram and writes a disjoint slice
+// of norm, which is what lets ComputeCtx fan rows across workers.
+func (bg *BlockGrid) normalizeRow(fm *FeatureMap, cy int) {
+	c := bg.Cfg
+	for cx := 0; cx < bg.nbx; cx++ {
+		blk := bg.norm[(cy*bg.nbx+cx)*bg.blockLen:][:bg.blockLen]
+		j := 0
+		for dy := 0; dy < c.BlockCells; dy++ {
+			row := ((cy+dy)*fm.cw + cx) * c.Bins
+			for dx := 0; dx < c.BlockCells; dx++ {
+				copy(blk[j:j+c.Bins], fm.hist[row+dx*c.Bins:row+(dx+1)*c.Bins])
+				j += c.Bins
+			}
+		}
+		l2hys(blk, c.ClipL2Hys)
+	}
+}
+
+// Dims returns the block-grid dimensions (blocks per axis).
+func (bg *BlockGrid) Dims() (nbx, nby int) { return bg.nbx, bg.nby }
+
+// BlockLen returns the length of one normalized block vector.
+func (bg *BlockGrid) BlockLen() int { return bg.blockLen }
+
+// Block returns the normalized vector of the block whose top-left cell
+// is (cx, cy). The slice aliases the grid and must not be mutated.
+func (bg *BlockGrid) Block(cx, cy int) []float64 {
+	return bg.norm[(cy*bg.nbx+cx)*bg.blockLen:][:bg.blockLen]
+}
+
+// Data returns the whole grid as one flat block-major slice, the form
+// the SVM block-response stage consumes. It aliases the grid and must
+// not be mutated.
+func (bg *BlockGrid) Data() []float64 { return bg.norm }

@@ -1,0 +1,119 @@
+package hog
+
+import (
+	"context"
+	"testing"
+)
+
+// TestBlockGridMatchesDescriptorBlocks asserts the grid's normalized
+// vectors are bitwise identical to the corresponding blocks of the
+// descriptor path — the invariant the block-response engine's
+// exactness rests on.
+func TestBlockGridMatchesDescriptorBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	g := noisy(96, 80)
+	fm := cfg.NewFeatureMap(g)
+	bg, err := NewBlockGridCtx(context.Background(), fm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockLen := cfg.BlockCells * cfg.BlockCells * cfg.Bins
+	if bg.BlockLen() != blockLen {
+		t.Fatalf("BlockLen = %d, want %d", bg.BlockLen(), blockLen)
+	}
+	winW, winH := 64, 64
+	bw, bh := cfg.BlocksFor(winW, winH)
+	cell := cfg.CellSize
+	for _, anchor := range [][2]int{{0, 0}, {cell, 0}, {2 * cell, cell}, {32, 16}} {
+		x, y := anchor[0], anchor[1]
+		desc := fm.Descriptor(x, y, winW, winH, nil)
+		if desc == nil {
+			t.Fatalf("descriptor at (%d,%d) unexpectedly off-grid", x, y)
+		}
+		cx0, cy0 := x/cell, y/cell
+		p := 0
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				want := desc[p*blockLen : (p+1)*blockLen]
+				got := bg.Block(cx0+bx*cfg.BlockStride, cy0+by*cfg.BlockStride)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("anchor (%d,%d) block (%d,%d)[%d] = %v, want %v (grid must be bitwise exact)",
+							x, y, bx, by, i, got[i], want[i])
+					}
+				}
+				p++
+			}
+		}
+	}
+}
+
+func TestBlockGridParallelBitwiseEqual(t *testing.T) {
+	cfg := DefaultConfig()
+	g := noisy(160, 96)
+	fm := cfg.NewFeatureMap(g)
+	ref, err := NewBlockGridCtx(context.Background(), fm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		bg, err := NewBlockGridCtx(context.Background(), fm, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, gd := ref.Data(), bg.Data()
+		if len(rd) != len(gd) {
+			t.Fatalf("workers=%d: grid length %d, want %d", workers, len(gd), len(rd))
+		}
+		for i := range rd {
+			if gd[i] != rd[i] {
+				t.Fatalf("workers=%d: norm[%d] = %v, want %v", workers, i, gd[i], rd[i])
+			}
+		}
+	}
+}
+
+// TestBlockGridReuse recomputes into one grid across differently sized
+// levels (large, then small, then large again) and checks each result
+// against a fresh grid — the steady-state pyramid reuse pattern.
+func TestBlockGridReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	ctx := context.Background()
+	var bg BlockGrid
+	for _, size := range [][2]int{{128, 96}, {64, 64}, {128, 96}} {
+		g := noisy(size[0], size[1])
+		fm := cfg.NewFeatureMap(g)
+		if err := bg.ComputeCtx(ctx, fm, 1); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewBlockGridCtx(ctx, fm, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, gd := fresh.Data(), bg.Data()
+		if len(rd) != len(gd) {
+			t.Fatalf("%dx%d: reused grid length %d, want %d", size[0], size[1], len(gd), len(rd))
+		}
+		for i := range rd {
+			if gd[i] != rd[i] {
+				t.Fatalf("%dx%d: reused norm[%d] = %v, want %v", size[0], size[1], i, gd[i], rd[i])
+			}
+		}
+	}
+}
+
+func TestBlockGridSmallerThanBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	g := noisy(cfg.CellSize, cfg.CellSize) // one cell: no full block fits
+	fm := cfg.NewFeatureMap(g)
+	bg, err := NewBlockGridCtx(context.Background(), fm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbx, nby := bg.Dims(); nbx != 0 || nby != 0 {
+		t.Fatalf("Dims = %dx%d, want empty grid", nbx, nby)
+	}
+	if len(bg.Data()) != 0 {
+		t.Fatalf("Data length = %d, want 0", len(bg.Data()))
+	}
+}

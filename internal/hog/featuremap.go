@@ -30,6 +30,28 @@ type FeatureMap struct {
 	hist   []float64 // cell-major histograms, as Config.CellHistograms
 }
 
+// Scratch holds the reusable intermediate buffers of feature-map
+// construction (the per-pixel gradient planes), so a steady-state scan
+// loop can recompute caches every frame without reallocating. The zero
+// value is ready: buffers grow on first use and are reused afterwards.
+// A Scratch serves one computation at a time; it is not safe for
+// concurrent use by multiple computations.
+type Scratch struct {
+	mag, ang []float32
+}
+
+// grads returns the gradient planes sized for n pixels, growing the
+// backing arrays only when capacity is insufficient.
+func (s *Scratch) grads(n int) (mag, ang []float32) {
+	if cap(s.mag) < n {
+		s.mag = make([]float32, n)
+	}
+	if cap(s.ang) < n {
+		s.ang = make([]float32, n)
+	}
+	return s.mag[:n], s.ang[:n]
+}
+
 // NewFeatureMap computes the cache serially.
 func (c Config) NewFeatureMap(g *img.Gray) *FeatureMap {
 	fm, _ := c.NewFeatureMapCtx(context.Background(), g, 1) // background ctx: cannot fail
@@ -42,27 +64,57 @@ func (c Config) NewFeatureMap(g *img.Gray) *FeatureMap {
 // identical for every worker count. On cancellation the partial map
 // is discarded and the context's error returned.
 func (c Config) NewFeatureMapCtx(ctx context.Context, g *img.Gray, workers int) (*FeatureMap, error) {
-	c.validate()
-	cw, ch := c.CellsFor(g.W, g.H)
-	fm := &FeatureMap{Cfg: c, W: g.W, H: g.H, cw: cw, ch: ch}
-	if cw == 0 || ch == 0 {
-		return fm, ctx.Err() // image smaller than one cell: empty grid
-	}
-	fm.hist = make([]float64, cw*ch*c.Bins)
-	mag := make([]float32, g.W*g.H)
-	ang := make([]float32, g.W*g.H)
-	if err := par.ForEach(ctx, workers, g.H, func(y int) {
-		gradientRow(g, y, mag, ang)
-	}); err != nil {
-		return nil, err
-	}
-	binWidth := 180.0 / float64(c.Bins)
-	if err := par.ForEach(ctx, workers, ch, func(cy int) {
-		c.cellRowHistograms(g.W, cy, cw, mag, ang, binWidth, fm.hist)
-	}); err != nil {
+	fm := &FeatureMap{}
+	if err := fm.ComputeCtx(ctx, c, g, workers, nil); err != nil {
 		return nil, err
 	}
 	return fm, nil
+}
+
+// ComputeCtx fills m with the cache for g, reusing m's histogram
+// buffer and s's gradient planes when they have sufficient capacity
+// (s may be nil for one-shot use). The computed map is bitwise
+// identical to NewFeatureMapCtx at every worker count; buffer reuse
+// never leaks state because the histogram is zeroed before
+// accumulation and the gradient planes are fully overwritten. On a
+// non-nil error the map is partial and must not be read.
+func (m *FeatureMap) ComputeCtx(ctx context.Context, c Config, g *img.Gray, workers int, s *Scratch) error {
+	c.validate()
+	cw, ch := c.CellsFor(g.W, g.H)
+	m.Cfg, m.W, m.H, m.cw, m.ch = c, g.W, g.H, cw, ch
+	if cw == 0 || ch == 0 {
+		m.hist = m.hist[:0] // image smaller than one cell: empty grid
+		return ctx.Err()
+	}
+	n := cw * ch * c.Bins
+	if cap(m.hist) < n {
+		m.hist = make([]float64, n)
+	} else {
+		m.hist = m.hist[:n]
+		clear(m.hist) // cell rows accumulate with +=
+	}
+	if c.Bins == lutBins {
+		// Fused LUT path: gradients and histogram weights come from
+		// the per-(dx,dy) table in one pass, bitwise identical to the
+		// two-stage scalar path below.
+		ensureHistLUT()
+		return par.ForEach(ctx, workers, ch, func(cy int) {
+			c.cellRowHistogramsLUT(g.Pix, g.W, g.H, cy, cw, m.hist)
+		})
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	mag, ang := s.grads(g.W * g.H)
+	if err := par.ForEach(ctx, workers, g.H, func(y int) {
+		gradientRow(g, y, mag, ang)
+	}); err != nil {
+		return err
+	}
+	binWidth := 180.0 / float64(c.Bins)
+	return par.ForEach(ctx, workers, ch, func(cy int) {
+		c.cellRowHistograms(g.W, cy, cw, mag, ang, binWidth, m.hist)
+	})
 }
 
 // Aligned reports whether a window anchored at (x, y) lies on the

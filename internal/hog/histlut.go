@@ -1,0 +1,105 @@
+package hog
+
+import (
+	"math"
+	"sync"
+)
+
+// The histogram lookup table: with [-1 0 1] kernels over uint8 pixels,
+// a gradient is one of 511x511 integer (dx, dy) pairs, and everything
+// the histogram stage derives from it — magnitude, folded orientation,
+// the two bin indices and the two interpolated weights — is a pure
+// function of that pair. Tabulating the final weights turns the
+// per-pixel hypot/atan2/fold/interpolate chain into two indexed adds,
+// the same strength reduction the RTL gradient unit performs with its
+// ROM-based arctan. The table is built once per process for the
+// default 9-bin geometry (the only one the shipped detectors use);
+// other bin counts keep the scalar path.
+//
+// Every entry is computed with exactly the scalar path's expressions,
+// including the float32 round-trips of the mag/ang planes, so a LUT
+// accumulation is bitwise identical to the scalar one.
+const lutBins = 9
+
+var (
+	histLUTOnce sync.Once
+	lutW0       []float64 // m * (1 - frac), the lower-bin weight
+	lutW1       []float64 // m * frac, the upper-bin weight
+	lutB        []uint16  // b0 | b1<<8, the two bin indices
+)
+
+func histLUTIndex(dx, dy int) int { return (dy+255)*511 + (dx + 255) }
+
+func ensureHistLUT() {
+	histLUTOnce.Do(func() {
+		n := 511 * 511
+		lutW0 = make([]float64, n)
+		lutW1 = make([]float64, n)
+		lutB = make([]uint16, n)
+		binWidth := 180.0 / float64(lutBins)
+		for dy := -255; dy <= 255; dy++ {
+			for dx := -255; dx <= 255; dx++ {
+				gx, gy := float64(dx), float64(dy)
+				// Mirror gradientRow: mag/ang live as float32 planes.
+				m := float64(float32(math.Hypot(gx, gy)))
+				a := math.Atan2(gy, gx) * 180 / math.Pi
+				if a < 0 {
+					a += 180
+				}
+				if a >= 180 {
+					a -= 180
+				}
+				// Mirror cellRowHistograms' interpolation.
+				ab := float64(float32(a)) / binWidth
+				b0 := int(ab)
+				frac := ab - float64(b0)
+				b0 %= lutBins
+				b1 := (b0 + 1) % lutBins
+				i := histLUTIndex(dx, dy)
+				lutW0[i] = m * (1 - frac)
+				lutW1[i] = m * frac
+				lutB[i] = uint16(b0) | uint16(b1)<<8
+			}
+		}
+	})
+}
+
+// cellRowHistogramsLUT is cellRowHistograms with the gradient stage
+// fused in: one pass over the cell row's pixels, each contributing its
+// two tabulated weights. Pixels are visited in the same y-major,
+// x-ascending order and every increment is the bitwise-identical
+// float64, so the result matches the scalar stage exactly. Cell rows
+// write disjoint hist slices, preserving the row-parallel determinism
+// contract.
+func (c Config) cellRowHistogramsLUT(pix []uint8, imgW, imgH, cy, cw int, hist []float64) {
+	cs := c.CellSize
+	for y := cy * cs; y < (cy+1)*cs; y++ {
+		yu, yd := y-1, y+1
+		if yu < 0 {
+			yu = 0
+		}
+		if yd >= imgH {
+			yd = imgH - 1
+		}
+		up := pix[yu*imgW : yu*imgW+imgW]
+		down := pix[yd*imgW : yd*imgW+imgW]
+		row := pix[y*imgW : y*imgW+imgW]
+		for cx := 0; cx < cw; cx++ {
+			base := (cy*cw + cx) * lutBins
+			cell := hist[base : base+lutBins]
+			for x := cx * cs; x < (cx+1)*cs; x++ {
+				xl, xr := x-1, x+1
+				if xl < 0 {
+					xl = 0
+				}
+				if xr >= imgW {
+					xr = imgW - 1
+				}
+				e := histLUTIndex(int(row[xr])-int(row[xl]), int(down[x])-int(up[x]))
+				b := lutB[e]
+				cell[b&0xff] += lutW0[e]
+				cell[b>>8] += lutW1[e]
+			}
+		}
+	}
+}

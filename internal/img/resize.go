@@ -4,11 +4,29 @@ package img
 // point (16.16), matching the hardware downscaler in the dark pipeline
 // that reduces the 1920x1080 capture to 640x360.
 func ResizeGray(g *Gray, w, h int) *Gray {
+	return ResizeGrayInto(nil, g, w, h)
+}
+
+// ResizeGrayInto is ResizeGray writing into dst, reusing dst's pixel
+// buffer when it has sufficient capacity (dst may be nil, and must not
+// alias g). It returns the resized image — dst itself when reuse was
+// possible — so steady-state pyramid loops rebuild their levels every
+// frame without reallocating.
+func ResizeGrayInto(dst *Gray, g *Gray, w, h int) *Gray {
 	if w <= 0 || h <= 0 {
 		// lint:invariant target dimensions are pipeline constants; non-positive is a caller bug
 		panic("img: ResizeGray to non-positive size")
 	}
-	out := NewGray(w, h)
+	out := dst
+	if out == nil {
+		out = &Gray{}
+	}
+	out.W, out.H = w, h
+	if cap(out.Pix) < w*h {
+		out.Pix = make([]uint8, w*h)
+	} else {
+		out.Pix = out.Pix[:w*h]
+	}
 	if g.W == w && g.H == h {
 		copy(out.Pix, g.Pix)
 		return out

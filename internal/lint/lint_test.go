@@ -155,3 +155,22 @@ func pkgPaths(pkgs []*Package) []string {
 	}
 	return out
 }
+
+// TestScanHotPathClean pins the block-response engine's hot-path
+// packages against the analyzers that apply everywhere (fixedops'
+// datapath-operand rules, seededrand's determinism rules): the scoring
+// engine must stay free of findings so perf work never erodes the
+// hardware-contract or determinism guarantees.
+func TestScanHotPathClean(t *testing.T) {
+	pkgs, err := Load(Config{Root: "../.."},
+		"./internal/hog", "./internal/svm", "./internal/pipeline", "./internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 4 {
+		t.Fatalf("loaded %d packages, want the 4 hot-path packages", len(pkgs))
+	}
+	if diags := RunAnalyzers(pkgs, []*Analyzer{FixedOps(), SeededRand()}); len(diags) != 0 {
+		t.Fatalf("scan hot path has lint findings: %v", diags)
+	}
+}

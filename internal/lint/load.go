@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -232,6 +233,15 @@ func (ld *loader) parseDir(dir string) (base, inTest, xTest []*ast.File, err err
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// Honor build constraints (//go:build tags, GOOS/GOARCH file
+		// suffixes) for the default context, as the toolchain does —
+		// otherwise mutually exclusive tagged files (e.g. a race /
+		// !race pair) typecheck as redeclarations.
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil {
+			return nil, nil, nil, merr
+		} else if !ok {
 			continue
 		}
 		f, perr := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -40,6 +40,16 @@ const (
 	// reconfiguration: the count is the retries scheduled and the
 	// simulated total is the backoff time spent waiting to re-arm.
 	StageReconfigFault
+	// StageScanResize through StageScanWindows attribute one vehicle
+	// scan's wall time to the block-response engine's sub-stages
+	// (pyramid resize, feature maps, block normalization, partial SVM
+	// responses, window scoring) — the software mirror of the Fig. 2
+	// datapath stages.
+	StageScanResize
+	StageScanFeature
+	StageScanBlocks
+	StageScanResponse
+	StageScanWindows
 	// NumStages bounds the stage space.
 	NumStages
 )
@@ -47,6 +57,7 @@ const (
 var stageNames = [NumStages]string{
 	"sense", "model-select", "vehicle-scan", "pedestrian-scan",
 	"dma-stream", "reconfig", "reconfig-fault",
+	"scan-resize", "scan-feature", "scan-blocks", "scan-response", "scan-windows",
 }
 
 func (s Stage) String() string {

@@ -77,3 +77,54 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	wg.Wait()
 	return ctx.Err()
 }
+
+// ForEachLocal is ForEach with per-worker local state: every worker
+// calls newLocal exactly once before processing its first index and
+// passes the value to each fn invocation it runs. Locals let hot scan
+// loops own reusable scratch buffers (one per worker, not one per
+// index) without any allocation inside fn.
+//
+// The determinism contract is unchanged: fn's observable output must
+// be a pure function of i and read-only shared state. A local may
+// carry scratch whose contents feed the output, but never state that
+// communicates between indices — which indices share a worker is
+// scheduling-dependent.
+func ForEachLocal[L any](ctx context.Context, workers, n int, newLocal func() L, fn func(i int, local L)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial reference path: no goroutines, same cancellation
+		// granularity as the pool (one check per index).
+		local := newLocal()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i, local)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			local := newLocal()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, local)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

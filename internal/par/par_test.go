@@ -89,3 +89,61 @@ func TestForEachEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestForEachLocalVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		counts := make([]int32, n)
+		var locals atomic.Int32
+		err := ForEachLocal(context.Background(), workers, n,
+			func() *int32 { locals.Add(1); return new(int32) },
+			func(i int, l *int32) {
+				*l++
+				atomic.AddInt32(&counts[i], 1)
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+		if got := int(locals.Load()); got > Workers(workers) || got < 1 {
+			t.Fatalf("workers=%d: newLocal called %d times, want 1..%d", workers, got, Workers(workers))
+		}
+	}
+}
+
+// TestForEachLocalSerialSharesOneLocal pins the serial reference path:
+// one local, created before the first index.
+func TestForEachLocalSerialSharesOneLocal(t *testing.T) {
+	var made int
+	sum := 0
+	err := ForEachLocal(context.Background(), 1, 10,
+		func() *int { made++; return new(int) },
+		func(i int, l *int) { *l += i; sum = *l })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if made != 1 {
+		t.Fatalf("serial path created %d locals, want 1", made)
+	}
+	if sum != 45 {
+		t.Fatalf("accumulated %d through the shared local, want 45", sum)
+	}
+}
+
+func TestForEachLocalPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachLocal(ctx, 4, 100, func() int { return 0 },
+		func(i int, _ int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("fn ran after pre-cancellation (serial path must check first)")
+	}
+}

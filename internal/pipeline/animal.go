@@ -30,6 +30,9 @@ type AnimalDetector struct {
 	Thresh       float64
 	DetectThresh float64
 	NMSIoU       float64
+	// NoBlockResponse disables the block-response scoring engine
+	// (see DayDuskDetector.NoBlockResponse).
+	NoBlockResponse bool
 }
 
 // NewAnimalDetector wraps a trained model with default scan settings.
@@ -65,13 +68,19 @@ func (d *AnimalDetector) Detect(g *img.Gray) []Detection {
 // sharing one per-level feature cache (workers <= 0 means NumCPU).
 // Output is identical for every worker count.
 func (d *AnimalDetector) DetectCtx(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	return d.DetectTimedCtx(ctx, g, workers, nil)
+}
+
+// DetectTimedCtx is DetectCtx with per-stage wall-clock attribution;
+// tm may be nil and is written only on success.
+func (d *AnimalDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, workers int, tm *ScanTimings) ([]Detection, error) {
 	scan := hogScan{
 		Cfg: d.HOG, Model: d.Model,
 		WinW: AnimalWindowW, WinH: AnimalWindowH,
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
-		Kind: KindAnimal,
+		Kind: KindAnimal, NoBlockResponse: d.NoBlockResponse,
 	}
-	dets, err := scan.run(ctx, g, workers)
+	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: animal detect: %w", err)
 	}

@@ -30,6 +30,10 @@ type DayDuskDetector struct {
 	// positives.
 	DetectThresh float64
 	NMSIoU       float64
+	// NoBlockResponse disables the block-response scoring engine and
+	// scores every window through its full descriptor. Benchmarks and
+	// equivalence tests use it; production leaves it false.
+	NoBlockResponse bool
 }
 
 // NewDayDuskDetector wraps a trained model with default scan settings.
@@ -74,13 +78,19 @@ func (d *DayDuskDetector) Detect(g *img.Gray) []Detection {
 // (workers <= 0 means NumCPU). Output is identical for every worker
 // count. On cancellation it returns the context's error wrapped.
 func (d *DayDuskDetector) DetectCtx(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	return d.DetectTimedCtx(ctx, g, workers, nil)
+}
+
+// DetectTimedCtx is DetectCtx with per-stage wall-clock attribution;
+// tm may be nil and is written only on success.
+func (d *DayDuskDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, workers int, tm *ScanTimings) ([]Detection, error) {
 	scan := hogScan{
 		Cfg: d.HOG, Model: d.Model,
 		WinW: VehicleWindow, WinH: VehicleWindow,
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
-		Kind: KindVehicle,
+		Kind: KindVehicle, NoBlockResponse: d.NoBlockResponse,
 	}
-	dets, err := scan.run(ctx, g, workers)
+	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: day-dusk detect: %w", err)
 	}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"time"
 
 	"advdet/internal/hog"
 	"advdet/internal/img"
@@ -16,6 +17,17 @@ import (
 // read-only hog.FeatureMap, and window rows are fanned out across the
 // pool, with every row writing its own output slot so the assembled
 // detection list is identical for every worker count.
+//
+// When every scan position lies on the cell grid (stride a multiple
+// of the cell size — true for all shipped detectors), the scan takes
+// the block-response fast path: each level's blocks are L2Hys-
+// normalized exactly once into a hog.BlockGrid, the svm.BlockModel
+// precomputes per-anchor partial responses, and a window's margin
+// collapses from an O(descriptorLen) copy+normalize+dot to a sum of
+// bw*bh cached reads plus bias — the software rendition of the PL
+// datapath, whose HOG memories are written once per frame and only
+// read by the window evaluators. Unaligned strides keep the
+// descriptor path with its per-window Cfg.Extract crop fallback.
 type hogScan struct {
 	Cfg        hog.Config
 	Model      *svm.Model
@@ -24,83 +36,219 @@ type hogScan struct {
 	Scale      float64
 	Thresh     float64
 	Kind       Kind
+	// NoBlockResponse forces the per-window descriptor path. The
+	// block-response engine is on by default; benchmarks and
+	// equivalence tests use this to compare the two.
+	NoBlockResponse bool
+}
+
+// rowTask addresses one window row of one pyramid level.
+type rowTask struct{ level, y int }
+
+// rowScratch is the per-worker scratch of the window-row loop: the
+// descriptor buffer the fallback path assembles into. The block-
+// response path needs no per-window scratch at all.
+type rowScratch struct{ desc []float64 }
+
+// ScanTimings breaks one multi-scale scan into its wall-clock stages,
+// mirroring the paper's Fig. 2 datapath: pyramid resize, gradient +
+// cell-histogram feature maps, block normalization, per-anchor SVM
+// partial responses, and the window scoring sweep. Detectors fill it
+// via DetectTimedCtx so the telemetry layer can attribute the
+// vehicle-scan budget to sub-stages.
+type ScanTimings struct {
+	Resize   time.Duration // pyramid level resizing
+	Feature  time.Duration // gradient + cell-histogram feature maps
+	Blocks   time.Duration // block L2Hys normalization (block grids)
+	Response time.Duration // per-anchor partial SVM responses
+	Windows  time.Duration // window scoring + detection assembly
+	// BlockPath reports whether the block-response fast path ran.
+	BlockPath bool
+}
+
+// scanPositions counts the window positions of a scan axis.
+func scanPositions(size, win, stride int) int {
+	if size < win {
+		return 0
+	}
+	return (size-win)/stride + 1
 }
 
 // run scans every pyramid level of g with the given worker count,
 // returning detections in deterministic level-major, raster order.
 func (s hogScan) run(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	return s.runTimed(ctx, g, workers, nil)
+}
+
+// runTimed is run with optional per-stage wall-clock attribution
+// (tm may be nil; it is written only on success).
+func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *ScanTimings) ([]Detection, error) {
 	workers = par.Workers(workers)
+	sc := borrowScanScratch()
+	defer releaseScanScratch(sc)
+
+	var t ScanTimings
+	timed := tm != nil
+	var last time.Time
+	if timed {
+		last = time.Now()
+	}
+	lap := func(d *time.Duration) {
+		if !timed {
+			return
+		}
+		now := time.Now()
+		*d += now.Sub(last)
+		last = now
+	}
 
 	// Stage 1: pyramid levels, resized concurrently (each level reads
-	// only the source frame).
+	// only the source frame) into buffers reused across frames.
 	sizes := img.PyramidSizes(g.W, g.H, s.Scale, s.WinW, s.WinH)
-	levels := make([]*img.Gray, len(sizes))
-	if err := par.ForEach(ctx, workers, len(sizes), func(i int) {
-		levels[i] = img.ResizeGray(g, sizes[i][0], sizes[i][1])
+	nl := len(sizes)
+	sc.setLevels(nl)
+	if err := par.ForEach(ctx, workers, nl, func(i int) {
+		sc.levels[i] = img.ResizeGrayInto(sc.levels[i], g, sizes[i][0], sizes[i][1])
 	}); err != nil {
 		return nil, err
 	}
+	lap(&t.Resize)
 
-	// Stage 2: one shared feature cache per level (row-parallel), so
-	// gradients and cell histograms are computed once per frame
-	// instead of once per window.
-	maps := make([]*hog.FeatureMap, len(levels))
-	for i, level := range levels {
-		fm, err := s.Cfg.NewFeatureMapCtx(ctx, level, workers)
-		if err != nil {
+	// The fast path applies when every scan position is cell-aligned,
+	// so each window's blocks exist in the level block grid.
+	cell := s.Cfg.CellSize
+	bw, bh := s.Cfg.BlocksFor(s.WinW, s.WinH)
+	blockLen := s.Cfg.BlockCells * s.Cfg.BlockCells * s.Cfg.Bins
+	useBlocks := !s.NoBlockResponse && s.Stride%cell == 0 && bw > 0 && bh > 0 &&
+		sc.bm.Init(s.Model, bw, bh, blockLen) == nil
+	// An Init mismatch (model length vs window geometry) falls through
+	// to the descriptor path, where Model.Margin reports the wiring
+	// bug exactly as it always has.
+
+	// Stage 2: per level, one shared feature cache (row-parallel); on
+	// the fast path also the normalized block grid and the per-anchor
+	// partial SVM responses, each computed once per frame instead of
+	// once per window.
+	for i := 0; i < nl; i++ {
+		level := sc.levels[i]
+		fm := sc.maps[i]
+		if err := fm.ComputeCtx(ctx, s.Cfg, level, workers, &sc.hs); err != nil {
 			return nil, err
 		}
-		maps[i] = fm
+		lap(&t.Feature)
+		sc.resp[i] = sc.resp[i][:0] // marks the level descriptor-path
+		sc.nax[i] = 0
+		if !useBlocks {
+			continue
+		}
+		nax := scanPositions(level.W, s.WinW, s.Stride)
+		nay := scanPositions(level.H, s.WinH, s.Stride)
+		if nax == 0 || nay == 0 {
+			continue
+		}
+		bg := sc.grids[i]
+		if err := bg.ComputeCtx(ctx, fm, workers); err != nil {
+			return nil, err
+		}
+		lap(&t.Blocks)
+		nbx, nby := bg.Dims()
+		lat := svm.Lattice{
+			NBX: nbx, NBY: nby,
+			StepX: s.Stride / cell, StepY: s.Stride / cell,
+			NAX: nax, NAY: nay,
+			BlockStride: s.Cfg.BlockStride,
+		}
+		sc.resp[i] = growF64(sc.resp[i], nax*nay*bw*bh)
+		if err := sc.bm.Responses(ctx, workers, bg.Data(), lat, sc.resp[i]); err != nil {
+			return nil, err
+		}
+		sc.nax[i] = nax
+		lap(&t.Response)
 	}
 
-	// Stage 3: one task per window row across all levels; each task
-	// owns an output slot, so assembly order is independent of worker
-	// scheduling.
-	type rowTask struct{ level, y int }
-	var tasks []rowTask
-	for li, level := range levels {
+	// Stage 3: one task per window row across all levels, pre-sized
+	// from the pyramid geometry; each task owns an output slot, so
+	// assembly order is independent of worker scheduling.
+	nt := 0
+	for i := 0; i < nl; i++ {
+		if sc.levels[i].W < s.WinW {
+			continue
+		}
+		nt += scanPositions(sc.levels[i].H, s.WinH, s.Stride)
+	}
+	tasks, results := sc.setTasks(nt)
+	k := 0
+	for i := 0; i < nl; i++ {
+		level := sc.levels[i]
+		if level.W < s.WinW {
+			continue
+		}
 		for y := 0; y+s.WinH <= level.H; y += s.Stride {
-			tasks = append(tasks, rowTask{li, y})
+			tasks[k] = rowTask{i, y}
+			k++
 		}
 	}
-	results := make([][]Detection, len(tasks))
 	descLen := s.Cfg.DescriptorLen(s.WinW, s.WinH)
-	err := par.ForEach(ctx, workers, len(tasks), func(ti int) {
-		t := tasks[ti]
-		level, fm := levels[t.level], maps[t.level]
-		fx := float64(g.W) / float64(level.W)
-		fy := float64(g.H) / float64(level.H)
-		scratch := make([]float64, descLen)
-		var dets []Detection
-		for x := 0; x+s.WinW <= level.W; x += s.Stride {
-			desc := fm.Descriptor(x, t.y, s.WinW, s.WinH, scratch)
-			if desc == nil {
-				// Window off the cell grid (stride not a multiple of
-				// the cell size, or partial border cells): fall back
-				// to direct extraction of the crop.
-				desc = s.Cfg.Extract(level.SubImage(img.Rect{X0: x, Y0: t.y, X1: x + s.WinW, Y1: t.y + s.WinH}))
+	err := par.ForEachLocal(ctx, workers, nt,
+		func() *rowScratch { return new(rowScratch) },
+		func(ti int, rs *rowScratch) {
+			rt := tasks[ti]
+			level, fm := sc.levels[rt.level], sc.maps[rt.level]
+			fx := float64(g.W) / float64(level.W)
+			fy := float64(g.H) / float64(level.H)
+			var dets []Detection
+			box := func(x int) img.Rect {
+				return img.Rect{
+					X0: int(float64(x) * fx),
+					Y0: int(float64(rt.y) * fy),
+					X1: int(float64(x+s.WinW) * fx),
+					Y1: int(float64(rt.y+s.WinH) * fy),
+				}
 			}
-			if sc := s.Model.Margin(desc); sc > s.Thresh {
-				dets = append(dets, Detection{
-					Box: img.Rect{
-						X0: int(float64(x) * fx),
-						Y0: int(float64(t.y) * fy),
-						X1: int(float64(x+s.WinW) * fx),
-						Y1: int(float64(t.y+s.WinH) * fy),
-					},
-					Score: sc,
-					Kind:  s.Kind,
-				})
+			if resp := sc.resp[rt.level]; len(resp) > 0 {
+				// Block-response fast path: a window's margin is the
+				// bias plus its contiguous cached partials — zero
+				// copies, zero normalization, zero allocation.
+				nax, ay := sc.nax[rt.level], rt.y/s.Stride
+				for ax := 0; ax < nax; ax++ {
+					if m := sc.bm.MarginAt(resp, nax, ax, ay); m > s.Thresh {
+						dets = append(dets, Detection{Box: box(ax * s.Stride), Score: m, Kind: s.Kind})
+					}
+				}
+			} else {
+				for x := 0; x+s.WinW <= level.W; x += s.Stride {
+					if cap(rs.desc) < descLen {
+						rs.desc = make([]float64, descLen)
+					}
+					desc := fm.Descriptor(x, rt.y, s.WinW, s.WinH, rs.desc[:descLen])
+					if desc == nil {
+						// Window off the cell grid (stride not a
+						// multiple of the cell size, or partial border
+						// cells): fall back to direct extraction.
+						desc = s.Cfg.Extract(level.SubImage(img.Rect{X0: x, Y0: rt.y, X1: x + s.WinW, Y1: rt.y + s.WinH}))
+					}
+					if m := s.Model.Margin(desc); m > s.Thresh {
+						dets = append(dets, Detection{Box: box(x), Score: m, Kind: s.Kind})
+					}
+				}
 			}
-		}
-		results[ti] = dets
-	})
+			results[ti] = dets
+		})
 	if err != nil {
 		return nil, err
 	}
-	var all []Detection
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	all := make([]Detection, 0, total)
 	for _, r := range results {
 		all = append(all, r...)
+	}
+	lap(&t.Windows)
+	if timed {
+		t.BlockPath = useBlocks
+		*tm = t
 	}
 	return all, nil
 }

@@ -29,6 +29,9 @@ type PedestrianDetector struct {
 	// scanning (see DayDuskDetector.DetectThresh).
 	DetectThresh float64
 	NMSIoU       float64
+	// NoBlockResponse disables the block-response scoring engine
+	// (see DayDuskDetector.NoBlockResponse).
+	NoBlockResponse bool
 }
 
 // NewPedestrianDetector wraps a trained model with default scan
@@ -64,13 +67,19 @@ func (d *PedestrianDetector) Detect(g *img.Gray) []Detection {
 // sharing one per-level feature cache (workers <= 0 means NumCPU).
 // Output is identical for every worker count.
 func (d *PedestrianDetector) DetectCtx(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
+	return d.DetectTimedCtx(ctx, g, workers, nil)
+}
+
+// DetectTimedCtx is DetectCtx with per-stage wall-clock attribution;
+// tm may be nil and is written only on success.
+func (d *PedestrianDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, workers int, tm *ScanTimings) ([]Detection, error) {
 	scan := hogScan{
 		Cfg: d.HOG, Model: d.Model,
 		WinW: PedWindowW, WinH: PedWindowH,
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
-		Kind: KindPedestrian,
+		Kind: KindPedestrian, NoBlockResponse: d.NoBlockResponse,
 	}
-	dets, err := scan.run(ctx, g, workers)
+	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: pedestrian detect: %w", err)
 	}

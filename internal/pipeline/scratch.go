@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"sync"
+
+	"advdet/internal/hog"
+	"advdet/internal/img"
+	"advdet/internal/svm"
+)
+
+// scanScratch owns every reusable buffer of one hogScan.run
+// invocation: pyramid levels, per-level feature maps and block grids,
+// response planes, and the task/result arenas. A scratch is borrowed
+// from a process-wide pool for the duration of one scan and returned
+// afterwards, so the steady-state frame loop recomputes everything per
+// frame but allocates (almost) nothing — the software equivalent of
+// the PL's statically provisioned HOG/Normalized-HOG memories, which
+// are rewritten every frame and never reallocated.
+//
+// Nothing borrowed from the pool escapes a scan: detections handed to
+// the caller are always freshly assembled.
+type scanScratch struct {
+	levels  []*img.Gray
+	maps    []*hog.FeatureMap
+	grids   []*hog.BlockGrid
+	hs      hog.Scratch
+	bm      svm.BlockModel
+	resp    [][]float64 // per-level response planes; len 0 = descriptor path
+	nax     []int       // per-level anchor-lattice width
+	tasks   []rowTask
+	results [][]Detection
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+func borrowScanScratch() *scanScratch { return scanPool.Get().(*scanScratch) }
+
+func releaseScanScratch(s *scanScratch) {
+	// Drop detection references so the pool doesn't pin row output
+	// from past frames; the slice headers themselves are reused.
+	for i := range s.results {
+		s.results[i] = nil
+	}
+	scanPool.Put(s)
+}
+
+// setLevels grows the per-level arenas to hold n levels, preserving
+// existing entries (and their buffers) for reuse.
+func (s *scanScratch) setLevels(n int) {
+	for len(s.levels) < n {
+		s.levels = append(s.levels, nil)
+	}
+	for len(s.maps) < n {
+		s.maps = append(s.maps, new(hog.FeatureMap))
+	}
+	for len(s.grids) < n {
+		s.grids = append(s.grids, new(hog.BlockGrid))
+	}
+	for len(s.resp) < n {
+		s.resp = append(s.resp, nil)
+	}
+	for len(s.nax) < n {
+		s.nax = append(s.nax, 0)
+	}
+}
+
+// setTasks sizes the task and result arenas for n row tasks and
+// returns them, growing capacity only when needed (the fix for the
+// old append-into-nil quadratic growth).
+func (s *scanScratch) setTasks(n int) ([]rowTask, [][]Detection) {
+	if cap(s.tasks) < n {
+		s.tasks = make([]rowTask, n)
+	}
+	s.tasks = s.tasks[:n]
+	if cap(s.results) < n {
+		s.results = make([][]Detection, n)
+	}
+	s.results = s.results[:n]
+	return s.tasks, s.results
+}
+
+// growF64 returns buf resized to n floats, reusing its backing array
+// when possible. Contents are unspecified; callers overwrite fully.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

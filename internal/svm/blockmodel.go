@@ -1,0 +1,162 @@
+// Block-response evaluation: the descriptor-free factoring of the
+// sliding-window margin the paper's PL datapath uses. A HOG window
+// descriptor is the concatenation of its bw x bh normalized blocks, so
+//
+//	Margin(x) = Bias + sum_p dot(block_p(x), W_p)
+//
+// where W_p is the slice of W belonging to window-relative block
+// position p. Because neighboring windows share normalized blocks, the
+// per-block partial responses can be computed over a whole pyramid
+// level once and every window's margin collapses to a bias plus bw*bh
+// cached reads — no per-window descriptor is ever materialized.
+package svm
+
+import (
+	"context"
+	"fmt"
+
+	"advdet/internal/par"
+)
+
+// BlockModel is a trained linear Model reshaped for block-response
+// evaluation: per-window-relative-block weight slices plus the bias.
+// It is immutable between Init calls and safe for concurrent readers.
+type BlockModel struct {
+	BW, BH   int // window-relative block grid (blocks per window axis)
+	BlockLen int // floats per normalized block vector
+	Bias     float64
+	w        []float64 // copy of Model.W; position p at w[p*BlockLen:]
+}
+
+// NewBlockModel reshapes m for a window of bw x bh blocks of blockLen
+// floats each. The HOG descriptor layout is already block-major, so
+// the reshape is a partition of W, validated against the model length.
+func NewBlockModel(m *Model, bw, bh, blockLen int) (*BlockModel, error) {
+	bm := &BlockModel{}
+	if err := bm.Init(m, bw, bh, blockLen); err != nil {
+		return nil, err
+	}
+	return bm, nil
+}
+
+// Init (re)shapes m into bm, reusing bm's weight buffer when it has
+// sufficient capacity so a pooled BlockModel costs no steady-state
+// allocations.
+func (bm *BlockModel) Init(m *Model, bw, bh, blockLen int) error {
+	if bw <= 0 || bh <= 0 || blockLen <= 0 {
+		return fmt.Errorf("svm: block model geometry %dx%d blocks of %d floats", bw, bh, blockLen)
+	}
+	if n := bw * bh * blockLen; n != len(m.W) {
+		return fmt.Errorf("svm: model has %d weights, want %d (%dx%d blocks of %d floats)",
+			len(m.W), n, bw, bh, blockLen)
+	}
+	bm.BW, bm.BH, bm.BlockLen, bm.Bias = bw, bh, blockLen, m.Bias
+	if cap(bm.w) < len(m.W) {
+		bm.w = make([]float64, len(m.W))
+	}
+	bm.w = bm.w[:len(m.W)]
+	copy(bm.w, m.W)
+	return nil
+}
+
+// PosWeights returns the weight slice of window-relative block
+// position p (row-major, p = by*BW+bx). The slice aliases the model
+// and must not be mutated.
+func (bm *BlockModel) PosWeights(p int) []float64 {
+	return bm.w[p*bm.BlockLen:][:bm.BlockLen]
+}
+
+// Lattice describes the anchor lattice of one pyramid level: the set
+// of window positions a scan visits, expressed in cell coordinates
+// over the level's normalized block grid.
+type Lattice struct {
+	NBX, NBY     int // block-grid dimensions (blocks per axis, one per cell)
+	StepX, StepY int // anchor step in cells (scan stride / cell size)
+	NAX, NAY     int // anchors per axis (window positions of the scan)
+	BlockStride  int // window-relative block step in cells (hog Config.BlockStride)
+}
+
+// validate checks that every block the response pass will read lies
+// inside the grid.
+func (l Lattice) validate(bm *BlockModel, blocks, dst int) error {
+	if l.NAX <= 0 || l.NAY <= 0 {
+		return fmt.Errorf("svm: empty anchor lattice %dx%d", l.NAX, l.NAY)
+	}
+	if l.StepX <= 0 || l.StepY <= 0 || l.BlockStride <= 0 {
+		return fmt.Errorf("svm: non-positive lattice steps %+v", l)
+	}
+	maxCX := (l.NAX-1)*l.StepX + (bm.BW-1)*l.BlockStride
+	maxCY := (l.NAY-1)*l.StepY + (bm.BH-1)*l.BlockStride
+	if maxCX >= l.NBX || maxCY >= l.NBY {
+		return fmt.Errorf("svm: lattice %+v reads block (%d,%d) outside %dx%d grid",
+			l, maxCX, maxCY, l.NBX, l.NBY)
+	}
+	if need := l.NBX * l.NBY * bm.BlockLen; blocks < need {
+		return fmt.Errorf("svm: block data holds %d floats, grid needs %d", blocks, need)
+	}
+	if need := l.NAX * l.NAY * bm.BW * bm.BH; dst < need {
+		return fmt.Errorf("svm: response buffer holds %d floats, lattice needs %d", dst, need)
+	}
+	return nil
+}
+
+// Responses precomputes the level's response planes: for every anchor
+// (ax, ay) of the lattice and every window-relative block position
+// p = pby*BW+pbx,
+//
+//	dst[(ay*NAX+ax)*BW*BH + p] =
+//	    dot(block(ax*StepX+pbx*BlockStride, ay*StepY+pby*BlockStride), W_p)
+//
+// over the flat block-major grid data (hog.BlockGrid.Data layout).
+// The BW*BH planes are stored interleaved (anchor-major) so one
+// window's partials are contiguous and MarginAt folds them with a
+// single linear pass; for a stride of one cell the plane of position p
+// is exactly R_p[cellX, cellY]. Anchor rows are fanned out across
+// workers goroutines (workers <= 0 means NumCPU); every entry is a
+// pure function of the shared read-only inputs, so the result is
+// bitwise identical for every worker count. On cancellation dst is
+// partial and must be discarded.
+func (bm *BlockModel) Responses(ctx context.Context, workers int, blocks []float64, lat Lattice, dst []float64) error {
+	if err := lat.validate(bm, len(blocks), len(dst)); err != nil {
+		return err
+	}
+	perWin := bm.BW * bm.BH
+	return par.ForEach(ctx, workers, lat.NAY, func(ay int) {
+		base := ay * lat.NAX * perWin
+		for ax := 0; ax < lat.NAX; ax++ {
+			out := dst[base+ax*perWin:][:perWin]
+			p := 0
+			for pby := 0; pby < bm.BH; pby++ {
+				cy := ay*lat.StepY + pby*lat.BlockStride
+				for pbx := 0; pbx < bm.BW; pbx++ {
+					cx := ax*lat.StepX + pbx*lat.BlockStride
+					blk := blocks[(cy*lat.NBX+cx)*bm.BlockLen:][:bm.BlockLen]
+					w := bm.w[p*bm.BlockLen:][:bm.BlockLen]
+					var s float64
+					for i, v := range blk {
+						s += w[i] * v
+					}
+					out[p] = s
+					p++
+				}
+			}
+		}
+	})
+}
+
+// MarginAt returns the full window margin at anchor (ax, ay) of a
+// NAX-wide lattice from a response buffer filled by Responses: the
+// bias plus the window's BW*BH cached partials. The partial sums are
+// added block-wise where Model.Margin accumulates one running dot
+// product, so margins agree to floating-point reassociation (callers
+// should demand ~1e-9 relative), while threshold decisions agree
+// everywhere outside that band.
+func (bm *BlockModel) MarginAt(resp []float64, nax, ax, ay int) float64 {
+	perWin := bm.BW * bm.BH
+	row := resp[(ay*nax+ax)*perWin:][:perWin]
+	s := bm.Bias
+	for _, v := range row {
+		s += v
+	}
+	return s
+}
