@@ -1,24 +1,39 @@
 // Command advdetlint runs the repository's static-analysis suite —
-// the machine-checked hardware datapath contract. It loads every
-// package of the module from source (test files included), applies
-// the analyzers from internal/lint and exits nonzero on findings:
+// the machine-checked hardware datapath, determinism, and concurrency
+// contracts. It loads every package of the module from source (test
+// files included), applies the analyzers from internal/lint and exits
+// nonzero on findings:
 //
 //	go run ./cmd/advdetlint ./...               # whole module
 //	go run ./cmd/advdetlint ./internal/fixed    # one package
 //	go run ./cmd/advdetlint -enable fixedops,nofloat ./...
 //	go run ./cmd/advdetlint -json ./... | jq .
+//	go run ./cmd/advdetlint -facts ./...        # dump call-graph facts
+//	go run ./cmd/advdetlint -baseline lint.json ./...
 //
-// Exit codes: 0 clean, 1 findings, 2 load or usage error.
+// -baseline writes the current findings to the named file when it
+// does not exist (exit 0), and otherwise compares against it: findings
+// recorded in the baseline are grandfathered (tracked on stderr),
+// while new findings are reported as usual and fail the run. Baseline
+// entries that no longer fire are reported as fixed so the file can be
+// re-tightened.
 //
-// The analyzers and their annotation syntax (lint:datapath,
-// lint:allowfloat, lint:invariant) are documented in internal/lint
-// and in DESIGN.md's "Static analysis & datapath invariants".
+// Exit codes: 0 clean (or only grandfathered findings), 1 new
+// findings, 2 load or usage error. With -json the findings array is
+// always written to stdout before the exit code is decided.
+//
+// The analyzers and their annotation syntax (the package directives
+// datapath/detpath/simtime and the site annotations hotpath, alloc,
+// ctxroot, goroutine, unordered, walltime, allowfloat, invariant, all
+// written as "lint:" comments) are documented in internal/lint and in
+// DESIGN.md §12 "Dataflow-aware contract analyzers".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -26,43 +41,55 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("advdetlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		enable  = flag.String("enable", "all", "comma-separated analyzers to run (fixedops,nofloat,panicfree,seededrand) or \"all\"")
-		noTests = flag.Bool("notests", false, "skip _test.go files and _test packages")
-		list    = flag.Bool("list", false, "list the analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		enable   = fs.String("enable", "all", "comma-separated analyzers to run or \"all\"")
+		noTests  = fs.Bool("notests", false, "skip _test.go files and _test packages")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		facts    = fs.Bool("facts", false, "dump the call-graph facts analyzers published to stderr")
+		baseline = fs.String("baseline", "", "JSON findings baseline: write when absent, compare when present")
+		rootFlag = fs.String("root", "", "module root to analyze (default: walk up to go.mod)")
+		module   = fs.String("module", "", "module path override for -root trees without a go.mod")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
 	analyzers, err := lint.ByName(*enable)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
-	root, err := moduleRoot()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	root := *rootFlag
+	if root == "" {
+		root, err = moduleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
-	pkgs, err := lint.Load(lint.Config{Root: root, Tests: !*noTests}, flag.Args()...)
+	pkgs, err := lint.Load(lint.Config{Root: root, ModulePath: *module, Tests: !*noTests}, fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
-	diags := lint.RunAnalyzers(pkgs, analyzers)
+	prog := lint.NewProgram(pkgs)
+	diags := lint.RunProgram(prog, analyzers)
 	// Report paths relative to the module root for stable output.
 	for i, d := range diags {
 		if rel, err := filepath.Rel(root, d.File); err == nil {
@@ -70,28 +97,112 @@ func run() int {
 		}
 	}
 
+	if *facts {
+		for _, f := range prog.AllFacts() {
+			fmt.Fprintf(stderr, "fact: %s\t[%s]\t%s\n", f.Fn, f.Analyzer, f.Text)
+		}
+	}
+
+	grandfathered := 0
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if os.IsNotExist(err) {
+			if err := writeBaseline(*baseline, diags); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "advdetlint: wrote baseline %s with %d finding(s)\n", *baseline, len(diags))
+			return 0
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		var fixed int
+		diags, grandfathered, fixed = applyBaseline(diags, base)
+		if grandfathered > 0 || fixed > 0 {
+			fmt.Fprintf(stderr, "advdetlint: %d grandfathered finding(s), %d baseline entr(ies) no longer fire\n", grandfathered, fixed)
+		}
+	}
+
+	// The findings array is always emitted — exit-code handling comes
+	// strictly after output, so `-json` piped to a consumer sees the
+	// findings that caused the nonzero exit.
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "advdetlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(stderr, "advdetlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
 		}
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// baselineKey identifies a finding across runs: line numbers churn on
+// unrelated edits, so the key is analyzer + file + message.
+type baselineKey struct {
+	Analyzer, File, Message string
+}
+
+func readBaseline(path string) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base []lint.Diagnostic
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("advdetlint: baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+func writeBaseline(path string, diags []lint.Diagnostic) error {
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline filters diags against the baseline: each baseline
+// entry grandfathers up to its recorded count of identical findings.
+// It returns the new findings, the grandfathered count, and the count
+// of baseline entries that no longer fire.
+func applyBaseline(diags, base []lint.Diagnostic) (news []lint.Diagnostic, grandfathered, fixed int) {
+	budget := map[baselineKey]int{}
+	for _, d := range base {
+		budget[baselineKey{d.Analyzer, d.File, d.Message}]++
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			grandfathered++
+			continue
+		}
+		news = append(news, d)
+	}
+	for _, left := range budget {
+		fixed += left
+	}
+	return news, grandfathered, fixed
 }
 
 // moduleRoot walks up from the working directory to the enclosing

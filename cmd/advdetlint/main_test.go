@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"advdet/internal/lint"
+)
+
+// golden points the driver at internal/lint's golden tree, which has
+// known findings, so driver behavior is testable hermetically.
+func golden(extra ...string) []string {
+	args := []string{
+		"-root", filepath.Join("..", "..", "internal", "lint", "testdata", "src", "advdet"),
+		"-module", "advdet",
+	}
+	return append(args, extra...)
+}
+
+// TestJSONEmittedOnFindings pins the exit-path contract: when findings
+// exist, -json still writes the full array to stdout before the
+// nonzero exit code is returned.
+func TestJSONEmittedOnFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(golden("-json", "-enable", "seededrand", "./seededrand"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON findings array is empty despite exit 1")
+	}
+}
+
+// TestJSONEmptyArrayOnClean pins that a clean run still emits valid
+// JSON (an empty array, not null or nothing).
+func TestJSONEmptyArrayOnClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(golden("-json", "-enable", "seededrand", "./callgraph"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestBaselineRoundTrip pins the grandfathering workflow: the first
+// run writes the baseline and exits 0; the second run finds only
+// grandfathered findings and also exits 0.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var stdout, stderr bytes.Buffer
+	code := run(golden("-baseline", base, "-enable", "seededrand", "./seededrand"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("baseline write exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "wrote baseline") {
+		t.Fatalf("stderr missing write notice: %s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run(golden("-baseline", base, "-enable", "seededrand", "./seededrand"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("grandfathered exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "grandfathered") {
+		t.Fatalf("stderr missing grandfather count: %s", stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "" {
+		t.Fatalf("grandfathered findings leaked to stdout: %s", got)
+	}
+}
+
+// TestBaselineNewViolationFails pins that findings not recorded in the
+// baseline still fail the run.
+func TestBaselineNewViolationFails(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var stdout, stderr bytes.Buffer
+	// Baseline captures only the ./seededrand findings.
+	if code := run(golden("-baseline", base, "-enable", "seededrand", "./seededrand"), &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline write exit = %d (stderr: %s)", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	// Widening the run to an analyzer with unbaselined findings must fail.
+	code := run(golden("-baseline", base, "-enable", "seededrand,detorder", "./seededrand", "./detorder"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("new-violation exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "detorder") {
+		t.Fatalf("new findings not reported: %s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "seededrand]") {
+		t.Fatalf("grandfathered seededrand findings reported as new: %s", stdout.String())
+	}
+}
+
+// TestFactsDump pins the -facts debug output: hotpathalloc publishes
+// reachability facts for the golden hot-path tree.
+func TestFactsDump(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(golden("-facts", "-enable", "ctxflow", "./ctxflow"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fact: ") || !strings.Contains(stderr.String(), "ctx-aware") {
+		t.Fatalf("-facts dump missing ctx-aware facts: %s", stderr.String())
+	}
+}
+
+// TestListNamesNineAnalyzers keeps the -list output in sync with the
+// registry.
+func TestListNamesNineAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != len(lint.All()) {
+		t.Fatalf("-list printed %d analyzers, registry has %d", len(lines), len(lint.All()))
+	}
+}

@@ -3,6 +3,8 @@
 // with the ambient lighting condition by partially reconfiguring the
 // vehicle-detection block, while the static partition (pedestrian
 // detection, capture, PR controller) runs without interruption.
+//
+// lint:simtime
 package adaptive
 
 import (

@@ -295,7 +295,7 @@ func (s *System) Snapshot() metrics.Snapshot { return s.metrics.Snapshot() }
 
 // ProcessFrame is ProcessFrameCtx without cancellation.
 func (s *System) ProcessFrame(sc *synth.Scene) (FrameResult, error) {
-	return s.ProcessFrameCtx(context.Background(), sc)
+	return s.ProcessFrameCtx(context.Background(), sc) // lint:ctxroot serial wrapper; caller opted out of cancellation
 }
 
 // ProcessFrameCtx advances simulated time by one frame slot and
@@ -325,7 +325,7 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	}
 	var frameWall time.Time
 	if s.metrics != nil {
-		frameWall = time.Now()
+		frameWall = time.Now() // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 	}
 	// Advance the platform to this frame's slot; pending DMA and
 	// reconfiguration completions scheduled earlier fire here.
@@ -336,7 +336,7 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	res := FrameResult{Index: s.frameIdx}
 	var senseWall time.Time
 	if s.metrics != nil {
-		senseWall = time.Now()
+		senseWall = time.Now() // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 	}
 	lux := sc.Lux
 	if s.Opt.SenseFromImage {
@@ -344,7 +344,7 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	}
 	cond := s.Monitor.Update(lux)
 	if s.metrics != nil {
-		s.metrics.StageObserve(metrics.StageSense, 0, uint64(time.Since(senseWall)))
+		s.metrics.StageObserve(metrics.StageSense, 0, uint64(time.Since(senseWall))) // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 	}
 	res.Cond = cond
 	need := configFor(cond)
@@ -459,14 +459,14 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 		if s.Opt.RunDetectors {
 			var scanWall time.Time
 			if s.metrics != nil {
-				scanWall = time.Now()
+				scanWall = time.Now() // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 			}
 			vehicles, err := s.detectVehicles(ctx, sc, serveCond)
 			if err != nil {
 				return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
 			}
 			if s.metrics != nil {
-				s.metrics.StageObserve(metrics.StageVehicleScan, 0, uint64(time.Since(scanWall)))
+				s.metrics.StageObserve(metrics.StageVehicleScan, 0, uint64(time.Since(scanWall))) // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 			}
 			res.Vehicles = vehicles
 		}
@@ -475,14 +475,14 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	if s.Opt.RunDetectors && s.Dets.Pedestrian != nil {
 		var scanWall time.Time
 		if s.metrics != nil {
-			scanWall = time.Now()
+			scanWall = time.Now() // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 		}
 		peds, err := s.Dets.Pedestrian.DetectCtx(ctx, img.RGBToGray(sc.Frame), s.workers())
 		if err != nil {
 			return FrameResult{}, fmt.Errorf("adaptive: frame %d: %w", s.frameIdx, err)
 		}
 		if s.metrics != nil {
-			s.metrics.StageObserve(metrics.StagePedestrianScan, 0, uint64(time.Since(scanWall)))
+			s.metrics.StageObserve(metrics.StagePedestrianScan, 0, uint64(time.Since(scanWall))) // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 		}
 		res.Pedestrians = peds
 	}
@@ -510,7 +510,7 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	s.frameIdx++
 	if s.metrics != nil {
 		s.metrics.FrameObserve(hwFinish-slotStart,
-			int64(slotDeadline)-int64(hwFinish), uint64(time.Since(frameWall)))
+			int64(slotDeadline)-int64(hwFinish), uint64(time.Since(frameWall))) // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
 		s.metrics.SetGauge(metrics.GaugeLoadedConfig, uint64(s.loaded))
 		inFlight := uint64(0)
 		if s.reconfiguring {
@@ -564,7 +564,7 @@ func (s *System) detectVehicles(ctx context.Context, sc *synth.Scene, cond synth
 
 // RunScenario is RunScenarioCtx without cancellation.
 func (s *System) RunScenario(sc *synth.Scenario) ([]FrameResult, error) {
-	return s.RunScenarioCtx(context.Background(), sc)
+	return s.RunScenarioCtx(context.Background(), sc) // lint:ctxroot serial wrapper; caller opted out of cancellation
 }
 
 // RunScenarioCtx drives a whole synthetic drive through the system,

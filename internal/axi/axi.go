@@ -4,6 +4,8 @@
 // data between memory and the detection pipelines ("Processing system
 // initiates the DMA data transfer by writing to its registers and
 // defining the size of data", §IV).
+//
+// lint:simtime
 package axi
 
 import (

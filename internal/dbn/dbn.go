@@ -3,6 +3,8 @@
 // a 9x9 binary window, hidden layers of 20 and 8 units) topped with a
 // 4-way softmax layer that "determines the size and shape class of
 // taillights" (§III-B), fine-tuned end to end by backpropagation.
+//
+// lint:detpath
 package dbn
 
 import (

@@ -1,6 +1,8 @@
 // Package eval provides the detection metrics of the paper's
 // evaluation: the confusion counts and the accuracy definition of
 // Eq. (1), plus IoU-based box matching for full-frame detection.
+//
+// lint:detpath
 package eval
 
 import (

@@ -144,11 +144,11 @@ func PerfBench() (PerfReport, error) {
 		synth.DefaultSceneConfig(640, 360, synth.Day)).Frame)
 	// Warm-up scan: builds the one-time histogram LUT and grows the
 	// pooled scratch so the timed scan is the steady-state frame.
-	if _, err := scanDet.DetectCtx(context.Background(), scanFrame, 1); err != nil {
+	if _, err := scanDet.DetectCtx(context.Background(), scanFrame, 1); err != nil { // lint:ctxroot benchmark harness owns the run
 		return rep, err
 	}
 	var tm pipeline.ScanTimings
-	if _, err := scanDet.DetectTimedCtx(context.Background(), scanFrame, 1, &tm); err != nil {
+	if _, err := scanDet.DetectTimedCtx(context.Background(), scanFrame, 1, &tm); err != nil { // lint:ctxroot benchmark harness owns the run
 		return rep, err
 	}
 	rep.ScanBlockPath = tm.BlockPath

@@ -51,6 +51,8 @@ func NewBlockGridCtx(ctx context.Context, fm *FeatureMap, workers int) (*BlockGr
 // sufficient capacity. Every block is fully overwritten, so reuse
 // never leaks state across frames. On a non-nil error the grid is
 // partial and must not be read.
+//
+// lint:hotpath
 func (bg *BlockGrid) ComputeCtx(ctx context.Context, fm *FeatureMap, workers int) error {
 	c := fm.Cfg
 	bg.Cfg = c

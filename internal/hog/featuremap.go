@@ -54,7 +54,7 @@ func (s *Scratch) grads(n int) (mag, ang []float32) {
 
 // NewFeatureMap computes the cache serially.
 func (c Config) NewFeatureMap(g *img.Gray) *FeatureMap {
-	fm, _ := c.NewFeatureMapCtx(context.Background(), g, 1) // background ctx: cannot fail
+	fm, _ := c.NewFeatureMapCtx(context.Background(), g, 1) // lint:ctxroot serial wrapper; background ctx cannot fail
 	return fm
 }
 

@@ -4,6 +4,8 @@
 // generation, and block normalization. The stages are exposed
 // separately so the SoC model can account for the intermediate
 // memories ("HOG Memory", "Normalized HOG Memory") between them.
+//
+// lint:detpath
 package hog
 
 import (
@@ -35,7 +37,7 @@ func DefaultConfig() Config {
 func (c Config) validate() {
 	if c.CellSize <= 0 || c.BlockCells <= 0 || c.BlockStride <= 0 || c.Bins <= 0 {
 		// lint:invariant Config values are build-time constants (see doc comment)
-		panic(fmt.Sprintf("hog: invalid config %+v", c))
+		panic(fmt.Sprintf("hog: invalid config %+v", c)) // lint:alloc cold panic path; fires only on an invariant violation
 	}
 }
 

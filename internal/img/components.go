@@ -93,7 +93,12 @@ func Components(b *Binary) []Blob {
 		area       int
 		sumX, sumY int64
 	}
-	stats := map[int32]*acc{}
+	// Root labels are bounded by next, so a slice indexed by label
+	// replaces a map here: map iteration order is randomized per run,
+	// and when two blobs tie on (area, Y0, X0) the sort below is not
+	// total without the label tiebreak, so output order leaked the
+	// map's ordering.
+	stats := make([]*acc, next)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			l := labels[y*w+x]
@@ -114,7 +119,11 @@ func Components(b *Binary) []Blob {
 	}
 
 	blobs := make([]Blob, 0, len(stats))
-	for l, a := range stats {
+	for l := int32(1); l < next; l++ {
+		a := stats[l]
+		if a == nil {
+			continue
+		}
 		blobs = append(blobs, Blob{
 			Box:   a.box,
 			Area:  a.area,
@@ -130,7 +139,10 @@ func Components(b *Binary) []Blob {
 		if blobs[i].Box.Y0 != blobs[j].Box.Y0 {
 			return blobs[i].Box.Y0 < blobs[j].Box.Y0
 		}
-		return blobs[i].Box.X0 < blobs[j].Box.X0
+		if blobs[i].Box.X0 != blobs[j].Box.X0 {
+			return blobs[i].Box.X0 < blobs[j].Box.X0
+		}
+		return blobs[i].Label < blobs[j].Label
 	})
 	return blobs
 }

@@ -145,3 +145,42 @@ func TestBlobAspectRatio(t *testing.T) {
 		t.Fatal("degenerate blob aspect should be 0")
 	}
 }
+
+// TestComponentsOrderDeterministicOnTies pins the output order when two
+// blobs tie on every geometric sort key (area, Y0, X0): the label — the
+// raster order of first appearance — breaks the tie. Before blob
+// assembly moved off a map, iteration order decided ties and this test
+// flipped between runs.
+func TestComponentsOrderDeterministicOnTies(t *testing.T) {
+	build := func() *Binary {
+		b := NewBinary(6, 6)
+		// Component A: solid 3x3 block, first pixel (0,0). Area 9.
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				b.Set(x, y, 1)
+			}
+		}
+		// Component B: hook along x=4 and y=4, first pixel (4,0).
+		// Area 9, bounding box origin (0,0) — ties A on every
+		// geometric key, and the two never touch 4-connectedly.
+		for y := 0; y < 5; y++ {
+			b.Set(4, y, 1)
+		}
+		for x := 0; x < 4; x++ {
+			b.Set(x, 4, 1)
+		}
+		return b
+	}
+	for run := 0; run < 50; run++ {
+		blobs := Components(build())
+		if len(blobs) != 2 {
+			t.Fatalf("run %d: got %d blobs, want 2", run, len(blobs))
+		}
+		if blobs[0].Area != 9 || blobs[1].Area != 9 {
+			t.Fatalf("run %d: areas = %d,%d, want 9,9", run, blobs[0].Area, blobs[1].Area)
+		}
+		if blobs[0].Label != 1 || blobs[1].Label != 2 {
+			t.Fatalf("run %d: label order = %d,%d, want 1,2", run, blobs[0].Label, blobs[1].Label)
+		}
+	}
+}

@@ -6,6 +6,8 @@
 //
 // All operations are deterministic and allocation-explicit so that the
 // cycle-approximate SoC model can account for every byte moved.
+//
+// lint:detpath
 package img
 
 import "fmt"
@@ -21,7 +23,7 @@ type Gray struct {
 func NewGray(w, h int) *Gray {
 	if w <= 0 || h <= 0 {
 		// lint:invariant documented contract: dimensions must be positive
-		panic(fmt.Sprintf("img: invalid Gray size %dx%d", w, h))
+		panic(fmt.Sprintf("img: invalid Gray size %dx%d", w, h)) // lint:alloc cold panic path; fires only on an invariant violation
 	}
 	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
 }

@@ -126,7 +126,7 @@ func PyramidSizes(w, h int, scale float64, minW, minH int) [][2]int {
 	var sizes [][2]int
 	fw, fh := float64(w), float64(h)
 	for w >= minW && h >= minH {
-		sizes = append(sizes, [2]int{w, h})
+		sizes = append(sizes, [2]int{w, h}) // lint:alloc level count is O(log size); sizes are computed once per pyramid, not per window
 		fw /= scale
 		fh /= scale
 		w, h = int(fw), int(fh)

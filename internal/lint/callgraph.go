@@ -1,0 +1,471 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared infrastructure layer of the dataflow-aware
+// analyzers: a per-package function index, an interprocedural call
+// graph over the typechecked packages, reachability queries, and a
+// per-function fact store analyzers publish into and consume from.
+//
+// Nodes are keyed by stable string IDs rather than *types.Func
+// identity because the loader typechecks each analysis package in its
+// own universe: the hog.BlockGrid.ComputeCtx that pipeline calls (from
+// the bare import) and the one analyzed inside package hog are
+// distinct objects with identical full names. String IDs make the two
+// views meet.
+//
+// Edge extraction is deliberately conservative (may-call):
+//
+//   - every static call adds an edge (direct calls, qualified calls,
+//     method calls, go/defer statements),
+//   - every *reference* to a function or method as a value (method
+//     values, functions passed as callbacks) adds an edge from the
+//     referencing function — a stored callback may run later, so for
+//     reachability it counts as a call,
+//   - a function literal adds an edge from its enclosing function and
+//     becomes its own node (ID parent$N in source order),
+//   - a call through an interface adds an edge to the interface method
+//     and, when exactly one concrete type in the referencing package's
+//     universe implements the interface, to that type's method — the
+//     common this-interface-has-one-implementation case devirtualizes.
+
+// A FuncNode is one function, method, or function literal of the
+// analyzed program.
+type FuncNode struct {
+	// ID is the stable identity: types.Func.FullName for declared
+	// functions and methods ("advdet/internal/par.ForEach",
+	// "(*advdet/internal/hog.BlockGrid).ComputeCtx"), parent$N for the
+	// N-th function literal of its enclosing function.
+	ID string
+	// Pkg is the analysis package the node's source lives in.
+	Pkg *Package
+	// Decl is the declaration (nil for function literals).
+	Decl *ast.FuncDecl
+	// Lit is the literal (nil for declared functions).
+	Lit *ast.FuncLit
+	// File is the file holding the node's source.
+	File *ast.File
+	// Parent is the enclosing function's ID ("" for declared functions
+	// and package-level literals' synthetic <vars> parents).
+	Parent string
+	// Body is the function body (nil for bodyless declarations).
+	Body *ast.BlockStmt
+}
+
+// Pos returns the node's source position.
+func (n *FuncNode) Pos() token.Pos {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Pos()
+	case n.Lit != nil:
+		return n.Lit.Pos()
+	}
+	return token.NoPos
+}
+
+// A Fact is one piece of per-function knowledge an analyzer published.
+type Fact struct {
+	Fn       string `json:"fn"`
+	Analyzer string `json:"analyzer"`
+	Text     string `json:"text"`
+}
+
+// Program is the whole-program view shared by every analyzer pass of
+// one run: the function index, the call graph, and the fact store.
+type Program struct {
+	Pkgs []*Package
+
+	nodes   map[string]*FuncNode
+	order   []string // node IDs in insertion (package, file, source) order
+	byPkg   map[*Package][]*FuncNode
+	callees map[string]map[string]bool
+	callers map[string][]string // built lazily from callees
+	facts   map[string]map[string][]string
+
+	universeTypes map[*types.Package][]*types.TypeName
+	hot           map[string]bool // lazily computed hotpath reachability
+}
+
+// NewProgram indexes pkgs and builds the call graph.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:          pkgs,
+		nodes:         map[string]*FuncNode{},
+		byPkg:         map[*Package][]*FuncNode{},
+		callees:       map[string]map[string]bool{},
+		facts:         map[string]map[string][]string{},
+		universeTypes: map[*types.Package][]*types.TypeName{},
+	}
+	for _, p := range pkgs {
+		prog.indexPackage(p)
+	}
+	return prog
+}
+
+// Node returns the indexed node for id (nil if absent — callees may
+// name functions outside the analyzed package set, e.g. stdlib).
+func (prog *Program) Node(id string) *FuncNode { return prog.nodes[id] }
+
+// Nodes returns every node in deterministic source order.
+func (prog *Program) Nodes() []*FuncNode {
+	out := make([]*FuncNode, 0, len(prog.order))
+	for _, id := range prog.order {
+		out = append(out, prog.nodes[id])
+	}
+	return out
+}
+
+// NodesOf returns the nodes whose source lives in pkg, in source order.
+func (prog *Program) NodesOf(pkg *Package) []*FuncNode { return prog.byPkg[pkg] }
+
+// Callees returns the sorted callee IDs of id.
+func (prog *Program) Callees(id string) []string {
+	out := make([]string, 0, len(prog.callees[id]))
+	for callee := range prog.callees[id] {
+		out = append(out, callee)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Callers returns the sorted caller IDs of id.
+func (prog *Program) Callers(id string) []string {
+	if prog.callers == nil {
+		prog.callers = map[string][]string{}
+		for _, caller := range prog.order {
+			for callee := range prog.callees[caller] {
+				prog.callers[callee] = append(prog.callers[callee], caller)
+			}
+		}
+		for _, l := range prog.callers {
+			sort.Strings(l)
+		}
+	}
+	return prog.callers[id]
+}
+
+// Reachable returns the set of node IDs reachable from roots over the
+// call graph (roots included when they are indexed nodes).
+func (prog *Program) Reachable(roots ...string) map[string]bool {
+	seen := map[string]bool{}
+	queue := append([]string{}, roots...)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, callee := range prog.Callees(id) {
+			if !seen[callee] {
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return seen
+}
+
+// EnclosingFunc returns the innermost indexed function whose body
+// spans pos in pkg, or nil.
+func (prog *Program) EnclosingFunc(pkg *Package, pos token.Pos) *FuncNode {
+	var best *FuncNode
+	for _, n := range prog.byPkg[pkg] {
+		if n.Body == nil || pos < n.Body.Pos() || pos > n.Body.End() {
+			continue
+		}
+		if best == nil || n.Body.Pos() > best.Body.Pos() {
+			best = n
+		}
+	}
+	return best
+}
+
+// Publish records one fact about fn on behalf of analyzer. Facts are
+// the cross-pass exchange mechanism: the first pass that derives a
+// per-function property publishes it, later passes (and the driver's
+// -facts dump) consume it instead of recomputing.
+func (prog *Program) Publish(fn, analyzer, text string) {
+	m := prog.facts[fn]
+	if m == nil {
+		m = map[string][]string{}
+		prog.facts[fn] = m
+	}
+	for _, have := range m[analyzer] {
+		if have == text {
+			return
+		}
+	}
+	m[analyzer] = append(m[analyzer], text)
+}
+
+// FactsOf returns the facts analyzer published about fn.
+func (prog *Program) FactsOf(fn, analyzer string) []string {
+	return prog.facts[fn][analyzer]
+}
+
+// AllFacts returns every published fact in deterministic order.
+func (prog *Program) AllFacts() []Fact {
+	var out []Fact
+	for fn, byAnalyzer := range prog.facts {
+		for analyzer, texts := range byAnalyzer {
+			for _, t := range texts {
+				out = append(out, Fact{Fn: fn, Analyzer: analyzer, Text: t})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Text < out[j].Text
+	})
+	return out
+}
+
+// funcID is the stable identity of a declared function or method.
+// Generic instantiations are normalized to their origin so every call
+// site of par.ForEachLocal[T] meets at one node.
+func funcID(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// add registers a node, disambiguating colliding IDs (multiple func
+// init declarations share a FullName).
+func (prog *Program) add(n *FuncNode) {
+	id := n.ID
+	for i := 2; prog.nodes[id] != nil; i++ {
+		id = n.ID + "#" + strconv.Itoa(i)
+	}
+	n.ID = id
+	prog.nodes[id] = n
+	prog.order = append(prog.order, id)
+	prog.byPkg[n.Pkg] = append(prog.byPkg[n.Pkg], n)
+}
+
+func (prog *Program) edge(from, to string) {
+	m := prog.callees[from]
+	if m == nil {
+		m = map[string]bool{}
+		prog.callees[from] = m
+	}
+	m[to] = true
+}
+
+// indexPackage creates nodes for every function declaration and
+// literal of p and extracts their outgoing edges.
+func (prog *Program) indexPackage(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				// Function literals in package-level initializers
+				// (sync.Pool New hooks and the like) hang off a
+				// synthetic per-package <vars> node, reachable only
+				// if something roots it explicitly.
+				prog.walkExprs(p, f, prog.varsNode(p, f), decl)
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			node := &FuncNode{ID: funcID(obj), Pkg: p, Decl: fd, File: f, Body: fd.Body}
+			prog.add(node)
+			if fd.Body != nil {
+				prog.walkBody(p, f, node, fd.Body)
+			}
+		}
+	}
+}
+
+// varsNode returns (creating on first use) the synthetic node that
+// owns package-level initializer expressions of p.
+func (prog *Program) varsNode(p *Package, f *ast.File) *FuncNode {
+	id := p.Path + ".<vars>"
+	if n := prog.nodes[id]; n != nil {
+		return n
+	}
+	n := &FuncNode{ID: id, Pkg: p, File: f}
+	prog.add(n)
+	return n
+}
+
+// walkBody extracts edges from one function body: function references
+// become edges, nested literals become child nodes walked recursively.
+func (prog *Program) walkBody(p *Package, f *ast.File, node *FuncNode, body ast.Node) {
+	lits := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits++
+			child := &FuncNode{
+				ID:     node.ID + "$" + strconv.Itoa(lits),
+				Pkg:    p,
+				Lit:    n,
+				File:   f,
+				Parent: node.ID,
+				Body:   n.Body,
+			}
+			prog.add(child)
+			prog.edge(node.ID, child.ID)
+			prog.walkBody(p, f, child, n.Body)
+			return false // the child owns its own subtree
+		case *ast.Ident:
+			if fn, ok := p.Info.Uses[n].(*types.Func); ok {
+				prog.edge(node.ID, funcID(fn))
+				if impl := prog.resolveSingleImpl(p, fn); impl != "" {
+					prog.edge(node.ID, impl)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkExprs is walkBody for non-function declarations (var blocks).
+func (prog *Program) walkExprs(p *Package, f *ast.File, node *FuncNode, decl ast.Decl) {
+	hasLit := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			hasLit = true
+			return false
+		}
+		return true
+	})
+	if hasLit {
+		prog.walkBody(p, f, node, decl)
+	}
+}
+
+// resolveSingleImpl devirtualizes a call through an interface method:
+// when exactly one concrete named type in the referencing package's
+// universe implements the interface, the edge lands on that type's
+// method. Candidate types are drawn from p's own universe (its scope
+// plus its transitive imports' scopes) because types from differently
+// typechecked universes never satisfy Implements.
+func (prog *Program) resolveSingleImpl(p *Package, m *types.Func) string {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recv := sig.Recv()
+	if recv == nil || !types.IsInterface(recv.Type()) {
+		return ""
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return ""
+	}
+	var found *types.Func
+	for _, tn := range prog.namedTypes(p.Types) {
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		if !types.Implements(T, iface) && !types.Implements(types.NewPointer(T), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(T, true, m.Pkg(), m.Name())
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if found != nil {
+			return "" // more than one implementation: stay virtual
+		}
+		found = fn
+	}
+	if found == nil {
+		return ""
+	}
+	return funcID(found)
+}
+
+// namedTypes collects the named (non-alias) types visible in root's
+// universe, cached per universe root.
+func (prog *Program) namedTypes(root *types.Package) []*types.TypeName {
+	if root == nil {
+		return nil
+	}
+	if cached, ok := prog.universeTypes[root]; ok {
+		return cached
+	}
+	var out []*types.TypeName
+	seen := map[*types.Package]bool{}
+	var visit func(pkg *types.Package)
+	visit = func(pkg *types.Package) {
+		if pkg == nil || seen[pkg] {
+			return
+		}
+		seen[pkg] = true
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if _, ok := tn.Type().(*types.Named); !ok {
+				continue
+			}
+			out = append(out, tn)
+		}
+		for _, imp := range pkg.Imports() {
+			visit(imp)
+		}
+	}
+	visit(root)
+	prog.universeTypes[root] = out
+	return out
+}
+
+// HotReachable returns (computing and publishing on first use) the set
+// of node IDs reachable from `// lint:hotpath` roots. The reachability
+// facts are published under the hotpathalloc analyzer so the -facts
+// dump shows exactly which functions the allocation contract covers.
+func (prog *Program) HotReachable() map[string]bool {
+	if prog.hot != nil {
+		return prog.hot
+	}
+	var roots []string
+	for _, id := range prog.order {
+		n := prog.nodes[id]
+		if n.Decl == nil {
+			continue
+		}
+		if DocHasDirective(n.Decl.Doc, "hotpath") || n.Pkg.DirectiveAt(n.Decl.Pos(), "hotpath") {
+			roots = append(roots, id)
+		}
+	}
+	prog.hot = prog.Reachable(roots...)
+	for _, root := range roots {
+		prog.Publish(root, "hotpathalloc", "hotpath root")
+	}
+	for _, id := range prog.order {
+		if prog.hot[id] {
+			prog.Publish(id, "hotpathalloc", "hot (reachable from a lint:hotpath root)")
+		}
+	}
+	return prog.hot
+}
+
+// DebugString renders one node's call-graph entry (used by tests and
+// the driver's -facts output).
+func (prog *Program) DebugString(id string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s -> %s", id, strings.Join(prog.Callees(id), ", "))
+	return b.String()
+}

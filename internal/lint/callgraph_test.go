@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"sort"
+	"testing"
+)
+
+// loadProgram builds a Program over golden-testdata packages.
+func loadProgram(t *testing.T, patterns ...string) *Program {
+	t.Helper()
+	pkgs, err := Load(goldenCfg(), patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProgram(pkgs)
+}
+
+func hasEdge(prog *Program, caller, callee string) bool {
+	for _, c := range prog.Callees(caller) {
+		if c == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphEdges pins the may-call edges the analyzers depend on:
+// closures, method values, interface dispatch devirtualized to a
+// single concrete type, and cross-package calls.
+func TestCallGraphEdges(t *testing.T) {
+	prog := loadProgram(t, "./callgraph", "./callgraph/sub")
+	for _, tc := range []struct {
+		name, caller, callee string
+	}{
+		{"parent to closure", "advdet/callgraph.closureAdder", "advdet/callgraph.closureAdder$1"},
+		{"direct call", "advdet/callgraph.UseAdder", "advdet/callgraph.closureAdder"},
+		{"interface method", "advdet/callgraph.Entry", "(advdet/callgraph.Doer).Do"},
+		{"devirtualized to sole impl", "advdet/callgraph.Entry", "(advdet/callgraph.Impl).Do"},
+		{"method value reference", "advdet/callgraph.methodValue", "(advdet/callgraph.Impl).Do"},
+		{"cross-package call", "(advdet/callgraph.Impl).Do", "advdet/callgraph/sub.Helper"},
+	} {
+		if !hasEdge(prog, tc.caller, tc.callee) {
+			t.Errorf("%s: no edge %s -> %s (callees: %v)",
+				tc.name, tc.caller, tc.callee, prog.Callees(tc.caller))
+		}
+	}
+}
+
+// TestCallGraphCallers pins the reverse index: goroutinelife walks it
+// to find the ancestor owning a WaitGroup.
+func TestCallGraphCallers(t *testing.T) {
+	prog := loadProgram(t, "./callgraph", "./callgraph/sub")
+	callers := prog.Callers("(advdet/callgraph.Impl).Do")
+	sort.Strings(callers)
+	want := map[string]bool{
+		"advdet/callgraph.Entry":       true,
+		"advdet/callgraph.methodValue": true,
+	}
+	found := 0
+	for _, c := range callers {
+		if want[c] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("Callers((Impl).Do) = %v, want it to include Entry and methodValue", callers)
+	}
+}
+
+// TestCallGraphReachable pins transitive closure across packages and
+// through interface dispatch: Entry reaches sub.Helper only via the
+// devirtualized (Impl).Do edge.
+func TestCallGraphReachable(t *testing.T) {
+	prog := loadProgram(t, "./callgraph", "./callgraph/sub")
+	reach := prog.Reachable("advdet/callgraph.Entry")
+	for _, id := range []string{
+		"advdet/callgraph.Entry",
+		"(advdet/callgraph.Impl).Do",
+		"advdet/callgraph/sub.Helper",
+	} {
+		if !reach[id] {
+			t.Errorf("Reachable(Entry) misses %s", id)
+		}
+	}
+	if reach["advdet/callgraph.closureAdder$1"] {
+		t.Error("Reachable(Entry) should not include closureAdder$1")
+	}
+}
+
+// TestCallGraphNodes pins that every function — declarations, methods,
+// closures — gets a node with a stable ID.
+func TestCallGraphNodes(t *testing.T) {
+	prog := loadProgram(t, "./callgraph", "./callgraph/sub")
+	for _, id := range []string{
+		"advdet/callgraph.Entry",
+		"advdet/callgraph.closureAdder",
+		"advdet/callgraph.closureAdder$1",
+		"(advdet/callgraph.Impl).Do",
+		"advdet/callgraph/sub.Helper",
+	} {
+		if prog.Node(id) == nil {
+			t.Errorf("no node for %s", id)
+		}
+	}
+	lit := prog.Node("advdet/callgraph.closureAdder$1")
+	if lit == nil || lit.Parent != "advdet/callgraph.closureAdder" {
+		t.Errorf("closure parent = %v, want closureAdder", lit)
+	}
+}
+
+// TestFacts pins the publish/consume store the -facts flag dumps.
+func TestFacts(t *testing.T) {
+	prog := loadProgram(t, "./callgraph")
+	prog.Publish("advdet/callgraph.Entry", "test", "fact one")
+	prog.Publish("advdet/callgraph.Entry", "test", "fact two")
+	got := prog.FactsOf("advdet/callgraph.Entry", "test")
+	if len(got) != 2 || got[0] != "fact one" || got[1] != "fact two" {
+		t.Errorf("FactsOf = %v", got)
+	}
+	all := prog.AllFacts()
+	if len(all) != 2 {
+		t.Errorf("AllFacts = %v, want 2 facts", all)
+	}
+}

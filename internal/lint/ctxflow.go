@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow returns the analyzer enforcing the context-threading
+// contract of the parallel detection engine:
+//
+//   - a function named *Ctx takes context.Context as its first
+//     parameter (the repo-wide signature convention DetectCtx,
+//     ProcessFrameCtx, ComputeCtx, ... established),
+//   - library code never calls context.Background or context.TODO —
+//     that severs cancellation from the caller — unless the site is a
+//     sanctioned root annotated `// lint:ctxroot <reason>` (the serial
+//     compatibility wrappers),
+//   - a loop that fans out goroutines must consult a context inside
+//     the loop (ctx.Err, ctx.Done, or threading ctx into the spawned
+//     work), so cancellation can stop the fan-out.
+//
+// Functions whose first parameter is a context are published as
+// "ctx-aware" facts; hotpathalloc and the -facts dump consume them.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "enforces *Ctx signatures, forbids context.Background/TODO in libraries, requires ctx checks in goroutine fan-out loops",
+		Run:  runCtxFlow,
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// firstParamIsContext reports whether sig's first parameter is a
+// context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	return sig != nil && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+func runCtxFlow(p *Pass) {
+	if p.IsCommand() || p.IsTestPackage() {
+		return
+	}
+	reported := map[ast.Node]bool{}
+	for _, f := range p.Files {
+		if p.TestFiles[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig, _ := obj.Type().(*types.Signature)
+			if firstParamIsContext(sig) && p.Prog != nil {
+				p.Prog.Publish(funcID(obj), "ctxflow", "ctx-aware (context.Context first parameter)")
+			}
+			if strings.HasSuffix(fd.Name.Name, "Ctx") && fd.Name.Name != "Ctx" && !firstParamIsContext(sig) {
+				p.Reportf(fd.Name.Pos(), "%s is named *Ctx but does not take context.Context as its first parameter", fd.Name.Name)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name := ctxRootName(p, n); name != "" && !p.DirectiveAt(n.Pos(), "ctxroot") {
+					p.Reportf(n.Pos(), "context.%s in library code severs cancellation from the caller; thread a ctx parameter or annotate // lint:ctxroot <reason>", name)
+				}
+			case *ast.ForStmt:
+				checkFanOutLoop(p, n.Body, reported)
+			case *ast.RangeStmt:
+				checkFanOutLoop(p, n.Body, reported)
+			}
+			return true
+		})
+	}
+}
+
+// ctxRootName returns "Background"/"TODO" when call is
+// context.Background() or context.TODO(), else "".
+func ctxRootName(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// checkFanOutLoop reports a loop body that launches goroutines without
+// any context in sight: no ctx.Err/ctx.Done poll, no ctx threaded into
+// the spawned work. Each go statement is reported at most once even
+// when nested loops both see it.
+func checkFanOutLoop(p *Pass, body *ast.BlockStmt, reported map[ast.Node]bool) {
+	var gos []*ast.GoStmt
+	usesContext := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			gos = append(gos, n)
+		case *ast.Ident:
+			if t := p.Info.TypeOf(n); t != nil && isContextType(t) {
+				usesContext = true
+			}
+		}
+		return true
+	})
+	if usesContext {
+		return
+	}
+	for _, g := range gos {
+		if !reported[g] {
+			reported[g] = true
+			p.Reportf(g.Pos(), "fan-out loop launches goroutines without a cancellation check; consult ctx.Err/ctx.Done or thread a context into the work")
+		}
+	}
+}

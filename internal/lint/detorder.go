@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder returns the analyzer freezing the determinism contract of
+// the detection datapath: detections, snapshots and eval tables must
+// be byte-identical at any worker count and across runs, so the
+// packages that assemble them may not let Go's two sources of
+// intentional nondeterminism leak into results:
+//
+//   - ranging over a map (iteration order is randomized per run) —
+//     result assembly must go through slices, index loops, or sorted
+//     keys,
+//   - a select over two or more result channels (case choice is
+//     scheduling-dependent) — fan-in must be index-addressed the way
+//     par.ForEach recombines rows.
+//
+// The contract applies to packages whose doc carries `// lint:detpath`
+// and, automatically, to `// lint:datapath` packages (the hardware
+// datapath is deterministic by construction). Sites where order
+// provably cannot reach a result (commutative accumulation) are
+// annotated `// lint:unordered <reason>`. Test files are exempt.
+func DetOrder() *Analyzer {
+	return &Analyzer{
+		Name: "detorder",
+		Doc:  "forbids map iteration and multi-channel selects in detection/datapath packages",
+		Run:  runDetOrder,
+	}
+}
+
+func runDetOrder(p *Pass) {
+	if !(p.IsDatapath() || p.HasPackageDirective("detpath")) || p.IsTestPackage() {
+		return
+	}
+	for _, f := range p.Files {
+		if p.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if arg, ok := p.DirectiveArgAt(n.For, "unordered"); ok {
+					if arg == "" {
+						p.Reportf(n.For, "lint:unordered needs a reason explaining why iteration order cannot leak")
+					}
+					return true
+				}
+				p.Reportf(n.For, "range over a map iterates in nondeterministic order; assemble results from a slice or sorted keys, or annotate // lint:unordered <reason>")
+			case *ast.SelectStmt:
+				recvs := 0
+				for _, clause := range n.Body.List {
+					comm, ok := clause.(*ast.CommClause)
+					if !ok || comm.Comm == nil {
+						continue
+					}
+					if isRecvComm(comm.Comm) {
+						recvs++
+					}
+				}
+				if recvs < 2 {
+					return true
+				}
+				if arg, ok := p.DirectiveArgAt(n.Select, "unordered"); ok {
+					if arg == "" {
+						p.Reportf(n.Select, "lint:unordered needs a reason explaining why case choice cannot leak")
+					}
+					return true
+				}
+				p.Reportf(n.Select, "select over %d result channels resolves in scheduling-dependent order; fan results into index-addressed slots instead, or annotate // lint:unordered <reason>", recvs)
+			}
+			return true
+		})
+	}
+}
+
+// isRecvComm reports whether a select comm statement receives from a
+// channel (either `<-ch` alone or `v := <-ch`).
+func isRecvComm(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		u, ok := s.X.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -30,6 +30,7 @@ func CheckGolden(cfg Config, a *Analyzer, pattern string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	prog := NewProgram(pkgs)
 	var fails []string
 	for _, pkg := range pkgs {
 		var wants []*expectation
@@ -47,7 +48,7 @@ func CheckGolden(cfg Config, a *Analyzer, pattern string) ([]string, error) {
 				}
 			}
 		}
-		for _, d := range runOne(a, pkg) {
+		for _, d := range runOne(prog, a, pkg) {
 			found := false
 			for _, w := range wants {
 				if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {

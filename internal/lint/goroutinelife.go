@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife returns the analyzer forbidding leakable goroutines in
+// library packages: every `go` statement must have visible join
+// evidence — a sync.WaitGroup.Wait or a channel receive — in the
+// spawning function or in a call-graph ancestor (the caller that owns
+// the WaitGroup the spawned work signals). Goroutines with neither are
+// exactly the kind that outlive a cancelled scan and corrupt pooled
+// scratch; internal/par's bounded pool is the sanctioned pattern
+// (spawn N workers, wg.Wait before returning).
+//
+// A goroutine whose lifetime is genuinely managed elsewhere (a
+// process-lifetime daemon handed to the caller) is annotated
+// `// lint:goroutine <reason>`.
+func GoroutineLife() *Analyzer {
+	return &Analyzer{
+		Name: "goroutinelife",
+		Doc:  "requires every library `go` statement to be joined (WaitGroup/channel) in the function or a call-graph ancestor",
+		Run:  runGoroutineLife,
+	}
+}
+
+func runGoroutineLife(p *Pass) {
+	if p.IsCommand() || p.IsTestPackage() {
+		return
+	}
+	for _, f := range p.Files {
+		if p.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if arg, hasDir := p.DirectiveArgAt(g.Pos(), "goroutine"); hasDir {
+				if arg == "" {
+					p.Reportf(g.Pos(), "lint:goroutine needs a reason explaining who owns this goroutine's lifetime")
+				}
+				return true
+			}
+			owner := joinOwner(p, g)
+			if owner == "" {
+				p.Reportf(g.Pos(), "goroutine is never joined: no WaitGroup.Wait or channel receive in this function or any call-graph ancestor; bound its lifetime or annotate // lint:goroutine <reason>")
+				return true
+			}
+			if node := p.Prog.EnclosingFunc(p.Package, g.Pos()); node != nil {
+				p.Prog.Publish(node.ID, "goroutinelife", "spawns a goroutine joined in "+owner)
+			}
+			return true
+		})
+	}
+}
+
+// joinOwner returns the ID of the function providing join evidence for
+// the go statement — the enclosing function itself or the nearest
+// call-graph ancestor — or "" when no join is visible anywhere.
+func joinOwner(p *Pass, g *ast.GoStmt) string {
+	start := p.Prog.EnclosingFunc(p.Package, g.Pos())
+	if start == nil {
+		return ""
+	}
+	seen := map[string]bool{}
+	queue := []string{start.ID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		node := p.Prog.Node(id)
+		if node != nil && node.Body != nil && bodyHasJoin(node) {
+			return id
+		}
+		queue = append(queue, p.Prog.Callers(id)...)
+	}
+	return ""
+}
+
+// bodyHasJoin reports whether a function body contains join evidence:
+// a (*sync.WaitGroup).Wait call, a channel receive, a range over a
+// channel, or a select with a receive case. Nested literals count —
+// the Wait is often behind a defer.
+func bodyHasJoin(node *FuncNode) bool {
+	info := node.Pkg.Info
+	found := false
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok && isWaitGroupWait(fn) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CommClause:
+			if n.Comm != nil && isRecvComm(n.Comm) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupWait reports whether fn is (*sync.WaitGroup).Wait.
+func isWaitGroupWait(fn *types.Func) bool {
+	if fn.Name() != "Wait" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

@@ -1,6 +1,9 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -27,6 +30,55 @@ func TestNoFloatGolden(t *testing.T)    { runGolden(t, NoFloat(), "./nofloat") }
 func TestPanicFreeGolden(t *testing.T)  { runGolden(t, PanicFree(), "./panicfree") }
 func TestSeededRandGolden(t *testing.T) { runGolden(t, SeededRand(), "./seededrand") }
 
+func TestCtxFlowGolden(t *testing.T)  { runGolden(t, CtxFlow(), "./ctxflow") }
+func TestWallTimeGolden(t *testing.T) { runGolden(t, WallTime(), "./walltime") }
+func TestDetOrderGolden(t *testing.T) { runGolden(t, DetOrder(), "./detorder") }
+func TestHotPathAllocGolden(t *testing.T) {
+	runGolden(t, HotPathAlloc(), "./hotpathalloc")
+}
+func TestGoroutineLifeGolden(t *testing.T) {
+	runGolden(t, GoroutineLife(), "./goroutinelife")
+	runGolden(t, GoroutineLife(), "./goroutinelife/leaky")
+}
+
+// TestWallTimeNeedsOptIn pins that walltime stays silent without a
+// simtime package directive, wall-clock-heavy as the package may be.
+func TestWallTimeNeedsOptIn(t *testing.T) {
+	pkgs, err := Load(goldenCfg(), "./walltime/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkgs, []*Analyzer{WallTime()}); len(diags) != 0 {
+		t.Fatalf("walltime fired without a simtime directive: %v", diags)
+	}
+}
+
+// TestGoroutineLifeCleanOnPar pins the sanctioned worker pool: the
+// engine's own fan-out layer must pass the join analysis unannotated.
+func TestGoroutineLifeCleanOnPar(t *testing.T) {
+	pkgs, err := Load(Config{Root: "../.."}, "./internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkgs, []*Analyzer{GoroutineLife()}); len(diags) != 0 {
+		t.Fatalf("goroutinelife fired on internal/par: %v", diags)
+	}
+}
+
+// TestGoroutineLifeCatchesLeak is the other half of the acceptance
+// gate: the deliberately-leaky testdata package must produce at least
+// one finding, or the analyzer is vacuous.
+func TestGoroutineLifeCatchesLeak(t *testing.T) {
+	pkgs, err := Load(goldenCfg(), "./goroutinelife/leaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{GoroutineLife()})
+	if len(diags) == 0 {
+		t.Fatal("goroutinelife found nothing in the deliberately-leaky package")
+	}
+}
+
 // TestGoldenTruePositives pins that each analyzer actually fires on
 // its testdata — an empty-want testdata tree would vacuously pass the
 // golden comparison.
@@ -40,6 +92,11 @@ func TestGoldenTruePositives(t *testing.T) {
 		{NoFloat(), "./nofloat", 4},
 		{PanicFree(), "./panicfree", 1},
 		{SeededRand(), "./seededrand", 3},
+		{CtxFlow(), "./ctxflow", 4},
+		{WallTime(), "./walltime", 4},
+		{DetOrder(), "./detorder", 3},
+		{HotPathAlloc(), "./hotpathalloc", 7},
+		{GoroutineLife(), "./goroutinelife", 2},
 	} {
 		pkgs, err := Load(goldenCfg(), tc.pattern)
 		if err != nil {
@@ -98,7 +155,7 @@ func TestNoFloatExemptsFaultPackage(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("all")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 9 {
 		t.Fatalf("ByName(all) = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("fixedops, panicfree")
@@ -172,5 +229,38 @@ func TestScanHotPathClean(t *testing.T) {
 	}
 	if diags := RunAnalyzers(pkgs, []*Analyzer{FixedOps(), SeededRand()}); len(diags) != 0 {
 		t.Fatalf("scan hot path has lint findings: %v", diags)
+	}
+}
+
+// TestReadmeAnalyzerTableInSync is the golden-drift gate CI runs: the
+// README "Static analysis" table must list exactly the analyzers the
+// All() registry returns — adding an analyzer without documenting it
+// (or documenting one that was removed) fails here.
+func TestReadmeAnalyzerTableInSync(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRe := regexp.MustCompile("(?m)^\\| `([a-z]+)` \\|")
+	documented := map[string]bool{}
+	for _, m := range rowRe.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	registered := map[string]bool{}
+	for _, a := range All() {
+		registered[a.Name] = true
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("analyzer %s is registered in All() but missing from the README table", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("README table documents %s but All() does not register it", name)
+		}
+	}
+	if len(documented) != len(registered) {
+		t.Errorf("README table has %d rows, All() registers %d analyzers", len(documented), len(registered))
 	}
 }

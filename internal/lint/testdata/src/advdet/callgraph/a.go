@@ -1,0 +1,49 @@
+// Package callgraph is fixture code for the Program call-graph layer:
+// closures, method values, interface dispatch with a single concrete
+// implementation, and cross-package calls.
+package callgraph
+
+import "advdet/callgraph/sub"
+
+// Doer is implemented by exactly one concrete type in this package,
+// so dynamic dispatch devirtualizes to (Impl).Do.
+type Doer interface {
+	Do() int
+}
+
+// Impl is the sole implementation of Doer.
+type Impl struct{}
+
+// Do crosses into the sub package.
+func (Impl) Do() int {
+	return sub.Helper()
+}
+
+// Entry exercises interface dispatch and a direct method call.
+func Entry() int {
+	var d Doer = Impl{}
+	return d.Do() + Impl{}.Do()
+}
+
+// closureAdder returns a closure; the literal is its own graph node.
+func closureAdder(n int) func(int) int {
+	return func(m int) int {
+		return n + m
+	}
+}
+
+// UseAdder keeps closureAdder referenced.
+func UseAdder() int {
+	return closureAdder(1)(2)
+}
+
+// methodValue references Impl.Do without calling it — a may-call edge.
+func methodValue() func() int {
+	var i Impl
+	return i.Do
+}
+
+// UseMethodValue keeps methodValue referenced.
+func UseMethodValue() int {
+	return methodValue()()
+}

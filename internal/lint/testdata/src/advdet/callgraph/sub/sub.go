@@ -1,0 +1,7 @@
+// Package sub is the cross-package callee of the callgraph fixture.
+package sub
+
+// Helper is called from callgraph.Impl.Do.
+func Helper() int {
+	return 40
+}

@@ -1,0 +1,65 @@
+// Package ctxflow is golden testdata: *Ctx naming without a context
+// parameter, context.Background in library code, and goroutine
+// fan-out loops with no cancellation check must all be reported;
+// the sanctioned patterns must stay silent.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+// DetectCtx is misnamed: the Ctx suffix promises a context parameter.
+func DetectCtx(n int) int { // want "DetectCtx is named .Ctx but does not take context.Context as its first parameter"
+	return n
+}
+
+// ComputeCtx carries the sanctioned signature.
+func ComputeCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Root severs cancellation from the caller.
+func Root() int {
+	return ComputeCtx(context.Background(), 1) // want "context.Background in library code severs cancellation from the caller"
+}
+
+// Todo is the same violation through context.TODO.
+func Todo() int {
+	return ComputeCtx(context.TODO(), 1) // want "context.TODO in library code severs cancellation from the caller"
+}
+
+// SerialWrapper is the sanctioned root: annotated with a reason.
+func SerialWrapper() int {
+	return ComputeCtx(context.Background(), 1) // lint:ctxroot serial compatibility wrapper; caller opted out of cancellation
+}
+
+// FanOut launches goroutines from a loop with no context in sight.
+func FanOut(n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "fan-out loop launches goroutines without a cancellation check"
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// FanOutCtx polls the context each iteration — the sanctioned fan-out.
+func FanOutCtx(ctx context.Context, n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}

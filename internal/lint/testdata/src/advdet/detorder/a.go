@@ -1,0 +1,66 @@
+// Package detorder is golden testdata: map iteration and
+// multi-channel selects must be reported in a detection-assembly
+// package; slice iteration, annotated commutative folds, and
+// single-receive selects stay silent.
+//
+// lint:detpath
+package detorder
+
+// Assemble lets map iteration order leak into the result slice.
+func Assemble(m map[int]string) []string {
+	out := make([]string, 0, len(m))
+	for _, v := range m { // want "range over a map iterates in nondeterministic order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Sum is a commutative fold: order provably cannot reach the result.
+func Sum(m map[int]int) int {
+	total := 0
+	// lint:unordered integer addition is commutative; iteration order cannot reach the sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Count has the annotation but no justification.
+func Count(m map[int]int) int {
+	n := 0
+	// lint:unordered
+	for range m { // want "lint:unordered needs a reason explaining why iteration order cannot leak"
+		n++
+	}
+	return n
+}
+
+// FanIn resolves two result channels in scheduling-dependent order.
+func FanIn(a, b chan int) int {
+	select { // want "select over 2 result channels resolves in scheduling-dependent order"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SendOrDone has a single receive case: no ordering choice between
+// results, no finding.
+func SendOrDone(ch chan int, done chan struct{}) bool {
+	select {
+	case ch <- 1:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// AssembleSlice is the sanctioned shape: deterministic slice order.
+func AssembleSlice(xs []string) []string {
+	out := make([]string, 0, len(xs))
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

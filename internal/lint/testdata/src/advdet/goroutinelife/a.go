@@ -1,0 +1,60 @@
+// Package goroutinelife is golden testdata: every go statement needs
+// join evidence (WaitGroup.Wait or a channel receive) in the spawning
+// function or a call-graph ancestor; fire-and-forget spawns and
+// reasonless annotations are reported.
+package goroutinelife
+
+import "sync"
+
+// Pool is the sanctioned worker-pool shape: spawn then Wait in the
+// same function.
+func Pool(n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// spawn launches a worker; the join lives in the caller.
+func spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// Run owns the WaitGroup spawn signals — call-graph-ancestor join
+// evidence for spawn's go statement.
+func Run() {
+	var wg sync.WaitGroup
+	spawn(&wg)
+	wg.Wait()
+}
+
+// Collect joins through a channel receive.
+func Collect() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Forget leaks: no Wait, no receive, anywhere up the call graph.
+func Forget() {
+	go func() {}() // want "goroutine is never joined"
+}
+
+// Daemon hands lifetime ownership to the caller, with a reason.
+func Daemon(stop chan struct{}) {
+	go func() { <-stop }() // lint:goroutine process-lifetime daemon; the caller closes stop on shutdown
+}
+
+// Unreasoned has the annotation but no justification.
+func Unreasoned() {
+	// lint:goroutine
+	go func() {}() // want "lint:goroutine needs a reason explaining who owns this goroutine's lifetime"
+}

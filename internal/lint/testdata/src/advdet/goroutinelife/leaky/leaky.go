@@ -1,0 +1,13 @@
+// Package leaky is deliberately fire-and-forget testdata: the
+// analyzer acceptance gate requires at least one finding here — a
+// goroutine spawned with no join evidence anywhere.
+package leaky
+
+// StartMonitor spawns a poller that nobody ever joins or stops.
+func StartMonitor(tick func()) {
+	go func() { // want "goroutine is never joined"
+		for {
+			tick()
+		}
+	}()
+}

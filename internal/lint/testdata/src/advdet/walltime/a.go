@@ -1,0 +1,39 @@
+// Package walltime is golden testdata: wall-clock reads inside a
+// simulated-time package must be reported unless annotated with a
+// reason; pure time.Duration math stays allowed.
+//
+// lint:simtime
+package walltime
+
+import "time"
+
+// Deadline couples a simulated deadline to the host clock.
+func Deadline() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock in a simulated-time package"
+}
+
+// Wait stalls simulated hardware on host time.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock in a simulated-time package"
+}
+
+// Elapsed measures host time inside the simulation.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock in a simulated-time package"
+}
+
+// Lap is the sanctioned dual-recording read.
+func Lap() time.Time {
+	return time.Now() // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock
+}
+
+// Unreasoned has the annotation but no justification.
+func Unreasoned() time.Time {
+	// lint:walltime
+	return time.Now() // want "lint:walltime needs a reason explaining why this wall-clock read is sanctioned"
+}
+
+// Budget is pure duration math: no clock read, no finding.
+func Budget(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,10 @@
+// Package plain has no lint:simtime directive: wall-clock reads are
+// this package's business and the analyzer must stay silent.
+package plain
+
+import "time"
+
+// Now is fine here — plain is not in the simulated-time domain.
+func Now() time.Time {
+	return time.Now()
+}

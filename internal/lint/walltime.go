@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime returns the analyzer fencing the simulated-time domain:
+// packages whose doc carries `// lint:simtime` model hardware whose
+// only clock is the simulation's picosecond counter (the adaptive
+// frame loop, the SoC/AXI interconnect, the PR controllers, the RTL
+// timing model). A wall-clock read there (time.Now in a slot-deadline
+// comparison, time.Sleep standing in for a DMA wait) silently couples
+// results to host load and breaks replayability. Sanctioned reads —
+// the metrics layer's dual simulated+wall recording — are annotated
+// `// lint:walltime <reason>`. Test files model the PS/software side
+// and are exempt.
+func WallTime() *Analyzer {
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "forbids wall-clock reads (time.Now/Since/Sleep/...) in lint:simtime packages",
+		Run:  runWallTime,
+	}
+}
+
+// wallClockFuncs are the package-level time functions that read or
+// wait on the host clock. Pure-value helpers (time.Duration math,
+// time.Unix construction) stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallTime(p *Pass) {
+	if !p.HasPackageDirective("simtime") || p.IsTestPackage() {
+		return
+	}
+	for _, f := range p.Files {
+		if p.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			if arg, ok := p.DirectiveArgAt(sel.Pos(), "walltime"); ok {
+				if arg == "" {
+					p.Reportf(sel.Pos(), "lint:walltime needs a reason explaining why this wall-clock read is sanctioned")
+				}
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock in a simulated-time package; derive timing from simulated ps or annotate // lint:walltime <reason>", fn.Name())
+			return true
+		})
+	}
+}

@@ -13,6 +13,8 @@
 // per-frame loop of the adaptive system without perturbing the numbers
 // it measures. All methods are safe on a nil *Registry (they become
 // no-ops), which is how the disabled configuration costs nothing.
+//
+// lint:detpath
 package metrics
 
 import (
@@ -204,6 +206,8 @@ func expBuckets(lo uint64, n int) []uint64 {
 // StageObserve records one invocation of a stage with its simulated
 // and wall-clock costs (either may be zero when the stage has no cost
 // in that clock). No-op on a nil registry.
+//
+// lint:hotpath
 func (r *Registry) StageObserve(s Stage, simPS, wallNS uint64) {
 	if r == nil || s < 0 || s >= NumStages {
 		return
@@ -219,6 +223,8 @@ func (r *Registry) StageObserve(s Stage, simPS, wallNS uint64) {
 // slot start, its headroom against the slot deadline (negative means
 // the deadline was missed) and its wall-clock cost. No-op on a nil
 // registry.
+//
+// lint:hotpath
 func (r *Registry) FrameObserve(latencyPS uint64, headroomPS int64, wallNS uint64) {
 	if r == nil {
 		return
@@ -237,6 +243,8 @@ func (r *Registry) FrameObserve(latencyPS uint64, headroomPS int64, wallNS uint6
 }
 
 // SetGauge publishes an instantaneous value. No-op on a nil registry.
+//
+// lint:hotpath
 func (r *Registry) SetGauge(g Gauge, v uint64) {
 	if r == nil || g < 0 || g >= NumGauges {
 		return
@@ -262,6 +270,8 @@ func (r *Registry) StageCount(s Stage) uint64 {
 
 // FaultAdd counts one reconfiguration-fault event. No-op on a nil
 // registry.
+//
+// lint:hotpath
 func (r *Registry) FaultAdd(k FaultKind) {
 	if r == nil || k < 0 || k >= NumFaultKinds {
 		return

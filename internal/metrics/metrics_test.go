@@ -265,3 +265,35 @@ func BenchmarkFrameObserve(b *testing.B) {
 		r.FrameObserve(uint64(i), int64(i%3)-1, uint64(i))
 	}
 }
+
+// TestSnapshotRowOrderPinned pins the snapshot's row order to the
+// declaration order of the stage and fault enums: Snapshot assembles
+// rows from index loops over fixed arrays, never from map iteration,
+// so two snapshots of the same registry are byte-identical. This is
+// the determinism contract detorder freezes for this package.
+func TestSnapshotRowOrderPinned(t *testing.T) {
+	r := NewRegistry()
+	for i := Stage(0); i < NumStages; i++ {
+		r.StageObserve(i, 1, 1)
+	}
+	for k := FaultKind(0); k < NumFaultKinds; k++ {
+		r.FaultAdd(k)
+	}
+	snap := r.Snapshot()
+	if len(snap.Stages) != int(NumStages) {
+		t.Fatalf("snapshot has %d stage rows, want %d", len(snap.Stages), NumStages)
+	}
+	for i, row := range snap.Stages {
+		if want := Stage(i).String(); row.Stage != want {
+			t.Errorf("stage row %d = %q, want %q (enum order)", i, row.Stage, want)
+		}
+	}
+	if len(snap.Faults) != int(NumFaultKinds) {
+		t.Fatalf("snapshot has %d fault rows, want %d", len(snap.Faults), NumFaultKinds)
+	}
+	for i, row := range snap.Faults {
+		if want := FaultKind(i).String(); row.Kind != want {
+			t.Errorf("fault row %d = %q, want %q (enum order)", i, row.Kind, want)
+		}
+	}
+}

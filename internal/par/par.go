@@ -12,6 +12,8 @@
 // This mirrors the paper's PL datapath, where HOG windows are
 // evaluated by replicated pipeline lanes whose outputs are recombined
 // in raster order regardless of per-lane latency.
+//
+// lint:detpath
 package par
 
 import (

@@ -60,7 +60,7 @@ func (d *AnimalDetector) ClassifyCrop(g *img.Gray) bool {
 // KindAnimal) on the calling goroutine; see DetectCtx for the
 // parallel engine.
 func (d *AnimalDetector) Detect(g *img.Gray) []Detection {
-	dets, _ := d.DetectCtx(context.Background(), g, 1) // background ctx: cannot fail
+	dets, _ := d.DetectCtx(context.Background(), g, 1) // lint:ctxroot serial wrapper; background ctx cannot fail
 	return dets
 }
 

@@ -146,7 +146,7 @@ func (d *DarkDetector) ScanLights(b *img.Binary) []Light {
 // ScanLightsStats is ScanLights with work accounting, on the calling
 // goroutine; see ScanLightsStatsCtx for the parallel engine.
 func (d *DarkDetector) ScanLightsStats(b *img.Binary) ([]Light, ScanStats) {
-	lights, stats, _ := d.ScanLightsStatsCtx(context.Background(), b, 1) // background ctx: cannot fail
+	lights, stats, _ := d.ScanLightsStatsCtx(context.Background(), b, 1) // lint:ctxroot serial wrapper; background ctx cannot fail
 	return lights, stats
 }
 
@@ -277,7 +277,7 @@ func (d *DarkDetector) geometricPairGate(f []float64) bool {
 // vehicle detections in frame coordinates, on the calling goroutine;
 // see DetectCtx for the parallel engine.
 func (d *DarkDetector) Detect(frame *img.RGB) []Detection {
-	dets, _ := d.DetectCtx(context.Background(), frame, 1) // background ctx: cannot fail
+	dets, _ := d.DetectCtx(context.Background(), frame, 1) // lint:ctxroot serial wrapper; background ctx cannot fail
 	return dets
 }
 

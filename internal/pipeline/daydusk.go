@@ -68,7 +68,7 @@ func (d *DayDuskDetector) MarginCrop(g *img.Gray) float64 {
 // NMS-filtered vehicle detections. It runs on the calling goroutine
 // without cancellation; see DetectCtx for the parallel engine.
 func (d *DayDuskDetector) Detect(g *img.Gray) []Detection {
-	dets, _ := d.DetectCtx(context.Background(), g, 1) // background ctx: cannot fail
+	dets, _ := d.DetectCtx(context.Background(), g, 1) // lint:ctxroot serial wrapper; background ctx cannot fail
 	return dets
 }
 

@@ -9,6 +9,8 @@
 //
 // Each pipeline has a software-exact implementation here; the SoC
 // model accounts its cycle cost separately.
+//
+// lint:detpath
 package pipeline
 
 import (

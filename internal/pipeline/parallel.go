@@ -76,6 +76,8 @@ func scanPositions(size, win, stride int) int {
 
 // run scans every pyramid level of g with the given worker count,
 // returning detections in deterministic level-major, raster order.
+//
+// lint:hotpath
 func (s hogScan) run(ctx context.Context, g *img.Gray, workers int) ([]Detection, error) {
 	return s.runTimed(ctx, g, workers, nil)
 }

@@ -59,7 +59,7 @@ func (d *PedestrianDetector) ClassifyCrop(g *img.Gray) bool {
 // Detect scans the frame at multiple scales for pedestrians on the
 // calling goroutine; see DetectCtx for the parallel engine.
 func (d *PedestrianDetector) Detect(g *img.Gray) []Detection {
-	dets, _ := d.DetectCtx(context.Background(), g, 1) // background ctx: cannot fail
+	dets, _ := d.DetectCtx(context.Background(), g, 1) // lint:ctxroot serial wrapper; background ctx cannot fail
 	return dets
 }
 

@@ -41,7 +41,7 @@ func releaseScanScratch(s *scanScratch) {
 	for i := range s.results {
 		s.results[i] = nil
 	}
-	scanPool.Put(s)
+	scanPool.Put(s) // lint:alloc sync.Pool.Put boxes once per scan, not per window
 }
 
 // setLevels grows the per-level arenas to hold n levels, preserving

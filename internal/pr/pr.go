@@ -15,6 +15,8 @@
 // Errors are typed: every failure wraps one of the sentinels in
 // errors.go (ErrBusy, ErrNotStaged, ErrVerify, ErrTimeout), so
 // callers dispatch with errors.Is.
+//
+// lint:simtime
 package pr
 
 import (

@@ -18,6 +18,7 @@
 // floating point.
 //
 // lint:datapath
+// lint:simtime
 package rtl
 
 import (

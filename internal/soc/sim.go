@@ -9,6 +9,8 @@
 // structural overhead parameters (interconnect stalls, transaction
 // setup), from which the paper's measured throughputs emerge rather
 // than being hard-coded.
+//
+// lint:simtime
 package soc
 
 import (

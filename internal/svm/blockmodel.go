@@ -44,10 +44,10 @@ func NewBlockModel(m *Model, bw, bh, blockLen int) (*BlockModel, error) {
 // allocations.
 func (bm *BlockModel) Init(m *Model, bw, bh, blockLen int) error {
 	if bw <= 0 || bh <= 0 || blockLen <= 0 {
-		return fmt.Errorf("svm: block model geometry %dx%d blocks of %d floats", bw, bh, blockLen)
+		return fmt.Errorf("svm: block model geometry %dx%d blocks of %d floats", bw, bh, blockLen) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
 	if n := bw * bh * blockLen; n != len(m.W) {
-		return fmt.Errorf("svm: model has %d weights, want %d (%dx%d blocks of %d floats)",
+		return fmt.Errorf("svm: model has %d weights, want %d (%dx%d blocks of %d floats)", // lint:alloc cold validation error path, runs once per reshape not per window
 			len(m.W), n, bw, bh, blockLen)
 	}
 	bm.BW, bm.BH, bm.BlockLen, bm.Bias = bw, bh, blockLen, m.Bias
@@ -80,22 +80,22 @@ type Lattice struct {
 // inside the grid.
 func (l Lattice) validate(bm *BlockModel, blocks, dst int) error {
 	if l.NAX <= 0 || l.NAY <= 0 {
-		return fmt.Errorf("svm: empty anchor lattice %dx%d", l.NAX, l.NAY)
+		return fmt.Errorf("svm: empty anchor lattice %dx%d", l.NAX, l.NAY) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
 	if l.StepX <= 0 || l.StepY <= 0 || l.BlockStride <= 0 {
-		return fmt.Errorf("svm: non-positive lattice steps %+v", l)
+		return fmt.Errorf("svm: non-positive lattice steps %+v", l) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
 	maxCX := (l.NAX-1)*l.StepX + (bm.BW-1)*l.BlockStride
 	maxCY := (l.NAY-1)*l.StepY + (bm.BH-1)*l.BlockStride
 	if maxCX >= l.NBX || maxCY >= l.NBY {
-		return fmt.Errorf("svm: lattice %+v reads block (%d,%d) outside %dx%d grid",
+		return fmt.Errorf("svm: lattice %+v reads block (%d,%d) outside %dx%d grid", // lint:alloc cold validation error path, runs once per reshape not per window
 			l, maxCX, maxCY, l.NBX, l.NBY)
 	}
 	if need := l.NBX * l.NBY * bm.BlockLen; blocks < need {
-		return fmt.Errorf("svm: block data holds %d floats, grid needs %d", blocks, need)
+		return fmt.Errorf("svm: block data holds %d floats, grid needs %d", blocks, need) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
 	if need := l.NAX * l.NAY * bm.BW * bm.BH; dst < need {
-		return fmt.Errorf("svm: response buffer holds %d floats, lattice needs %d", dst, need)
+		return fmt.Errorf("svm: response buffer holds %d floats, lattice needs %d", dst, need) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
 	return nil
 }
@@ -116,6 +116,8 @@ func (l Lattice) validate(bm *BlockModel, blocks, dst int) error {
 // pure function of the shared read-only inputs, so the result is
 // bitwise identical for every worker count. On cancellation dst is
 // partial and must be discarded.
+//
+// lint:hotpath
 func (bm *BlockModel) Responses(ctx context.Context, workers int, blocks []float64, lat Lattice, dst []float64) error {
 	if err := lat.validate(bm, len(blocks), len(dst)); err != nil {
 		return err

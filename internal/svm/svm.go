@@ -3,6 +3,8 @@
 // LibLINEAR, which the paper uses to produce its day, dusk and
 // combined models (Fig. 1) — plus the dot-product classifier the
 // hardware pipeline evaluates against BRAM-resident model data.
+//
+// lint:detpath
 package svm
 
 import (
@@ -62,7 +64,7 @@ type Model struct {
 func (m *Model) Margin(x []float64) float64 {
 	if len(x) != len(m.W) {
 		// lint:invariant feature length is fixed by the trained model; mismatch is a wiring bug
-		panic(fmt.Sprintf("svm: feature length %d, model expects %d", len(x), len(m.W)))
+		panic(fmt.Sprintf("svm: feature length %d, model expects %d", len(x), len(m.W))) // lint:alloc cold panic path; fires only on an invariant violation
 	}
 	s := m.Bias
 	for i, w := range m.W {

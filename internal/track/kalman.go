@@ -6,6 +6,8 @@
 // Chen et al. [6]); this package provides that layer and lets the
 // benchmarks measure how much temporal smoothing buys on top of the
 // per-frame detectors.
+//
+// lint:detpath
 package track
 
 import (
