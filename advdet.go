@@ -17,15 +17,29 @@
 //     PL-side DDR, and reconfiguration that drops exactly one vehicle
 //     frame at 50 fps while pedestrian detection keeps running.
 //
-// Quick start:
+// Quick start — one engine, many camera streams:
 //
 //	dets, err := advdet.TrainDetectors(1, advdet.Fast)
 //	if err != nil { ... }
-//	sys, err := advdet.NewSystem(dets, advdet.WithFPS(50), advdet.WithParallelism(0))
+//	eng := advdet.NewEngine(dets)
+//	defer eng.Close()
+//	cam, err := eng.NewStream(advdet.WithStreamName("cam-front"), advdet.WithStreamFPS(50))
 //	if err != nil { ... }
 //	scene := advdet.RenderScene(2, 640, 360, advdet.Dark)
-//	res, err := sys.ProcessFrame(scene)
+//	res, err := cam.Process(ctx, scene)
 //	if err != nil { ... }
+//
+// The Engine owns everything shared and immutable (trained models,
+// pooled scan scratch, the bounded worker pool); each Stream owns one
+// camera's adaptive state (condition monitor, reconfiguration state
+// machine, slot-deadline accounting, metrics). Beyond capacity,
+// Process fails fast with ErrOverloaded instead of queueing.
+//
+// For a single camera without the fleet machinery there is NewSystem,
+// which boots a self-contained System and spawns no goroutines:
+//
+//	sys, err := advdet.NewSystem(dets, advdet.WithFPS(50), advdet.WithParallelism(0))
+//	res, err := sys.ProcessFrame(scene)
 //
 // ProcessFrameCtx/RunScenarioCtx accept a context for cancellation
 // mid-frame; a deadline bounds the frame budget. Detection scans fan
@@ -81,6 +95,11 @@ type (
 	SystemOptions = adaptive.Options
 	// FrameResult is the per-frame output of a System.
 	FrameResult = adaptive.FrameResult
+	// Stats are the accumulated counters of a System or Stream.
+	Stats = adaptive.Stats
+	// ConfigID names a fabric configuration (day-dusk or dark) as
+	// reported by System.Loaded and Stream.Loaded.
+	ConfigID = adaptive.ConfigID
 	// Confusion holds TP/TN/FP/FN counts with the paper's accuracy
 	// definition (Eq. 1).
 	Confusion = eval.Confusion
@@ -152,16 +171,24 @@ func DefaultRetryPolicy() RetryPolicy { return adaptive.DefaultRetryPolicy() }
 // ~8 MB partial bitstreams, booting in day condition.
 func DefaultSystemOptions() SystemOptions { return adaptive.DefaultOptions() }
 
-// NewSystem boots an adaptive system with both partial bitstreams
-// staged in PL-side DDR. With no options it runs at the paper's
-// operating point (DefaultSystemOptions); pass functional options to
-// deviate, or WithOptions to install a hand-built SystemOptions.
+// NewSystem boots a single-stream adaptive system with both partial
+// bitstreams staged in PL-side DDR. With no options it runs at the
+// paper's operating point (DefaultSystemOptions); pass functional
+// options to deviate, or WithOptions to install a hand-built
+// SystemOptions.
+//
+// NewSystem is the single-stream convenience path: it builds a private
+// shared engine (detectors + scan-lane pool) for its one stream and
+// spawns no goroutines, so nothing needs closing. To serve many camera
+// streams over one set of trained models and one worker pool, use
+// NewEngine and Engine.NewStream instead.
 func NewSystem(dets Detectors, opts ...Option) (*System, error) {
 	opt := DefaultSystemOptions()
 	for _, o := range opts {
 		o(&opt)
 	}
-	return adaptive.New(dets, opt)
+	eng := adaptive.NewEngine(dets, adaptive.EngineConfig{Parallelism: opt.Parallelism})
+	return eng.NewSystem(opt)
 }
 
 // RenderScene renders one synthetic road scene of the given size and

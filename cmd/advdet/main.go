@@ -5,11 +5,16 @@
 // Usage:
 //
 //	advdet [-scenario tunnel|night] [-w 640] [-h 360] [-fps 50]
-//	       [-seed 1] [-timing-only] [-snapshots dir]
+//	       [-seed 1] [-streams 1] [-timing-only] [-snapshots dir]
 //	       [-metrics file] [-metrics-json file] [-pprof addr]
+//
+// With -streams N > 1 the same drive runs over N concurrent camera
+// streams multiplexed on one shared engine; the report covers the
+// first stream and the fleet capacity rollup covers them all.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +24,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"advdet"
 	"advdet/internal/adaptive"
@@ -37,6 +43,7 @@ func main() {
 	h := flag.Int("h", 360, "frame height")
 	fps := flag.Int("fps", 50, "camera frame rate")
 	seed := flag.Uint64("seed", 1, "scenario seed")
+	streams := flag.Int("streams", 1, "concurrent camera streams over one shared engine")
 	timingOnly := flag.Bool("timing-only", false, "skip software detection (timing model only)")
 	snapshots := flag.String("snapshots", "", "directory for PPM overlay snapshots (optional)")
 	modelDir := flag.String("models", "", "load a trained bundle (from cmd/trainmodels) instead of retraining")
@@ -86,21 +93,54 @@ func main() {
 		}
 	}
 
+	if *streams < 1 {
+		log.Fatalf("-streams must be >= 1, got %d", *streams)
+	}
 	cond0, _ := scenario.CondAt(0)
-	sysOpts := []advdet.Option{advdet.WithFPS(*fps), advdet.WithInitial(cond0)}
-	if *timingOnly {
-		sysOpts = append(sysOpts, advdet.WithTimingOnly())
+	streamOpts := func(name string) []advdet.StreamOption {
+		opts := []advdet.StreamOption{
+			advdet.WithStreamName(name),
+			advdet.WithStreamFPS(*fps),
+			advdet.WithStreamInitial(cond0),
+		}
+		if *timingOnly {
+			opts = append(opts, advdet.WithStreamTimingOnly())
+		}
+		if *metricsOut != "" || *metricsJSON != "" || *streams > 1 {
+			opts = append(opts, advdet.WithStreamMetrics())
+		}
+		return opts
 	}
-	if *metricsOut != "" || *metricsJSON != "" {
-		sysOpts = append(sysOpts, advdet.WithMetrics())
-	}
-	sys, err := advdet.NewSystem(dets, sysOpts...)
+	eng := advdet.NewEngine(dets, advdet.WithQueueDepth(2**streams))
+	defer eng.Close()
+	ctx := context.Background()
+	sys, err := eng.NewStream(streamOpts("cam-0")...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("running %q: %d frames of %dx%d at %d fps\n",
-		scenario.Name, scenario.TotalFrames(), *w, *h, *fps)
+	fmt.Printf("running %q: %d frames of %dx%d at %d fps over %d stream(s)\n",
+		scenario.Name, scenario.TotalFrames(), *w, *h, *fps, *streams)
+
+	// Extra streams replay the same drive concurrently on the shared
+	// engine while the first stream is reported frame by frame below.
+	var extras sync.WaitGroup
+	for n := 1; n < *streams; n++ {
+		st, err := eng.NewStream(streamOpts(fmt.Sprintf("cam-%d", n))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extras.Add(1)
+		go func(st *advdet.Stream) {
+			defer extras.Done()
+			for i := 0; i < scenario.TotalFrames(); i++ {
+				if _, err := st.Process(ctx, scenario.FrameAt(i)); err != nil {
+					log.Printf("stream %s: %v", st.Name(), err)
+					return
+				}
+			}
+		}(st)
+	}
 
 	type segStats struct {
 		label    string
@@ -113,7 +153,7 @@ func main() {
 	cur := ""
 	for i := 0; i < scenario.TotalFrames(); i++ {
 		sc := scenario.FrameAt(i)
-		res, err := sys.ProcessFrame(sc)
+		res, err := sys.Process(ctx, sc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -146,6 +186,7 @@ func main() {
 		fmt.Printf("  %-20s %7d %9d %11d %8d\n", s.label, s.frames, s.vehicles, s.peds, s.dropped)
 	}
 
+	extras.Wait()
 	st := sys.Stats()
 	fmt.Printf("\nreconfigurations: %d\n", len(st.Reconfigs))
 	for _, r := range st.Reconfigs {
@@ -157,6 +198,15 @@ func main() {
 		st.VehicleDropped, st.Frames, st.PedestrianFrames)
 	if st.SlotOverruns > 0 {
 		fmt.Printf("WARNING: %d frame-slot overruns (frame rate exceeds the pipeline budget)\n", st.SlotOverruns)
+	}
+
+	if *streams > 1 {
+		snap := eng.FleetSnapshot()
+		fst := eng.FleetStats()
+		fmt.Printf("\nfleet: %d streams, %d frames dispatched in %d batches (%d shed)\n",
+			snap.ActiveStreams, fst.Executed, fst.Batches, fst.Rejected)
+		fmt.Printf("  aggregate capacity: %.0f streams x fps (deadline %d hit / %d missed)\n",
+			snap.CapacityStreamsFPS, snap.DeadlineHits, snap.DeadlineMisses)
 	}
 
 	if *jsonOut != "" {
@@ -193,7 +243,7 @@ func main() {
 	}
 
 	if *metricsOut != "" {
-		if err := writeTo(*metricsOut, sys.Metrics().WriteProm); err != nil {
+		if err := writeTo(*metricsOut, sys.System().Metrics().WriteProm); err != nil {
 			log.Fatal(err)
 		}
 	}

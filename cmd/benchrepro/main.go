@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	benchrepro [-table1] [-table2] [-reconfig] [-dark] [-fps] [-all]
-//	           [-quick] [-json file]
+//	benchrepro [-table1] [-table2] [-reconfig] [-dark] [-fps] [-fleet]
+//	           [-all] [-quick] [-json file]
 //
 // With no selection flags, -all is assumed. -quick shrinks the
 // Table I datasets (for CI-speed runs). -json runs the timing-mode
-// performance benchmark alone (fast, no training) and writes the
-// schema-stable report (BENCH_pr5.json) to the given file; combine
-// with other flags to also run those sections.
+// performance benchmark plus the fleet capacity experiment (fast, no
+// training) and writes the schema-stable advdet-bench/v1 report
+// (e.g. BENCH_pr7.json) to the given file; combine with other flags
+// to also run those sections. -fleet runs the multi-stream capacity
+// experiment alone, with -fleet-streams/-fleet-frames to scale it.
 package main
 
 import (
@@ -35,13 +37,16 @@ func main() {
 	bl := flag.Bool("baselines", false, "run related-work baselines (Haar/AdaBoost, PIHOG, tracking)")
 	sw := flag.Bool("sweep", false, "luminance-threshold sensitivity sweep for the dark pipeline")
 	av := flag.Bool("adaptive", false, "system-level adaptive vs fixed-pipeline comparison")
+	fl := flag.Bool("fleet", false, "fleet capacity: N concurrent streams over one shared engine")
+	flStreams := flag.Int("fleet-streams", 0, "fleet experiment stream count (default 8)")
+	flFrames := flag.Int("fleet-frames", 0, "fleet experiment frames per stream (default 30)")
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "smaller Table I datasets")
 	repeats := flag.Int("repeats", 1, "measurement repeats per reconfiguration controller")
-	jsonOut := flag.String("json", "", "write the machine-readable performance report (BENCH_pr5.json schema) to this file")
+	jsonOut := flag.String("json", "", "write the machine-readable advdet-bench/v1 performance report (e.g. BENCH_pr7.json) to this file")
 	flag.Parse()
 
-	if !(*t1 || *t2 || *rc || *dk || *fp || *bl || *sw || *av || *jsonOut != "") {
+	if !(*t1 || *t2 || *rc || *dk || *fp || *bl || *sw || *av || *fl || *jsonOut != "") {
 		*all = true
 	}
 
@@ -123,6 +128,24 @@ func main() {
 	if *all || *fp {
 		fmt.Printf("§V — modeled detection pipeline at 125 MHz, 1920x1080: %.1f fps (paper: 50 fps)\n\n",
 			experiments.FrameRate())
+	}
+
+	// The fleet section reruns the experiment only when -json didn't
+	// already include it or the caller rescaled it.
+	if (*all || *fl) && (*jsonOut == "" || *flStreams > 0 || *flFrames > 0) {
+		opt := experiments.DefaultFleetOptions()
+		if *flStreams > 0 {
+			opt.Streams = *flStreams
+		}
+		if *flFrames > 0 {
+			opt.FramesPerStream = *flFrames
+		}
+		rep, err := experiments.FleetBench(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.WriteFleet(os.Stdout, rep)
+		fmt.Println()
 	}
 
 	if *all || *bl {

@@ -87,7 +87,10 @@ func main() {
 		Day:  pipeline.NewDayDuskDetector(&svm.Model{W: make([]float64, 1)}),
 		Dusk: pipeline.NewDayDuskDetector(&svm.Model{W: make([]float64, 1)}),
 	}
-	sys, err := adaptive.New(dets, opt)
+	// The engine/stream split applies even to a single timing-mode
+	// stream: the engine holds what is shareable, the system the
+	// per-stream state.
+	sys, err := adaptive.NewEngine(dets, adaptive.EngineConfig{}).NewSystem(opt)
 	if err != nil {
 		log.Fatal(err)
 	}

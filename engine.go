@@ -1,0 +1,182 @@
+package advdet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"advdet/internal/adaptive"
+	"advdet/internal/fleet"
+	"advdet/internal/metrics"
+)
+
+// Fleet-scale types and errors, re-exported from internal/fleet and
+// internal/metrics.
+type (
+	// FleetStats are the engine dispatcher's monotonic counters
+	// (admitted/rejected/executed/abandoned items and batches).
+	FleetStats = fleet.Stats
+	// FleetSnapshot is the engine-wide metrics rollup: per-stream
+	// slot-deadline accounting plus the aggregate streams×fps
+	// capacity.
+	FleetSnapshot = metrics.FleetSnapshot
+	// StreamSnapshot is one stream's row in a FleetSnapshot.
+	StreamSnapshot = metrics.StreamSnapshot
+)
+
+// Typed fleet admission errors — %w-wrapped sentinels, matched with
+// errors.Is (never by substring).
+var (
+	// ErrOverloaded: the engine's bounded admission queue is full; the
+	// frame was shed, not queued. Back off or degrade.
+	ErrOverloaded = fleet.ErrOverloaded
+	// ErrStreamClosed: the frame was offered to a closed stream.
+	ErrStreamClosed = fleet.ErrStreamClosed
+	// ErrEngineClosed: the engine (its dispatcher) has been closed.
+	ErrEngineClosed = fleet.ErrClosed
+)
+
+// Engine is the shared half of the fleet-scale API: the immutable
+// trained models, the pooled scan scratch and scan-lane budget, and
+// the bounded dispatcher every stream's frames are multiplexed over —
+// the software analogue of the paper's PL fabric, one set of
+// synthesized detection hardware time-shared by many camera slots.
+// Everything per-camera (monitor hysteresis, the reconfiguration state
+// machine, slot-deadline accounting, per-stream metrics) lives in the
+// Streams created from it.
+//
+// An Engine is safe for concurrent use by all its streams. Close it
+// when done to join the dispatcher's goroutines; single-stream callers
+// who want none of this machinery should use NewSystem, which spawns
+// no goroutines.
+type Engine struct {
+	adEng  *adaptive.Engine
+	disp   *fleet.Dispatcher
+	rollup *metrics.Fleet
+
+	mu     sync.Mutex
+	nextID int
+	closed bool
+}
+
+// engineConfig collects the EngineOption knobs.
+type engineConfig struct {
+	parallelism int
+	fleet       fleet.Config
+}
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*engineConfig)
+
+// WithEngineParallelism sets the engine's total scan-lane budget — the
+// pool shared by every stream's detection scans (n <= 0 selects
+// runtime.NumCPU()). Per-stream WithStreamParallelism then caps how
+// many shared lanes one frame may borrow.
+func WithEngineParallelism(n int) EngineOption {
+	return func(c *engineConfig) { c.parallelism = n }
+}
+
+// WithFleetWorkers sets the dispatcher's executor pool size: how many
+// frames (across all streams) execute concurrently. n <= 0 selects
+// runtime.NumCPU().
+func WithFleetWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.fleet.Workers = n }
+}
+
+// WithQueueDepth bounds the admission queue; a full queue makes
+// Stream.Process fail fast with ErrOverloaded instead of queueing
+// unboundedly. n <= 0 selects twice the worker count.
+func WithQueueDepth(n int) EngineOption {
+	return func(c *engineConfig) { c.fleet.QueueDepth = n }
+}
+
+// WithBatchPolicy shapes the size-or-deadline batcher: a batch is
+// flushed to the executors when it holds maxBatch frames or when its
+// oldest frame has waited maxWait, whichever comes first. Zero values
+// keep the defaults (4 frames, 2ms).
+func WithBatchPolicy(maxBatch int, maxWait time.Duration) EngineOption {
+	return func(c *engineConfig) {
+		c.fleet.MaxBatch = maxBatch
+		c.fleet.MaxWait = maxWait
+	}
+}
+
+// NewEngine builds the shared engine over a trained detector set and
+// starts its dispatcher. The detectors are treated as immutable from
+// here on: every stream scans against the same models, exactly as the
+// paper's frame slots execute against the same loaded bitstreams.
+func NewEngine(dets Detectors, opts ...EngineOption) *Engine {
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Engine{
+		adEng:  adaptive.NewEngine(dets, adaptive.EngineConfig{Parallelism: cfg.parallelism}),
+		disp:   fleet.NewDispatcher(cfg.fleet),
+		rollup: metrics.NewFleet(),
+	}
+}
+
+// Detectors returns the engine's shared trained models.
+func (e *Engine) Detectors() Detectors { return e.adEng.Dets }
+
+// FleetStats returns the dispatcher's admission/execution counters.
+func (e *Engine) FleetStats() FleetStats { return e.disp.Stats() }
+
+// FleetSnapshot exports the engine-wide metrics rollup: one row per
+// attached stream (slot-deadline hits/misses, deadline-weighted fps)
+// and the aggregate streams×fps capacity.
+func (e *Engine) FleetSnapshot() FleetSnapshot { return e.rollup.Snapshot() }
+
+// WriteFleetProm writes the fleet rollup in the Prometheus text
+// exposition format: per-stream slot-deadline counters labelled by
+// stream plus the aggregate capacity gauges.
+func (e *Engine) WriteFleetProm(w io.Writer) error { return e.rollup.WriteProm(w) }
+
+// Close shuts the engine down: in-flight frames complete, the
+// dispatcher's goroutines are joined, and every subsequent
+// Stream.Process fails with ErrEngineClosed. Close is idempotent.
+// Streams need no separate teardown, though closing them first gives a
+// cleaner capacity rollup (closed streams stop counting as active).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.disp.Close()
+}
+
+// NewStream opens one camera stream on the engine. The stream owns
+// every per-camera piece of the paper's architecture — the
+// light-condition monitor with hysteresis, the reconfiguration state
+// machine with both bitstreams staged, slot-deadline accounting and
+// (optionally) a metrics registry — while borrowing the engine's
+// shared models and scan lanes for the actual detection work.
+//
+// A Stream is not safe for concurrent Process calls (a camera delivers
+// frames in order); different streams are independent and run
+// concurrently through the engine's dispatcher.
+func (e *Engine) NewStream(opts ...StreamOption) (*Stream, error) {
+	cfg := streamConfig{opt: DefaultSystemOptions()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("advdet: new stream: %w", ErrEngineClosed)
+	}
+	id := e.nextID
+	e.nextID++
+	e.mu.Unlock()
+	if cfg.name == "" {
+		cfg.name = fmt.Sprintf("stream-%d", id)
+	}
+	sys, err := e.adEng.NewSystem(cfg.opt)
+	if err != nil {
+		return nil, fmt.Errorf("advdet: new stream %s: %w", cfg.name, err)
+	}
+	s := &Stream{eng: e, sys: sys, name: cfg.name}
+	e.rollup.Attach(cfg.name, cfg.opt.FPS, sys.Metrics())
+	return s, nil
+}

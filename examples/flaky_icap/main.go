@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -30,16 +31,19 @@ func main() {
 	plan := advdet.NewFaultPlan(42).
 		CorruptStage("dark", 1).     // boot staging of the dark bitstream
 		DropIRQ(advdet.IRQPRDone, 1) // first reconfiguration completion
-	sys, err := advdet.NewSystem(advdet.Detectors{},
-		advdet.WithTimingOnly(),
-		advdet.WithInitial(advdet.Dusk),
-		advdet.WithMetrics(),
-		advdet.WithFaultPlan(plan),
-		advdet.WithRetryPolicy(advdet.RetryPolicy{MaxRetries: 1}),
+	eng := advdet.NewEngine(advdet.Detectors{})
+	defer eng.Close()
+	sys, err := eng.NewStream(
+		advdet.WithStreamTimingOnly(),
+		advdet.WithStreamInitial(advdet.Dusk),
+		advdet.WithStreamMetrics(),
+		advdet.WithStreamFaultPlan(plan),
+		advdet.WithStreamRetryPolicy(advdet.RetryPolicy{MaxRetries: 1}),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	fmt.Println("drive: 5 dusk frames, then darkness with a corrupt bitstream and a lost interrupt")
 	fmt.Println()
@@ -49,7 +53,7 @@ func main() {
 		sc := advdet.RenderScene(3, 64, 36, cond)
 		sc.Lux = lux
 		for i := 0; i < n; i++ {
-			r, err := sys.ProcessFrame(sc)
+			r, err := sys.Process(ctx, sc)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,16 +33,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys, err := advdet.NewSystem(dets, advdet.WithInitial(advdet.Dark))
+	eng := advdet.NewEngine(dets)
+	defer eng.Close()
+	sys, err := eng.NewStream(advdet.WithStreamInitial(advdet.Dark))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	scenario := advdet.NightHighway(9, 640, 360, 10)
 	var matched, total int
 	for i := 0; i < *frames; i++ {
 		sc := scenario.FrameAt(i * 7) // spread across the drive
-		res, err := sys.ProcessFrame(sc)
+		res, err := sys.Process(ctx, sc)
 		if err != nil {
 			log.Fatal(err)
 		}

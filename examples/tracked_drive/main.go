@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,10 +23,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys, err := advdet.NewSystem(dets, advdet.WithInitial(advdet.Dusk), advdet.WithTracking())
+	eng := advdet.NewEngine(dets)
+	defer eng.Close()
+	sys, err := eng.NewStream(
+		advdet.WithStreamInitial(advdet.Dusk),
+		advdet.WithStreamTracking())
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// A coherent drive that goes dark mid-way: frames 0-19 dusk,
 	// 20+ dark. Both halves share the same seed so actor trajectories
@@ -42,7 +48,7 @@ func main() {
 		} else {
 			sc = darkDrive.Frame(i)
 		}
-		res, err := sys.ProcessFrame(sc)
+		res, err := sys.Process(ctx, sc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,10 +34,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys, err := advdet.NewSystem(dets, advdet.WithFPS(fps), advdet.WithMetrics())
+	eng := advdet.NewEngine(dets)
+	defer eng.Close()
+	sys, err := eng.NewStream(advdet.WithStreamFPS(fps), advdet.WithStreamMetrics())
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	fmt.Printf("drive: %d frames at %d fps (%.0f s of driving)\n\n",
 		scenario.TotalFrames(), fps, float64(scenario.TotalFrames())/float64(fps))
@@ -45,7 +49,7 @@ func main() {
 	var vehDet, pedDet int
 	for i := 0; i < scenario.TotalFrames(); i++ {
 		sc := scenario.FrameAt(i)
-		res, err := sys.ProcessFrame(sc)
+		res, err := sys.Process(ctx, sc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -176,6 +176,12 @@ type System struct {
 	Dets    Detectors
 	Opt     Options
 
+	// eng is the shared engine this stream was created from, nil for
+	// the classic standalone path. grant holds the scan lanes borrowed
+	// from the engine pool for the frame currently being processed.
+	eng   *Engine
+	grant int
+
 	loaded        ConfigID
 	reconfiguring bool
 	epoch         uint64 // simulated time when boot finished; slot 0 starts here
@@ -200,10 +206,18 @@ type System struct {
 	seenIRQDrops   int
 }
 
-// New boots the system: it builds the platform, stages both partial
-// bitstreams into the PL-dedicated DDR (the paper's one-time boot
-// cost) and loads the configuration for the initial condition.
+// New boots a standalone system: it builds the platform, stages both
+// partial bitstreams into the PL-dedicated DDR (the paper's one-time
+// boot cost) and loads the configuration for the initial condition.
+// The system owns its Parallelism budget outright; to share detectors
+// and scan lanes across streams, build an Engine and use
+// Engine.NewSystem instead.
 func New(dets Detectors, opt Options) (*System, error) {
+	return newSystem(nil, dets, opt)
+}
+
+// newSystem is the common boot path behind New and Engine.NewSystem.
+func newSystem(eng *Engine, dets Detectors, opt Options) (*System, error) {
 	if opt.FPS <= 0 {
 		return nil, fmt.Errorf("adaptive: FPS must be positive, got %d", opt.FPS)
 	}
@@ -212,6 +226,7 @@ func New(dets Detectors, opt Options) (*System, error) {
 	}
 	opt.Retry = opt.Retry.withDefaults()
 	s := &System{
+		eng:     eng,
 		Z:       soc.NewZynq(),
 		PR:      pr.NewDMAICAP(),
 		Monitor: NewMonitor(opt.Initial),
@@ -281,8 +296,21 @@ func (s *System) Stats() Stats {
 	return cp
 }
 
-// workers resolves the Parallelism knob for this frame's scans.
-func (s *System) workers() int { return par.Workers(s.Opt.Parallelism) }
+// workers resolves how many scan lanes this frame's detection work may
+// use: the lanes granted by the engine pool when the system is bound
+// to an engine, otherwise the raw Parallelism knob. Detection output
+// is byte-identical for every value (the par determinism contract), so
+// a thin grant under fleet load shapes latency only.
+func (s *System) workers() int {
+	if s.grant > 0 {
+		return s.grant
+	}
+	return par.Workers(s.Opt.Parallelism)
+}
+
+// Engine returns the shared engine this system was created from, or
+// nil for a standalone system.
+func (s *System) Engine() *Engine { return s.eng }
 
 // Metrics returns the telemetry registry, or nil when metrics are
 // disabled. All registry methods are nil-safe, so callers may use the
@@ -323,6 +351,11 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	if err := s.Monitor.Validate(); err != nil {
 		return FrameResult{}, err
 	}
+	// Borrow this frame's scan lanes from the shared engine pool (a
+	// no-op for standalone systems). Held across the whole frame so
+	// vehicle and pedestrian scans see one consistent worker count.
+	s.beginFrameLanes()
+	defer s.endFrameLanes()
 	var frameWall time.Time
 	if s.metrics != nil {
 		frameWall = time.Now() // lint:walltime metrics dual-recording: wall lap rides beside the ps slot clock

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFleetBenchSmall pins the fleet experiment's invariants on a
+// CI-sized run: every stream completes every frame, the sim-side
+// capacity rollup equals streams × camera fps when all deadlines hit,
+// and the report round-trips through JSON.
+func TestFleetBenchSmall(t *testing.T) {
+	opt := FleetOptions{Streams: 4, FramesPerStream: 6, W: 160, H: 90}
+	rep, err := FleetBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streams != 4 || rep.FramesPerStream != 6 {
+		t.Fatalf("shape %+v", rep)
+	}
+	if len(rep.PerStream) != 4 {
+		t.Fatalf("%d per-stream rows, want 4", len(rep.PerStream))
+	}
+	for _, row := range rep.PerStream {
+		if row.Frames != 6 {
+			t.Fatalf("stream %s processed %d frames, want 6", row.Stream, row.Frames)
+		}
+		if row.WallFPS <= 0 {
+			t.Fatalf("stream %s has no wall rate: %+v", row.Stream, row)
+		}
+	}
+	total := uint64(rep.Streams * rep.FramesPerStream)
+	if rep.DeadlineHits+rep.DeadlineMisses != total {
+		t.Fatalf("deadline accounting %d+%d != %d frames",
+			rep.DeadlineHits, rep.DeadlineMisses, total)
+	}
+	// The modeled hardware path meets every 50 fps slot at this frame
+	// size, so the capacity rollup is exactly streams × 50.
+	if want := float64(rep.Streams * 50); rep.CapacityStreamsFPS != want {
+		t.Fatalf("capacity %.1f streams×fps, want %.1f (hits %d misses %d)",
+			rep.CapacityStreamsFPS, want, rep.DeadlineHits, rep.DeadlineMisses)
+	}
+	if rep.SingleStreamFPS <= 0 || rep.AggregateFPS <= 0 || rep.SpeedupX <= 0 {
+		t.Fatalf("rates not measured: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	var back FleetPerf
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CapacityStreamsFPS != rep.CapacityStreamsFPS || back.Streams != rep.Streams {
+		t.Fatal("fleet report did not round-trip")
+	}
+
+	var human strings.Builder
+	WriteFleet(&human, rep)
+	for _, want := range []string{"fleet capacity", "single stream", "streams×fps"} {
+		if !strings.Contains(human.String(), want) {
+			t.Fatalf("human output missing %q:\n%s", want, human.String())
+		}
+	}
+}
+
+func TestFleetBenchValidatesOptions(t *testing.T) {
+	if _, err := FleetBench(FleetOptions{Streams: 0, FramesPerStream: 5}); err == nil {
+		t.Fatal("zero streams accepted")
+	}
+	if _, err := FleetBench(FleetOptions{Streams: 2, FramesPerStream: 0}); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}

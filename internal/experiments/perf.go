@@ -56,6 +56,10 @@ type PerfReport struct {
 	ScanTotalMS   float64         `json:"scan_total_ms"`
 	ScanStages    []ScanStagePerf `json:"scan_stages"`
 
+	// Fleet capacity: N concurrent streams over one shared engine vs
+	// a standalone stream (additive in advdet-bench/v1).
+	Fleet *FleetPerf `json:"fleet,omitempty"`
+
 	Metrics metrics.Snapshot `json:"metrics"`
 }
 
@@ -172,6 +176,13 @@ func PerfBench() (PerfReport, error) {
 			ReconfigMS: soc.Seconds(r.PS) * 1e3,
 		})
 	}
+
+	// Fleet capacity: the multi-stream experiment behind BENCH_pr7.
+	fl, err := FleetBench(DefaultFleetOptions())
+	if err != nil {
+		return rep, err
+	}
+	rep.Fleet = &fl
 	return rep, nil
 }
 
@@ -202,5 +213,8 @@ func WritePerf(w io.Writer, p PerfReport) {
 	for _, c := range p.Controllers {
 		fmt.Fprintf(w, "  controller %-12s %7.1f MB/s, %7.2f ms per 8 MB bitstream\n",
 			c.Name, c.MBPerSec, c.ReconfigMS)
+	}
+	if p.Fleet != nil {
+		WriteFleet(w, *p.Fleet)
 	}
 }

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Fleet aggregates the per-stream telemetry registries of every stream
+// served by one engine under stable stream labels. Each stream keeps
+// its own Registry (the per-stream slot-deadline accounting stays
+// exact); the fleet view adds the cross-stream rollup the capacity
+// question needs: how many streams × frames-per-second is this engine
+// actually sustaining?
+//
+// Attach order is preserved, so snapshots and Prometheus export are
+// deterministic. All methods are safe on a nil *Fleet and safe for
+// concurrent use.
+type Fleet struct {
+	mu    sync.Mutex
+	names []string
+	fps   []int
+	regs  []*Registry
+}
+
+// NewFleet returns an empty fleet rollup.
+func NewFleet() *Fleet { return &Fleet{} }
+
+// Attach registers a stream's registry under its label with the
+// stream's configured frame rate. Re-attaching an existing label
+// replaces its registry. A nil registry is allowed (a stream with
+// metrics disabled contributes zero rows). No-op on a nil fleet.
+func (f *Fleet) Attach(stream string, fps int, r *Registry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, n := range f.names {
+		if n == stream {
+			f.fps[i] = fps
+			f.regs[i] = r
+			return
+		}
+	}
+	f.names = append(f.names, stream)
+	f.fps = append(f.fps, fps)
+	f.regs = append(f.regs, r)
+}
+
+// Detach removes a stream from the rollup (closed streams stop
+// counting toward active capacity). No-op when absent or on nil.
+func (f *Fleet) Detach(stream string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, n := range f.names {
+		if n == stream {
+			f.names = append(f.names[:i], f.names[i+1:]...)
+			f.fps = append(f.fps[:i], f.fps[i+1:]...)
+			f.regs = append(f.regs[:i], f.regs[i+1:]...)
+			return
+		}
+	}
+}
+
+// StreamSnapshot is one stream's row in the fleet rollup: its
+// slot-deadline record and the capacity it contributes.
+type StreamSnapshot struct {
+	Stream         string `json:"stream"`
+	FPS            int    `json:"fps"`
+	Frames         uint64 `json:"frames"`
+	DeadlineHits   uint64 `json:"deadline_hits"`
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	// CapacityFPS is the stream's configured rate discounted by its
+	// deadline hit ratio: a stream meeting every slot contributes its
+	// full fps, a stream missing half contributes half.
+	CapacityFPS float64 `json:"capacity_fps"`
+}
+
+// FleetSnapshot is the engine-wide rollup.
+type FleetSnapshot struct {
+	ActiveStreams  int    `json:"active_streams"`
+	Frames         uint64 `json:"frames"`
+	DeadlineHits   uint64 `json:"deadline_hits"`
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	// CapacityStreamsFPS is the aggregate streams×fps capacity: the
+	// sum of every stream's deadline-weighted fps. This is the number
+	// benchrepro compares against the single-stream rate.
+	CapacityStreamsFPS float64          `json:"capacity_streams_fps"`
+	Streams            []StreamSnapshot `json:"streams"`
+}
+
+// Snapshot exports the rollup. Streams appear in attach order. A nil
+// fleet returns a zero snapshot.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	if f == nil {
+		return FleetSnapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := FleetSnapshot{
+		ActiveStreams: len(f.names),
+		Streams:       make([]StreamSnapshot, 0, len(f.names)),
+	}
+	for i, name := range f.names {
+		row := StreamSnapshot{Stream: name, FPS: f.fps[i]}
+		if r := f.regs[i]; r != nil {
+			row.Frames = r.frame.frames.Load()
+			row.DeadlineHits = r.frame.hits.Load()
+			row.DeadlineMisses = r.frame.misses.Load()
+		}
+		if row.Frames > 0 {
+			row.CapacityFPS = float64(row.FPS) * float64(row.DeadlineHits) / float64(row.Frames)
+		}
+		out.Frames += row.Frames
+		out.DeadlineHits += row.DeadlineHits
+		out.DeadlineMisses += row.DeadlineMisses
+		out.CapacityStreamsFPS += row.CapacityFPS
+		out.Streams = append(out.Streams, row)
+	}
+	return out
+}
+
+// StreamByName returns the rollup row for the named stream (zero row,
+// false if absent).
+func (s FleetSnapshot) StreamByName(name string) (StreamSnapshot, bool) {
+	for _, st := range s.Streams {
+		if st.Stream == name {
+			return st, true
+		}
+	}
+	return StreamSnapshot{}, false
+}
+
+// WriteProm writes the fleet rollup in the Prometheus text exposition
+// format: per-stream slot-deadline counters labelled by stream, plus
+// the aggregate capacity gauges. Deterministic order; a nil fleet
+// writes nothing.
+func (f *Fleet) WriteProm(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	snap := f.Snapshot()
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP advdet_stream_frames_total Frames processed per stream.\n")
+	p("# TYPE advdet_stream_frames_total counter\n")
+	for _, st := range snap.Streams {
+		p("advdet_stream_frames_total{stream=%q} %d\n", st.Stream, st.Frames)
+	}
+	p("# HELP advdet_stream_frame_deadline_hits_total Frames that met the slot deadline, per stream.\n")
+	p("# TYPE advdet_stream_frame_deadline_hits_total counter\n")
+	for _, st := range snap.Streams {
+		p("advdet_stream_frame_deadline_hits_total{stream=%q} %d\n", st.Stream, st.DeadlineHits)
+	}
+	p("# HELP advdet_stream_frame_deadline_misses_total Frames that missed the slot deadline, per stream.\n")
+	p("# TYPE advdet_stream_frame_deadline_misses_total counter\n")
+	for _, st := range snap.Streams {
+		p("advdet_stream_frame_deadline_misses_total{stream=%q} %d\n", st.Stream, st.DeadlineMisses)
+	}
+	p("# HELP advdet_stream_capacity_fps Deadline-weighted frame rate per stream.\n")
+	p("# TYPE advdet_stream_capacity_fps gauge\n")
+	for _, st := range snap.Streams {
+		p("advdet_stream_capacity_fps{stream=%q} %g\n", st.Stream, st.CapacityFPS)
+	}
+	p("# HELP advdet_fleet_active_streams Streams currently attached to the engine.\n")
+	p("# TYPE advdet_fleet_active_streams gauge\n")
+	p("advdet_fleet_active_streams %d\n", snap.ActiveStreams)
+	p("# HELP advdet_fleet_capacity_streams_fps Aggregate streams×fps capacity of the engine.\n")
+	p("# TYPE advdet_fleet_capacity_streams_fps gauge\n")
+	p("advdet_fleet_capacity_streams_fps %g\n", snap.CapacityStreamsFPS)
+	return err
+}

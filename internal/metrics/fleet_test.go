@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetSnapshotAggregatesStreams(t *testing.T) {
+	f := NewFleet()
+	a, b := NewRegistry(), NewRegistry()
+	// Stream a: 3 frames, all hits. Stream b: 4 frames, 2 hits.
+	for i := 0; i < 3; i++ {
+		a.FrameObserve(100, 50, 10)
+	}
+	b.FrameObserve(100, 50, 10)
+	b.FrameObserve(100, 50, 10)
+	b.FrameObserve(100, -5, 10)
+	b.FrameObserve(100, -5, 10)
+	f.Attach("cam-a", 50, a)
+	f.Attach("cam-b", 30, b)
+
+	snap := f.Snapshot()
+	if snap.ActiveStreams != 2 {
+		t.Fatalf("active streams %d, want 2", snap.ActiveStreams)
+	}
+	if snap.Frames != 7 || snap.DeadlineHits != 5 || snap.DeadlineMisses != 2 {
+		t.Fatalf("aggregate %+v", snap)
+	}
+	ra, ok := snap.StreamByName("cam-a")
+	if !ok || ra.CapacityFPS != 50 {
+		t.Fatalf("cam-a row %+v ok=%v (want full 50 fps, all deadlines hit)", ra, ok)
+	}
+	rb, ok := snap.StreamByName("cam-b")
+	if !ok || rb.CapacityFPS != 15 {
+		t.Fatalf("cam-b row %+v ok=%v (want 30 fps × 2/4 hits = 15)", rb, ok)
+	}
+	if want := 65.0; snap.CapacityStreamsFPS != want {
+		t.Fatalf("aggregate capacity %g, want %g", snap.CapacityStreamsFPS, want)
+	}
+}
+
+func TestFleetAttachReplacesAndDetachRemoves(t *testing.T) {
+	f := NewFleet()
+	a := NewRegistry()
+	a.FrameObserve(1, 1, 1)
+	f.Attach("cam", 50, NewRegistry())
+	f.Attach("cam", 25, a) // re-attach: replaces fps and registry
+	snap := f.Snapshot()
+	if snap.ActiveStreams != 1 {
+		t.Fatalf("re-attach duplicated the stream: %d rows", snap.ActiveStreams)
+	}
+	if row, _ := snap.StreamByName("cam"); row.FPS != 25 || row.Frames != 1 {
+		t.Fatalf("row %+v, want fps 25 frames 1", row)
+	}
+	f.Detach("cam")
+	f.Detach("cam") // absent: no-op
+	if snap := f.Snapshot(); snap.ActiveStreams != 0 || len(snap.Streams) != 0 {
+		t.Fatalf("detach left %+v", snap)
+	}
+}
+
+func TestFleetNilRegistryAndNilFleetAreSafe(t *testing.T) {
+	var nilFleet *Fleet
+	nilFleet.Attach("x", 50, nil)
+	nilFleet.Detach("x")
+	if snap := nilFleet.Snapshot(); snap.ActiveStreams != 0 {
+		t.Fatalf("nil fleet snapshot %+v", snap)
+	}
+	if err := nilFleet.WriteProm(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet()
+	f.Attach("quiet", 50, nil) // metrics-disabled stream
+	snap := f.Snapshot()
+	row, ok := snap.StreamByName("quiet")
+	if !ok || row.Frames != 0 || row.CapacityFPS != 0 {
+		t.Fatalf("nil-registry row %+v ok=%v", row, ok)
+	}
+}
+
+func TestFleetWritePromExportsLabelsAndAggregate(t *testing.T) {
+	f := NewFleet()
+	r := NewRegistry()
+	r.FrameObserve(100, 50, 10)
+	f.Attach("cam-0", 50, r)
+	var sb strings.Builder
+	if err := f.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`advdet_stream_frames_total{stream="cam-0"} 1`,
+		`advdet_stream_frame_deadline_hits_total{stream="cam-0"} 1`,
+		`advdet_stream_frame_deadline_misses_total{stream="cam-0"} 0`,
+		`advdet_stream_capacity_fps{stream="cam-0"} 50`,
+		"advdet_fleet_active_streams 1",
+		"advdet_fleet_capacity_streams_fps 50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+}

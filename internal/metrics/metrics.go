@@ -52,6 +52,11 @@ const (
 	StageScanBlocks
 	StageScanResponse
 	StageScanWindows
+	// StageFleetDispatch is one frame's trip through the fleet
+	// dispatcher's admission queue and batcher before an executor
+	// picked it up (wall time only; the dispatcher is host-side
+	// software with no simulated-hardware counterpart).
+	StageFleetDispatch
 	// NumStages bounds the stage space.
 	NumStages
 )
@@ -60,6 +65,7 @@ var stageNames = [NumStages]string{
 	"sense", "model-select", "vehicle-scan", "pedestrian-scan",
 	"dma-stream", "reconfig", "reconfig-fault",
 	"scan-resize", "scan-feature", "scan-blocks", "scan-response", "scan-windows",
+	"fleet-dispatch",
 }
 
 func (s Stage) String() string {

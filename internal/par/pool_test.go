@@ -1,0 +1,95 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolAcquireGrantsUpToMax(t *testing.T) {
+	p := NewPool(4)
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+	got := p.Acquire(3)
+	if got != 3 {
+		t.Fatalf("Acquire(3) on idle pool of 4 = %d, want 3", got)
+	}
+	// Only one lane left: a request for two gets the blocking lane
+	// plus nothing from the (now empty) top-up path.
+	rest := p.Acquire(2)
+	if rest != 1 {
+		t.Fatalf("Acquire(2) with 1 lane free = %d, want 1", rest)
+	}
+	p.Release(got + rest)
+	if again := p.Acquire(4); again != 4 {
+		t.Fatalf("Acquire(4) after full release = %d, want 4", again)
+	}
+	p.Release(4)
+}
+
+func TestPoolAcquireClampsRequest(t *testing.T) {
+	p := NewPool(2)
+	if got := p.Acquire(0); got != 1 {
+		t.Fatalf("Acquire(0) = %d, want 1 (request clamped to one lane)", got)
+	}
+	p.Release(1)
+	if got := p.Acquire(-5); got != 1 {
+		t.Fatalf("Acquire(-5) = %d, want 1", got)
+	}
+	p.Release(1)
+}
+
+func TestPoolNilIsUnbounded(t *testing.T) {
+	var p *Pool
+	if got := p.Acquire(7); got != 7 {
+		t.Fatalf("nil pool Acquire(7) = %d, want 7", got)
+	}
+	p.Release(7) // must not panic
+	if p.Size() != 0 {
+		t.Fatalf("nil pool Size = %d, want 0", p.Size())
+	}
+}
+
+func TestPoolConcurrentAcquireReleaseNeverOversubscribes(t *testing.T) {
+	const lanes = 3
+	const grabbers = 16
+	const rounds = 200
+	p := NewPool(lanes)
+	var mu sync.Mutex
+	out, peak := 0, 0
+	var wg sync.WaitGroup
+	wg.Add(grabbers)
+	for g := 0; g < grabbers; g++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got := p.Acquire(lanes)
+				mu.Lock()
+				out += got
+				if out > peak {
+					peak = out
+				}
+				if out > lanes {
+					mu.Unlock()
+					t.Errorf("outstanding lanes %d exceeds pool size %d", out, lanes)
+					p.Release(got)
+					return
+				}
+				mu.Unlock()
+				mu.Lock()
+				out -= got
+				mu.Unlock()
+				p.Release(got)
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > lanes {
+		t.Fatalf("peak outstanding %d > %d", peak, lanes)
+	}
+	// Every lane must be back: a full-width acquire succeeds.
+	if got := p.Acquire(lanes); got != lanes {
+		t.Fatalf("post-soak Acquire(%d) = %d; lanes leaked", lanes, got)
+	}
+	p.Release(lanes)
+}

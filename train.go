@@ -84,6 +84,11 @@ func TrainDetectors(seed uint64, q Quality) (Detectors, error) {
 //
 // The returned Detectors uses the day model for day and the dusk
 // model for dusk, mirroring the paper's two-models-in-BRAM design.
+//
+// Trained detectors are immutable at inference time: train once, then
+// share one Detectors across every stream of an Engine (NewEngine) or
+// across any number of Systems. Scan scratch is pooled per process,
+// not per model, so sharing adds no memory.
 func TrainDetectorsOpts(seed uint64, opts ...TrainOption) (Detectors, error) {
 	cfg := Fast.config()
 	for _, o := range opts {
