@@ -11,7 +11,7 @@
 // Table I datasets (for CI-speed runs). -json runs the timing-mode
 // performance benchmark plus the fleet capacity experiment (fast, no
 // training) and writes the schema-stable advdet-bench/v1 report
-// (e.g. BENCH_pr7.json) to the given file; combine with other flags
+// (e.g. BENCH_pr8.json) to the given file; combine with other flags
 // to also run those sections. -fleet runs the multi-stream capacity
 // experiment alone, with -fleet-streams/-fleet-frames to scale it.
 package main
@@ -43,7 +43,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "smaller Table I datasets")
 	repeats := flag.Int("repeats", 1, "measurement repeats per reconfiguration controller")
-	jsonOut := flag.String("json", "", "write the machine-readable advdet-bench/v1 performance report (e.g. BENCH_pr7.json) to this file")
+	jsonOut := flag.String("json", "", "write the machine-readable advdet-bench/v1 performance report (e.g. BENCH_pr8.json) to this file")
 	flag.Parse()
 
 	if !(*t1 || *t2 || *rc || *dk || *fp || *bl || *sw || *av || *fl || *jsonOut != "") {

@@ -51,9 +51,10 @@ var (
 // who want none of this machinery should use NewSystem, which spawns
 // no goroutines.
 type Engine struct {
-	adEng  *adaptive.Engine
-	disp   *fleet.Dispatcher
-	rollup *metrics.Fleet
+	adEng         *adaptive.Engine
+	disp          *fleet.Dispatcher
+	rollup        *metrics.Fleet
+	scanQuantized bool
 
 	mu     sync.Mutex
 	nextID int
@@ -62,8 +63,9 @@ type Engine struct {
 
 // engineConfig collects the EngineOption knobs.
 type engineConfig struct {
-	parallelism int
-	fleet       fleet.Config
+	parallelism   int
+	fleet         fleet.Config
+	scanQuantized bool
 }
 
 // EngineOption configures an Engine at construction time.
@@ -91,6 +93,14 @@ func WithQueueDepth(n int) EngineOption {
 	return func(c *engineConfig) { c.fleet.QueueDepth = n }
 }
 
+// WithEngineQuantizedScan makes fixed-point HOG scan scoring the
+// default for every stream opened on the engine (see
+// WithQuantizedScan). Individual streams can still differ by passing
+// WithStreamSystemOptions with ScanQuantized unset.
+func WithEngineQuantizedScan() EngineOption {
+	return func(c *engineConfig) { c.scanQuantized = true }
+}
+
 // WithBatchPolicy shapes the size-or-deadline batcher: a batch is
 // flushed to the executors when it holds maxBatch frames or when its
 // oldest frame has waited maxWait, whichever comes first. Zero values
@@ -112,9 +122,10 @@ func NewEngine(dets Detectors, opts ...EngineOption) *Engine {
 		o(&cfg)
 	}
 	return &Engine{
-		adEng:  adaptive.NewEngine(dets, adaptive.EngineConfig{Parallelism: cfg.parallelism}),
-		disp:   fleet.NewDispatcher(cfg.fleet),
-		rollup: metrics.NewFleet(),
+		adEng:         adaptive.NewEngine(dets, adaptive.EngineConfig{Parallelism: cfg.parallelism}),
+		disp:          fleet.NewDispatcher(cfg.fleet),
+		rollup:        metrics.NewFleet(),
+		scanQuantized: cfg.scanQuantized,
 	}
 }
 
@@ -158,6 +169,7 @@ func (e *Engine) Close() {
 // concurrently through the engine's dispatcher.
 func (e *Engine) NewStream(opts ...StreamOption) (*Stream, error) {
 	cfg := streamConfig{opt: DefaultSystemOptions()}
+	cfg.opt.ScanQuantized = e.scanQuantized
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -52,6 +52,33 @@ type Detectors struct {
 	Pedestrian *pipeline.PedestrianDetector
 }
 
+// withScanOptions applies the system-level scan flags to the HOG
+// detectors by shallow-cloning the affected ones: Detectors values are
+// shared across streams of one engine (and the models across engines),
+// so the per-system flags must never write through the shared
+// pointers.
+func (d Detectors) withScanOptions(opt Options) Detectors {
+	if !opt.ScanQuantized && !opt.ScanNoEarlyReject {
+		return d
+	}
+	if d.Day != nil {
+		c := *d.Day
+		c.Quantized, c.NoEarlyReject = opt.ScanQuantized, opt.ScanNoEarlyReject
+		d.Day = &c
+	}
+	if d.Dusk != nil {
+		c := *d.Dusk
+		c.Quantized, c.NoEarlyReject = opt.ScanQuantized, opt.ScanNoEarlyReject
+		d.Dusk = &c
+	}
+	if d.Pedestrian != nil {
+		c := *d.Pedestrian
+		c.Quantized, c.NoEarlyReject = opt.ScanQuantized, opt.ScanNoEarlyReject
+		d.Pedestrian = &c
+	}
+	return d
+}
+
 // Options configures the system.
 type Options struct {
 	// FPS is the camera frame rate (50 in the paper).
@@ -93,6 +120,15 @@ type Options struct {
 	// loop. The zero value selects DefaultRetryPolicy; zero fields are
 	// filled from it.
 	Retry RetryPolicy
+	// ScanQuantized scores the HOG scans through the fixed-point
+	// block-response datapath (float fallback for borderline margins:
+	// identical detection boxes, scores within the quantizer's error
+	// bound). The system's detectors are shallow-cloned with the flag
+	// set, so shared Detectors values are never mutated.
+	ScanQuantized bool
+	// ScanNoEarlyReject disables the partial-margin early exit in the
+	// HOG scans, scoring every window from the full response plane.
+	ScanNoEarlyReject bool
 }
 
 // DefaultOptions returns the paper's operating point.
@@ -225,6 +261,7 @@ func newSystem(eng *Engine, dets Detectors, opt Options) (*System, error) {
 		return nil, fmt.Errorf("adaptive: bitstream size must be positive, got %d", opt.BitstreamBytes)
 	}
 	opt.Retry = opt.Retry.withDefaults()
+	dets = dets.withScanOptions(opt)
 	s := &System{
 		eng:     eng,
 		Z:       soc.NewZynq(),

@@ -49,9 +49,17 @@ func FromFloat(f float64) Q {
 // lint:allowfloat float/fixed conversion boundary (runs on the PS)
 func (q Q) Float() float64 { return float64(q) / float64(One) }
 
-// Mul multiplies with a 64-bit intermediate and saturation.
+// Mul multiplies with a 64-bit intermediate, round-half-even rescale
+// and saturation. Rounding to nearest (ties to even) instead of
+// truncating keeps the rescale bias-free: an arithmetic shift always
+// rounds toward minus infinity, so a chain of truncating multiplies
+// drifts low by up to half an LSB per operation — a systematic bias
+// that accumulates across the bw x bh blocks of a quantized window
+// margin and pushes near-threshold windows across the decision
+// boundary. DSP48 accumulator chains round once, convergently, at the
+// output stage; so does this.
 func (q Q) Mul(r Q) Q {
-	p := (int64(q) * int64(r)) >> FracBits
+	p := RoundShiftI64(int64(q)*int64(r), FracBits)
 	if p > math.MaxInt32 {
 		return Q(math.MaxInt32)
 	}
@@ -194,8 +202,9 @@ func DequantizeVec(v []Q) []float64 {
 
 // Dot computes a fixed-point dot product the way the DSP48 cascade
 // does: raw Q32.32 products accumulate at full width in the wide
-// accumulator and are rescaled to Q16.16 once at the end, so no
-// per-term truncation error accumulates.
+// accumulator and are rescaled to Q16.16 once at the end — with a
+// round-half-even final shift (see Mul), so the single rescale is
+// bias-free too and no per-term truncation error accumulates.
 func Dot(a, b []Q) Q {
 	if len(a) != len(b) {
 		// lint:invariant feature and weight vectors are sized by the same HOG config
@@ -205,7 +214,7 @@ func Dot(a, b []Q) Q {
 	for i := range a {
 		acc += int64(a[i]) * int64(b[i])
 	}
-	acc >>= FracBits
+	acc = RoundShiftI64(acc, FracBits)
 	if acc > math.MaxInt32 {
 		return Q(math.MaxInt32)
 	}

@@ -1,0 +1,102 @@
+// Narrow-integer kernels of the quantized block-response datapath:
+// int16 operand planes (the widths BRAM ports and DSP48 A/B inputs
+// carry), int64 wide accumulation, one round-half-even rescale and
+// int32 saturation — the same shape as the Q16.16 scalar ops, at the
+// vector granularity the SVM window evaluators consume. Everything
+// here is pure integer arithmetic; float conversions live only in the
+// explicitly annotated quantization helpers at the bottom.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// RoundShiftI64 arithmetically shifts v right by shift bits, rounding
+// to nearest with ties to even (convergent rounding — what a DSP48
+// output stage with CARRYIN-based rounding implements). shift must be
+// in [0, 62]. Unlike a bare >>, which floors and therefore biases a
+// multiply-accumulate chain low by up to half an LSB per operation,
+// round-half-even is bias-free in expectation and on tie sequences.
+func RoundShiftI64(v int64, shift uint) int64 {
+	if shift == 0 {
+		return v
+	}
+	q := v >> shift
+	half := int64(1) << (shift - 1)
+	// v>>shift floors, so the masked remainder is the non-negative
+	// fraction for negative v too.
+	frac := v & (int64(1)<<shift - 1)
+	if frac > half || (frac == half && q&1 != 0) {
+		q++
+	}
+	return q
+}
+
+// SatI32 clamps a wide value into int32, the saturation stage every
+// narrow write-back port of the datapath passes through.
+func SatI32(v int64) int32 {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(v)
+}
+
+// AddSatI32 adds two int32 response-plane values with saturation
+// instead of two's-complement wrap.
+func AddSatI32(a, b int32) int32 {
+	return SatI32(int64(a) + int64(b))
+}
+
+// DotI16 accumulates the widened products of two int16 vectors in an
+// int64 accumulator — the DSP48 cascade: 16x16 multipliers feeding a
+// wide adder tree, no intermediate rounding. Callers rescale the
+// result once with RoundShiftI64.
+func DotI16(a, b []int16) int64 {
+	if len(a) != len(b) {
+		// lint:invariant weight and block vectors are sized by the same HOG config
+		panic(fmt.Sprintf("fixed: int16 dot length mismatch %d vs %d", len(a), len(b))) // lint:alloc cold panic path; fires only on an invariant violation
+	}
+	var acc int64
+	for i, v := range a {
+		acc += int64(v) * int64(b[i])
+	}
+	return acc
+}
+
+// BlockFracBits is the fractional width of quantized block-plane
+// values: L2Hys-normalized block components lie in [0, 1], so Q1.14
+// uses the int16 range fully with one bit to spare.
+const BlockFracBits = 14
+
+// RespFracBits is the fractional width of the int32 quantized
+// response plane (margins and thresholds in Q15.16).
+const RespFracBits = 16
+
+// QuantizeQ14 converts a non-negative float plane (normalized HOG
+// block components) to Q1.14 int16, rounding to nearest and clamping
+// to the representable range. dst's backing array is reused when
+// large enough; the returned slice has len(src).
+//
+// lint:allowfloat float/fixed conversion boundary (runs on the PS)
+func QuantizeQ14(dst []int16, src []float64) []int16 {
+	if cap(dst) < len(src) {
+		dst = make([]int16, len(src)) // lint:alloc grows once to the high-water plane size, then reused across frames
+	}
+	dst = dst[:len(src)]
+	for i, f := range src {
+		v := math.Round(f * (1 << BlockFracBits))
+		switch {
+		case v < 0:
+			dst[i] = 0
+		case v > math.MaxInt16:
+			dst[i] = math.MaxInt16
+		default:
+			dst[i] = int16(v)
+		}
+	}
+	return dst
+}

@@ -118,6 +118,32 @@ func (c *Cascade) Classify(g *img.Gray) bool {
 	return true
 }
 
+// Window returns the training window size the cascade's stages
+// evaluate at. All stages share it (TrainCascade trains every stage
+// on the same crops).
+func (c *Cascade) Window() (w, h int) {
+	if len(c.Stages) == 0 {
+		return 0, 0
+	}
+	return c.Stages[0].WinW, c.Stages[0].WinH
+}
+
+// AcceptAt runs the cascade at window offset (ox, oy) of a
+// precomputed integral image without cropping or resizing — the form
+// the scan prefilter needs, where one integral per pyramid level
+// serves every window on the scan lattice. Any stage rejection is
+// final.
+//
+// lint:hotpath
+func (c *Cascade) AcceptAt(it *Integral, ox, oy int) bool {
+	for _, s := range c.Stages {
+		if s.Score(it, ox, oy) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // EvalStats reports the average number of stages evaluated per window
 // over a set — the work-saving the cascade exists for.
 func (c *Cascade) EvalStats(windows []*img.Gray) float64 {

@@ -73,7 +73,7 @@ func (f Feature) Eval(it *Integral, ox, oy int) float64 {
 		return float64(2*inner-whole) / float64(f.W*f.H)
 	default:
 		// lint:invariant Kind is a closed enum; an unknown kind is a missed case
-		panic(fmt.Sprintf("haar: invalid feature kind %d", f.Kind))
+		panic(fmt.Sprintf("haar: invalid feature kind %d", f.Kind)) // lint:alloc cold panic path; fires only on an invariant violation
 	}
 }
 

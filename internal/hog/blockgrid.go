@@ -77,19 +77,31 @@ func (bg *BlockGrid) ComputeCtx(ctx context.Context, fm *FeatureMap, workers int
 // normalizeRow copies and L2Hys-normalizes every block of block row
 // cy. Each row reads the shared histogram and writes a disjoint slice
 // of norm, which is what lets ComputeCtx fan rows across workers.
+//
+// The sum of squares for the first l2hys pass is accumulated during
+// the copy itself, in the same element order (ascending index) as
+// l2hys's own loop, so the fused result is bitwise identical to
+// copy-then-normalize while touching each element one fewer time —
+// this stage runs once per pyramid level per frame and its memory
+// traffic is on the scan's critical path.
 func (bg *BlockGrid) normalizeRow(fm *FeatureMap, cy int) {
 	c := bg.Cfg
 	for cx := 0; cx < bg.nbx; cx++ {
 		blk := bg.norm[(cy*bg.nbx+cx)*bg.blockLen:][:bg.blockLen]
 		j := 0
+		var ss float64
 		for dy := 0; dy < c.BlockCells; dy++ {
 			row := ((cy+dy)*fm.cw + cx) * c.Bins
 			for dx := 0; dx < c.BlockCells; dx++ {
-				copy(blk[j:j+c.Bins], fm.hist[row+dx*c.Bins:row+(dx+1)*c.Bins])
+				src := fm.hist[row+dx*c.Bins : row+(dx+1)*c.Bins]
+				for i, x := range src {
+					blk[j+i] = x
+					ss += x * x
+				}
 				j += c.Bins
 			}
 		}
-		l2hys(blk, c.ClipL2Hys)
+		l2hysSS(blk, c.ClipL2Hys, ss)
 	}
 }
 

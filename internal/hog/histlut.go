@@ -21,21 +21,26 @@ import (
 // accumulation is bitwise identical to the scalar one.
 const lutBins = 9
 
+// histEntry packs one gradient's weights and bin indices together.
+// Gradient pairs index the table essentially at random, so keeping an
+// entry on one cache line (24 bytes) instead of spread across three
+// parallel arrays cuts the feature stage's miss traffic by more than
+// half — the histogram loop is memory-bound on exactly these loads.
+type histEntry struct {
+	w0, w1 float64 // m * (1 - frac), m * frac
+	b0, b1 uint16  // the two bin indices
+}
+
 var (
 	histLUTOnce sync.Once
-	lutW0       []float64 // m * (1 - frac), the lower-bin weight
-	lutW1       []float64 // m * frac, the upper-bin weight
-	lutB        []uint16  // b0 | b1<<8, the two bin indices
+	histLUT     []histEntry
 )
 
 func histLUTIndex(dx, dy int) int { return (dy+255)*511 + (dx + 255) }
 
 func ensureHistLUT() {
 	histLUTOnce.Do(func() {
-		n := 511 * 511
-		lutW0 = make([]float64, n)
-		lutW1 = make([]float64, n)
-		lutB = make([]uint16, n)
+		histLUT = make([]histEntry, 511*511)
 		binWidth := 180.0 / float64(lutBins)
 		for dy := -255; dy <= 255; dy++ {
 			for dx := -255; dx <= 255; dx++ {
@@ -55,10 +60,12 @@ func ensureHistLUT() {
 				frac := ab - float64(b0)
 				b0 %= lutBins
 				b1 := (b0 + 1) % lutBins
-				i := histLUTIndex(dx, dy)
-				lutW0[i] = m * (1 - frac)
-				lutW1[i] = m * frac
-				lutB[i] = uint16(b0) | uint16(b1)<<8
+				histLUT[histLUTIndex(dx, dy)] = histEntry{
+					w0: m * (1 - frac),
+					w1: m * frac,
+					b0: uint16(b0),
+					b1: uint16(b1),
+				}
 			}
 		}
 	})
@@ -95,10 +102,9 @@ func (c Config) cellRowHistogramsLUT(pix []uint8, imgW, imgH, cy, cw int, hist [
 				if xr >= imgW {
 					xr = imgW - 1
 				}
-				e := histLUTIndex(int(row[xr])-int(row[xl]), int(down[x])-int(up[x]))
-				b := lutB[e]
-				cell[b&0xff] += lutW0[e]
-				cell[b>>8] += lutW1[e]
+				e := &histLUT[histLUTIndex(int(row[xr])-int(row[xl]), int(down[x])-int(up[x]))]
+				cell[e.b0] += e.w0
+				cell[e.b1] += e.w1
 			}
 		}
 	}

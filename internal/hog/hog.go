@@ -168,21 +168,32 @@ func (c Config) NormalizeBlocks(hist []float64, w, h int) []float64 {
 
 // l2hys normalizes v in place: L2 normalize, clip, renormalize.
 func l2hys(v []float64, clip float64) {
-	const eps = 1e-10
 	var ss float64
 	for _, x := range v {
 		ss += x * x
 	}
+	l2hysSS(v, clip, ss)
+}
+
+// l2hysSS is l2hys with the first-pass sum of squares precomputed by
+// the caller. Callers must accumulate ss over v in ascending index
+// order so the float64 additions associate exactly as l2hys's own
+// loop would — that is what keeps fused producers (blockgrid's
+// copy+accumulate) bitwise identical to copy-then-l2hys.
+func l2hysSS(v []float64, clip float64, ss float64) {
+	const eps = 1e-10
 	inv := 1 / math.Sqrt(ss+eps)
+	// The second-pass sum of squares accumulates inside the scale+clip
+	// loop: element i's final value is complete before its square is
+	// added, and the additions run in the same ascending order as a
+	// separate pass, so the fusion is bitwise neutral.
+	ss = 0
 	for i := range v {
 		v[i] *= inv
 		if v[i] > clip {
 			v[i] = clip
 		}
-	}
-	ss = 0
-	for _, x := range v {
-		ss += x * x
+		ss += v[i] * v[i]
 	}
 	inv = 1 / math.Sqrt(ss+eps)
 	for i := range v {

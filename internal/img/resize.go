@@ -34,6 +34,29 @@ func ResizeGrayInto(dst *Gray, g *Gray, w, h int) *Gray {
 	// Scale factors in 16.16 fixed point, sampling pixel centers.
 	sx := (int64(g.W) << 16) / int64(w)
 	sy := (int64(g.H) << 16) / int64(h)
+	// The horizontal source coordinates and weights are the same for
+	// every row, so they are tabulated once instead of rederived per
+	// pixel — same arithmetic, so the output is bitwise unchanged. The
+	// tables live on the stack (they must not escape) for pyramid-sized
+	// targets; wider targets fall back to recomputing per pixel.
+	const maxCols = 2048
+	var x0s, x1s, wxs [maxCols]int32
+	cols := w
+	if cols > maxCols {
+		cols = maxCols
+	}
+	for x := 0; x < cols; x++ {
+		fx := (int64(x)*sx + sx/2) - 1<<15
+		if fx < 0 {
+			fx = 0
+		}
+		x0 := int32(fx >> 16)
+		x1 := x0 + 1
+		if int(x1) >= g.W {
+			x1 = int32(g.W - 1)
+		}
+		x0s[x], x1s[x], wxs[x] = x0, x1, int32(fx&0xffff)
+	}
 	for y := 0; y < h; y++ {
 		fy := (int64(y)*sy + sy/2) - 1<<15
 		if fy < 0 {
@@ -45,24 +68,32 @@ func ResizeGrayInto(dst *Gray, g *Gray, w, h int) *Gray {
 		if y1 >= g.H {
 			y1 = g.H - 1
 		}
+		row0 := g.Pix[y0*g.W : y0*g.W+g.W]
+		row1 := g.Pix[y1*g.W : y1*g.W+g.W]
+		dst := out.Pix[y*w : y*w+w]
 		for x := 0; x < w; x++ {
-			fx := (int64(x)*sx + sx/2) - 1<<15
-			if fx < 0 {
-				fx = 0
+			var x0, x1, wx int32
+			if x < maxCols {
+				x0, x1, wx = x0s[x], x1s[x], wxs[x]
+			} else {
+				fx := (int64(x)*sx + sx/2) - 1<<15
+				if fx < 0 {
+					fx = 0
+				}
+				x0 = int32(fx >> 16)
+				x1 = x0 + 1
+				if int(x1) >= g.W {
+					x1 = int32(g.W - 1)
+				}
+				wx = int32(fx & 0xffff)
 			}
-			x0 := int(fx >> 16)
-			wx := int32(fx & 0xffff)
-			x1 := x0 + 1
-			if x1 >= g.W {
-				x1 = g.W - 1
-			}
-			p00 := int32(g.Pix[y0*g.W+x0])
-			p01 := int32(g.Pix[y0*g.W+x1])
-			p10 := int32(g.Pix[y1*g.W+x0])
-			p11 := int32(g.Pix[y1*g.W+x1])
+			p00 := int32(row0[x0])
+			p01 := int32(row0[x1])
+			p10 := int32(row1[x0])
+			p11 := int32(row1[x1])
 			top := p00 + ((p01-p00)*wx)>>16
 			bot := p10 + ((p11-p10)*wx)>>16
-			out.Pix[y*w+x] = clamp8(top + ((bot-top)*wy)>>16)
+			dst[x] = clamp8(top + ((bot-top)*wy)>>16)
 		}
 	}
 	return out

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"advdet/internal/haar"
 	"advdet/internal/hog"
 	"advdet/internal/img"
 	"advdet/internal/svm"
@@ -33,6 +34,16 @@ type AnimalDetector struct {
 	// NoBlockResponse disables the block-response scoring engine
 	// (see DayDuskDetector.NoBlockResponse).
 	NoBlockResponse bool
+	// NoEarlyReject disables the partial-margin early exit
+	// (see DayDuskDetector.NoEarlyReject).
+	NoEarlyReject bool
+	// Quantized scores windows in the fixed-point datapath
+	// (see DayDuskDetector.Quantized).
+	Quantized bool
+	// Prefilter integral-image-rejects scan windows before HOG scoring
+	// when trained at this detector's window geometry
+	// (see DayDuskDetector.Prefilter).
+	Prefilter *haar.Cascade
 }
 
 // NewAnimalDetector wraps a trained model with default scan settings.
@@ -79,6 +90,8 @@ func (d *AnimalDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, worker
 		WinW: AnimalWindowW, WinH: AnimalWindowH,
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
 		Kind: KindAnimal, NoBlockResponse: d.NoBlockResponse,
+		NoEarlyReject: d.NoEarlyReject, Quantized: d.Quantized,
+		Prefilter: d.Prefilter,
 	}
 	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {

@@ -6,14 +6,24 @@ import (
 	"runtime"
 	"testing"
 
+	"advdet/internal/haar"
 	"advdet/internal/img"
 	"advdet/internal/synth"
 )
 
-// scanFn runs one full detect and reports whether the block-response
-// engine was active, so the table below can exercise every detector
-// kind through one code path.
-type scanFn func(t *testing.T, g *img.Gray, workers int, noBlocks bool) []Detection
+// scanVariant selects which scoring strategy a test scan runs with;
+// the zero value is the production default (block-response engine
+// with the partial-margin early exit).
+type scanVariant struct {
+	noBlocks  bool // force the per-window descriptor path
+	noEarly   bool // disable the early exit (full response plane)
+	quantized bool // fixed-point scoring with float borderline fallback
+	prefilter *haar.Cascade
+}
+
+// scanFn runs one full detect under a scoring variant, so the table
+// below can exercise every detector kind through one code path.
+type scanFn func(t *testing.T, g *img.Gray, workers int, v scanVariant) []Detection
 
 // blockEquivalenceCases covers all four HOG scan kinds of the system:
 // day and dusk vehicles, pedestrians, animals.
@@ -35,38 +45,38 @@ func blockEquivalenceCases(t *testing.T) []struct {
 		frame *img.Gray
 		scan  scanFn
 	}{
-		{"day", dayFrame, func(t *testing.T, g *img.Gray, workers int, noBlocks bool) []Detection {
+		{"day", dayFrame, func(t *testing.T, g *img.Gray, workers int, v scanVariant) []Detection {
 			det := NewDayDuskDetector(dayModel)
-			det.NoBlockResponse = noBlocks
+			applyVariant(&det.NoBlockResponse, &det.NoEarlyReject, &det.Quantized, &det.Prefilter, v)
 			dets, err := det.DetectCtx(context.Background(), g, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return dets
 		}},
-		{"dusk", duskFrame, func(t *testing.T, g *img.Gray, workers int, noBlocks bool) []Detection {
+		{"dusk", duskFrame, func(t *testing.T, g *img.Gray, workers int, v scanVariant) []Detection {
 			det := NewDayDuskDetector(duskModel)
 			det.DetectThresh = -0.25 // loosen so the scene yields detections to compare
-			det.NoBlockResponse = noBlocks
+			applyVariant(&det.NoBlockResponse, &det.NoEarlyReject, &det.Quantized, &det.Prefilter, v)
 			dets, err := det.DetectCtx(context.Background(), g, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return dets
 		}},
-		{"pedestrian", dayFrame, func(t *testing.T, g *img.Gray, workers int, noBlocks bool) []Detection {
+		{"pedestrian", dayFrame, func(t *testing.T, g *img.Gray, workers int, v scanVariant) []Detection {
 			d := *ped
 			d.DetectThresh = -0.25 // loosen so the scene yields detections to compare
-			d.NoBlockResponse = noBlocks
+			applyVariant(&d.NoBlockResponse, &d.NoEarlyReject, &d.Quantized, &d.Prefilter, v)
 			dets, err := d.DetectCtx(context.Background(), g, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return dets
 		}},
-		{"animal", dayFrame, func(t *testing.T, g *img.Gray, workers int, noBlocks bool) []Detection {
+		{"animal", dayFrame, func(t *testing.T, g *img.Gray, workers int, v scanVariant) []Detection {
 			d := *animal
-			d.NoBlockResponse = noBlocks
+			applyVariant(&d.NoBlockResponse, &d.NoEarlyReject, &d.Quantized, &d.Prefilter, v)
 			dets, err := d.DetectCtx(context.Background(), g, workers)
 			if err != nil {
 				t.Fatal(err)
@@ -84,12 +94,12 @@ func blockEquivalenceCases(t *testing.T) []struct {
 func TestBlockResponseMatchesDescriptorPath(t *testing.T) {
 	for _, tc := range blockEquivalenceCases(t) {
 		t.Run(tc.name, func(t *testing.T) {
-			ref := tc.scan(t, tc.frame, 1, true) // descriptor path, serial
+			ref := tc.scan(t, tc.frame, 1, scanVariant{noBlocks: true}) // descriptor path, serial
 			if len(ref) == 0 {
 				t.Fatalf("%s: reference scan found nothing; scene too easy to miss a regression", tc.name)
 			}
 			for _, workers := range []int{1, 2, runtime.NumCPU()} {
-				got := tc.scan(t, tc.frame, workers, false)
+				got := tc.scan(t, tc.frame, workers, scanVariant{})
 				if len(got) != len(ref) {
 					t.Fatalf("workers=%d: %d detections, want %d", workers, len(got), len(ref))
 				}
@@ -120,21 +130,36 @@ func TestScanSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates")
 	}
-	det := NewDayDuskDetector(trainSmall(t, synth.DayDataset(720, 64, 64, 40, 40)))
+	base := NewDayDuskDetector(trainSmall(t, synth.DayDataset(720, 64, 64, 40, 40)))
 	g := scanScene(721, 320, 200)
 	ctx := context.Background()
-	// Warm the pool: first frame grows every buffer to steady state.
-	if _, err := det.DetectCtx(ctx, g, 1); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := det.DetectCtx(ctx, g, 1); err != nil {
-			t.Fatal(err)
-		}
-	})
-	const maxAllocs = 40
-	if allocs > maxAllocs {
-		t.Fatalf("steady-state scan allocates %.0f objects/frame, want <= %d", allocs, maxAllocs)
+	for _, tc := range []struct {
+		name string
+		set  func(d *DayDuskDetector)
+	}{
+		{"early", func(d *DayDuskDetector) {}},
+		{"full-margin", func(d *DayDuskDetector) { d.NoEarlyReject = true }},
+		{"quantized", func(d *DayDuskDetector) { d.Quantized = true }},
+		{"prefilter", func(d *DayDuskDetector) { d.Prefilter = constCascade(64, 64, -1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			det := *base
+			tc.set(&det)
+			// Warm the pool: first frame grows every buffer to steady
+			// state.
+			if _, err := det.DetectCtx(ctx, g, 1); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := det.DetectCtx(ctx, g, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			const maxAllocs = 40
+			if allocs > maxAllocs {
+				t.Fatalf("steady-state scan allocates %.0f objects/frame, want <= %d", allocs, maxAllocs)
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"advdet/internal/haar"
 	"advdet/internal/hog"
 	"advdet/internal/img"
 	"advdet/internal/svm"
@@ -34,6 +35,16 @@ type DayDuskDetector struct {
 	// scores every window through its full descriptor. Benchmarks and
 	// equivalence tests use it; production leaves it false.
 	NoBlockResponse bool
+	// NoEarlyReject disables the partial-margin early exit and scores
+	// every window through the full precomputed response plane.
+	NoEarlyReject bool
+	// Quantized scores windows in the fixed-point datapath with float
+	// fallback for borderline margins (same box set, scores within the
+	// quantizer's analytic error bound).
+	Quantized bool
+	// Prefilter, when non-nil and trained at the vehicle window
+	// geometry, integral-image-rejects scan windows before HOG scoring.
+	Prefilter *haar.Cascade
 }
 
 // NewDayDuskDetector wraps a trained model with default scan settings.
@@ -89,6 +100,8 @@ func (d *DayDuskDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, worke
 		WinW: VehicleWindow, WinH: VehicleWindow,
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
 		Kind: KindVehicle, NoBlockResponse: d.NoBlockResponse,
+		NoEarlyReject: d.NoEarlyReject, Quantized: d.Quantized,
+		Prefilter: d.Prefilter,
 	}
 	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {

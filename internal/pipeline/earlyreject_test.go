@@ -1,0 +1,335 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"advdet/internal/haar"
+	"advdet/internal/hog"
+	"advdet/internal/img"
+	"advdet/internal/svm"
+	"advdet/internal/synth"
+)
+
+// applyVariant writes a scanVariant's knobs through the detector
+// field pointers, so one helper serves all three HOG detector types.
+func applyVariant(noBlocks, noEarly, quantized *bool, prefilter **haar.Cascade, v scanVariant) {
+	*noBlocks = v.noBlocks
+	*noEarly = v.noEarly
+	*quantized = v.quantized
+	*prefilter = v.prefilter
+}
+
+// constCascade builds a single-stage stump-free cascade at the given
+// window: its stage score is -bias everywhere, so bias < 0 accepts
+// every window and bias > 0 rejects every window.
+func constCascade(winW, winH int, bias float64) *haar.Cascade {
+	return &haar.Cascade{Stages: []*haar.Classifier{{WinW: winW, WinH: winH, Bias: bias}}}
+}
+
+// requireSameDetections asserts got is byte-identical to want:
+// same boxes, kinds, order, and bitwise-equal scores.
+func requireSameDetections(t *testing.T, label string, got, want []Detection) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d detections, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: detection %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEarlyRejectMatchesFullMargin is the tentpole's exactness gate:
+// for every scan kind and worker count, the early-reject scan must be
+// byte-identical — boxes, kinds, order, and bitwise scores — to the
+// full-margin plane scan. The early exit's surviving windows re-sum
+// their partials in canonical order, so even the float rounding
+// agrees.
+func TestEarlyRejectMatchesFullMargin(t *testing.T) {
+	for _, tc := range blockEquivalenceCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.scan(t, tc.frame, 1, scanVariant{noEarly: true})
+			if len(ref) == 0 {
+				t.Fatalf("%s: full-margin scan found nothing; scene too easy to miss a regression", tc.name)
+			}
+			for _, workers := range []int{1, 2, runtime.NumCPU()} {
+				got := tc.scan(t, tc.frame, workers, scanVariant{})
+				requireSameDetections(t, tc.name, got, ref)
+			}
+		})
+	}
+}
+
+// TestQuantizedBoundedDivergence is the quantized path's acceptance
+// gate over seed scenes rendered in all three lighting conditions:
+// the box set and kinds must be identical to the float scan (the
+// guard band plus float borderline fallback make this structural, not
+// statistical) and every score must sit within the quantizer's
+// analytic error bound. The quantized plane path (early exit off)
+// must match the on-demand quantized path exactly.
+func TestQuantizedBoundedDivergence(t *testing.T) {
+	dayModel := trainSmall(t, synth.DayDataset(700, 64, 64, 50, 50))
+	duskModel := trainSmall(t, synth.DuskDataset(701, 64, 64, 50, 50, 0))
+	cfg := hog.DefaultConfig()
+	bw, bh := cfg.BlocksFor(64, 64)
+	blockLen := cfg.BlockCells * cfg.BlockCells * cfg.Bins
+	scenes := []struct {
+		name  string
+		model *svm.Model
+		g     *img.Gray
+	}{
+		{"day", dayModel, img.RGBToGray(synth.RenderScene(synth.NewRNG(810),
+			synth.SceneConfig{W: 320, H: 200, Cond: synth.Day, NumVehicles: 3}).Frame)},
+		{"dusk", duskModel, img.RGBToGray(synth.RenderScene(synth.NewRNG(811),
+			synth.SceneConfig{W: 320, H: 200, Cond: synth.Dusk, NumVehicles: 3}).Frame)},
+		{"dark", duskModel, img.RGBToGray(synth.RenderScene(synth.NewRNG(812),
+			synth.SceneConfig{W: 320, H: 200, Cond: synth.Dark, NumVehicles: 2, RoadLights: 2}).Frame)},
+	}
+	ctx := context.Background()
+	for _, sc := range scenes {
+		t.Run(sc.name, func(t *testing.T) {
+			det := NewDayDuskDetector(sc.model)
+			det.DetectThresh = -0.25 // loosen so every scene yields detections
+			ref, err := det.DetectCtx(ctx, sc.g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref) == 0 && sc.name != "dark" {
+				t.Fatalf("%s: float scan found nothing; scene too easy to miss a regression", sc.name)
+			}
+			var qm svm.QuantBlockModel
+			if err := qm.Init(sc.model, bw, bh, blockLen, det.DetectThresh); err != nil {
+				t.Fatalf("quantizer rejected the trained model: %v", err)
+			}
+			qdet := *det
+			qdet.Quantized = true
+			got, err := qdet.DetectCtx(ctx, sc.g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("quantized scan: %d detections, want %d", len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i].Box != ref[i].Box || got[i].Kind != ref[i].Kind {
+					t.Fatalf("quantized detection %d = %+v, want box/kind of %+v", i, got[i], ref[i])
+				}
+				if d := math.Abs(got[i].Score - ref[i].Score); d > qm.ErrBound() {
+					t.Fatalf("quantized detection %d score diverges by %g, bound %g",
+						i, d, qm.ErrBound())
+				}
+			}
+			// Plane path (early exit off) must agree with the on-demand
+			// quantized path bit for bit: same integer arithmetic, same
+			// borderline fallback.
+			pdet := qdet
+			pdet.NoEarlyReject = true
+			plane, err := pdet.DetectCtx(ctx, sc.g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameDetections(t, "quantized plane vs on-demand", plane, got)
+		})
+	}
+}
+
+// TestPrefilterGatesWindows pins the haar prefilter seam: a cascade
+// that accepts everything must not change the detection list at all,
+// one that rejects everything must yield zero detections, and one
+// trained at a different window geometry must be ignored (scoring it
+// at the scan's window would read the wrong pixels).
+func TestPrefilterGatesWindows(t *testing.T) {
+	for _, tc := range blockEquivalenceCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.scan(t, tc.frame, 1, scanVariant{})
+			winW, winH := 64, 64
+			switch tc.name {
+			case "pedestrian":
+				winW, winH = PedWindowW, PedWindowH
+			case "animal":
+				winW, winH = AnimalWindowW, AnimalWindowH
+			}
+			pass := tc.scan(t, tc.frame, 1, scanVariant{prefilter: constCascade(winW, winH, -1)})
+			requireSameDetections(t, "accept-all prefilter", pass, ref)
+			none := tc.scan(t, tc.frame, 1, scanVariant{prefilter: constCascade(winW, winH, 1)})
+			if len(none) != 0 {
+				t.Fatalf("reject-all prefilter let %d detections through", len(none))
+			}
+			mismatched := tc.scan(t, tc.frame, 1, scanVariant{prefilter: constCascade(winW+8, winH, 1)})
+			requireSameDetections(t, "geometry-mismatched prefilter", mismatched, ref)
+			// The prefilter must gate the descriptor fallback too.
+			noneDesc := tc.scan(t, tc.frame, 1, scanVariant{noBlocks: true, prefilter: constCascade(winW, winH, 1)})
+			if len(noneDesc) != 0 {
+				t.Fatalf("reject-all prefilter let %d descriptor-path detections through", len(noneDesc))
+			}
+		})
+	}
+}
+
+// TestPrefilterLatticeMatchesScan is the window-geometry audit of the
+// haar cascade against the scan lattice: over randomized image and
+// window geometries (plus the real pyramid sizes of a 640x360 scan),
+// the positions haar.Classifier.Scan visits must be exactly the
+// scanPositions cross product — same counts on both axes, same
+// coordinates. A drift of one position at a boundary (e.g. size
+// exactly one stride past the window) would make the prefilter reject
+// windows the scan evaluates, silently changing detections.
+func TestPrefilterLatticeMatchesScan(t *testing.T) {
+	rng := synth.NewRNG(900)
+	type geom struct{ w, h, winW, winH, stride int }
+	var cases []geom
+	for i := 0; i < 200; i++ {
+		cases = append(cases, geom{
+			w:    rng.IntRange(10, 201),
+			h:    rng.IntRange(10, 201),
+			winW: rng.IntRange(8, 81),
+			winH: rng.IntRange(8, 81),
+			// The scan contract requires stride >= 1 (haar.Scan clamps).
+			stride: rng.IntRange(1, 33),
+		})
+	}
+	// The geometries a real vehicle scan hands the prefilter.
+	for _, s := range img.PyramidSizes(640, 360, 1.25, 64, 64) {
+		cases = append(cases, geom{w: s[0], h: s[1], winW: 64, winH: 64, stride: 16})
+	}
+	for _, c := range cases {
+		g := img.NewGray(c.w, c.h)
+		for i := range g.Pix {
+			g.Pix[i] = uint8(rng.Intn(256))
+		}
+		// A permissive classifier scores every window above threshold,
+		// so Scan's output enumerates its full lattice.
+		cls := &haar.Classifier{WinW: c.winW, WinH: c.winH, Bias: -1}
+		wins := cls.Scan(g, c.stride, 0)
+		nax := scanPositions(c.w, c.winW, c.stride)
+		nay := scanPositions(c.h, c.winH, c.stride)
+		if len(wins) != nax*nay {
+			t.Fatalf("geom %+v: haar lattice has %d positions, scan lattice %d x %d = %d",
+				c, len(wins), nax, nay, nax*nay)
+		}
+		k := 0
+		for ay := 0; ay < nay; ay++ {
+			for ax := 0; ax < nax; ax++ {
+				if wins[k].X != ax*c.stride || wins[k].Y != ay*c.stride {
+					t.Fatalf("geom %+v: position %d at (%d,%d), scan lattice expects (%d,%d)",
+						c, k, wins[k].X, wins[k].Y, ax*c.stride, ay*c.stride)
+				}
+				k++
+			}
+		}
+	}
+}
+
+// TestReleaseScanScratchClearsResults is the fails-pre-fix regression
+// for the result-arena leak: when a scan's task count shrinks between
+// borrows, the rows of the larger scan parked beyond the new length
+// must be dropped on release, or the pooled scratch pins their
+// detection slices (and transitively the frames they were assembled
+// from) indefinitely.
+func TestReleaseScanScratchClearsResults(t *testing.T) {
+	s := new(scanScratch)
+	_, results := s.setTasks(10)
+	for i := range results {
+		results[i] = []Detection{{Score: float64(i)}}
+	}
+	backing := results[:cap(results)]
+	s.setTasks(3) // a smaller frame's scan
+	releaseScanScratch(s)
+	for i := range backing {
+		if backing[i] != nil {
+			t.Fatalf("release left results[%d] populated after shrink; pooled scratch pins past-frame detections", i)
+		}
+	}
+	// Claim the scratch back so the doctored state can't leak into a
+	// concurrently running test via the pool.
+	if got := borrowScanScratch(); got != s {
+		scanPool.Put(got)
+	}
+}
+
+// TestSetLevelsInvalidatesShrunkEntries is the fails-pre-fix
+// regression for the per-level arena seam: a pyramid that shrinks
+// between borrows must not leave levels beyond the new count holding
+// the previous scan's response planes, lattices or anchor widths —
+// state nothing re-derives, which any later read would interpret as
+// current.
+func TestSetLevelsInvalidatesShrunkEntries(t *testing.T) {
+	s := new(scanScratch)
+	s.setLevels(5)
+	for i := 0; i < 5; i++ {
+		s.resp[i] = append(s.resp[i][:0], 1, 2, 3)
+		s.qgrids[i] = append(s.qgrids[i][:0], 4)
+		s.qresp[i] = append(s.qresp[i][:0], 5)
+		s.lats[i] = svm.Lattice{NAX: 7, NAY: 7, NBX: 9, NBY: 9, StepX: 1, StepY: 1, BlockStride: 1}
+		s.nax[i] = 7
+	}
+	s.setLevels(2)
+	for i := 2; i < 5; i++ {
+		if len(s.resp[i]) != 0 || len(s.qgrids[i]) != 0 || len(s.qresp[i]) != 0 {
+			t.Fatalf("level %d kept stale planes after shrink (resp %d, qgrids %d, qresp %d)",
+				i, len(s.resp[i]), len(s.qgrids[i]), len(s.qresp[i]))
+		}
+		if s.lats[i] != (svm.Lattice{}) || s.nax[i] != 0 {
+			t.Fatalf("level %d kept stale lattice %+v / nax %d after shrink", i, s.lats[i], s.nax[i])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if len(s.resp[i]) != 3 || s.nax[i] != 7 {
+			t.Fatalf("level %d lost live state on shrink", i)
+		}
+	}
+	if cap(s.resp[4]) == 0 {
+		t.Fatal("shrink freed a reusable buffer instead of truncating it")
+	}
+}
+
+// TestShrinkThenRescan drives the shrink seams end to end: a large
+// scan grows the pooled arenas, then a smaller frame must still score
+// byte-identically to the descriptor oracle on every scoring path —
+// any stale plane or lattice surviving the shrink shows up here as a
+// phantom or missing detection.
+func TestShrinkThenRescan(t *testing.T) {
+	det := NewDayDuskDetector(trainSmall(t, synth.DayDataset(820, 64, 64, 40, 40)))
+	det.DetectThresh = -0.25
+	big := scanScene(821, 512, 320)
+	small := scanScene(822, 160, 112)
+	ctx := context.Background()
+	oracle := *det
+	oracle.NoBlockResponse = true
+	for _, v := range []struct {
+		name string
+		set  func(d *DayDuskDetector)
+	}{
+		{"early", func(d *DayDuskDetector) {}},
+		{"full", func(d *DayDuskDetector) { d.NoEarlyReject = true }},
+		{"quantized", func(d *DayDuskDetector) { d.Quantized = true }},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			d := *det
+			v.set(&d)
+			if _, err := d.DetectCtx(ctx, big, 1); err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.DetectCtx(ctx, small, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.DetectCtx(ctx, small, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shrink rescan: %d detections, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Box != want[i].Box || got[i].Kind != want[i].Kind {
+					t.Fatalf("shrink rescan: detection %d = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

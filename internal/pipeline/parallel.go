@@ -4,6 +4,8 @@ import (
 	"context"
 	"time"
 
+	"advdet/internal/fixed"
+	"advdet/internal/haar"
 	"advdet/internal/hog"
 	"advdet/internal/img"
 	"advdet/internal/par"
@@ -21,13 +23,30 @@ import (
 // When every scan position lies on the cell grid (stride a multiple
 // of the cell size — true for all shipped detectors), the scan takes
 // the block-response fast path: each level's blocks are L2Hys-
-// normalized exactly once into a hog.BlockGrid, the svm.BlockModel
-// precomputes per-anchor partial responses, and a window's margin
-// collapses from an O(descriptorLen) copy+normalize+dot to a sum of
-// bw*bh cached reads plus bias — the software rendition of the PL
+// normalized exactly once into a hog.BlockGrid and windows are scored
+// against the svm.BlockModel — the software rendition of the PL
 // datapath, whose HOG memories are written once per frame and only
-// read by the window evaluators. Unaligned strides keep the
-// descriptor path with its per-window Cfg.Extract crop fallback.
+// read by the window evaluators. Within the fast path three scoring
+// strategies exist:
+//
+//   - early reject (default): each window's block partials are
+//     accumulated in descending weight-mass order and the window is
+//     abandoned as soon as the remaining blocks provably cannot lift
+//     the margin above the threshold. Surviving windows re-sum their
+//     stashed partials in canonical order, so reported margins are
+//     bitwise identical to the full evaluation.
+//   - full margin (NoEarlyReject): the PR5 plane path — per-anchor
+//     partial responses precomputed by svm.BlockModel.Responses,
+//     windows summed from the plane.
+//   - quantized (Quantized): blocks quantized to Q1.14 int16,
+//     margins accumulated in the integer datapath of the PL
+//     (svm.QuantBlockModel). Decisions outside the analytic error
+//     band are final; borderline windows re-score through the float
+//     path, so the detection box set is identical to the float scan
+//     and scores diverge by at most QuantBlockModel.ErrBound.
+//
+// Unaligned strides keep the descriptor path with its per-window
+// Cfg.Extract crop fallback.
 type hogScan struct {
 	Cfg        hog.Config
 	Model      *svm.Model
@@ -40,30 +59,50 @@ type hogScan struct {
 	// block-response engine is on by default; benchmarks and
 	// equivalence tests use this to compare the two.
 	NoBlockResponse bool
+	// NoEarlyReject disables the partial-margin early exit and scores
+	// every window from a precomputed response plane (the PR5
+	// behaviour). Equivalence tests pin the two paths byte-identical.
+	NoEarlyReject bool
+	// Quantized scores windows in the int16/int32 fixed-point datapath
+	// with float fallback for borderline margins. Ignored (with float
+	// fallback) when the model's weights exceed the quantizer's range.
+	Quantized bool
+	// Prefilter, when non-nil and trained at exactly (WinW, WinH),
+	// integral-image-rejects windows before any block scoring. A
+	// cascade trained at a different window geometry is ignored: its
+	// scores would be evaluated over the wrong pixels.
+	Prefilter *haar.Cascade
 }
 
 // rowTask addresses one window row of one pyramid level.
 type rowTask struct{ level, y int }
 
 // rowScratch is the per-worker scratch of the window-row loop: the
-// descriptor buffer the fallback path assembles into. The block-
-// response path needs no per-window scratch at all.
-type rowScratch struct{ desc []float64 }
+// descriptor buffer the fallback path assembles into and the partial-
+// margin stash of the early-reject path.
+type rowScratch struct {
+	desc    []float64
+	partial []float64
+}
 
 // ScanTimings breaks one multi-scale scan into its wall-clock stages,
 // mirroring the paper's Fig. 2 datapath: pyramid resize, gradient +
-// cell-histogram feature maps, block normalization, per-anchor SVM
-// partial responses, and the window scoring sweep. Detectors fill it
-// via DetectTimedCtx so the telemetry layer can attribute the
+// cell-histogram feature maps, haar prefilter integrals, block
+// normalization, per-anchor SVM partial responses (or block
+// quantization), and the window scoring sweep. Detectors fill it via
+// DetectTimedCtx so the telemetry layer can attribute the
 // vehicle-scan budget to sub-stages.
 type ScanTimings struct {
-	Resize   time.Duration // pyramid level resizing
-	Feature  time.Duration // gradient + cell-histogram feature maps
-	Blocks   time.Duration // block L2Hys normalization (block grids)
-	Response time.Duration // per-anchor partial SVM responses
-	Windows  time.Duration // window scoring + detection assembly
+	Resize    time.Duration // pyramid level resizing
+	Feature   time.Duration // gradient + cell-histogram feature maps
+	Prefilter time.Duration // haar prefilter integral images
+	Blocks    time.Duration // block L2Hys normalization (block grids)
+	Response  time.Duration // per-anchor SVM responses / quantization
+	Windows   time.Duration // window scoring + detection assembly
 	// BlockPath reports whether the block-response fast path ran.
 	BlockPath bool
+	// Quantized reports whether the fixed-point scoring path ran.
+	Quantized bool
 }
 
 // scanPositions counts the window positions of a scan axis.
@@ -105,11 +144,22 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 	}
 
 	// Stage 1: pyramid levels, resized concurrently (each level reads
-	// only the source frame) into buffers reused across frames.
+	// only the source frame) into buffers reused across frames. Level 0
+	// is always the source size, so it aliases the frame itself instead
+	// of copying it — the scan only reads levels, and the alias is
+	// swapped back out before the scratch returns to the pool.
 	sizes := img.PyramidSizes(g.W, g.H, s.Scale, s.WinW, s.WinH)
 	nl := len(sizes)
 	sc.setLevels(nl)
-	if err := par.ForEach(ctx, workers, nl, func(i int) {
+	first := 0
+	if nl > 0 && sizes[0][0] == g.W && sizes[0][1] == g.H {
+		sc.level0 = sc.levels[0]
+		sc.level0Aliased = true
+		sc.levels[0] = g
+		first = 1
+	}
+	if err := par.ForEach(ctx, workers, nl-first, func(i int) {
+		i += first
 		sc.levels[i] = img.ResizeGrayInto(sc.levels[i], g, sizes[i][0], sizes[i][1])
 	}); err != nil {
 		return nil, err
@@ -125,12 +175,22 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 		sc.bm.Init(s.Model, bw, bh, blockLen) == nil
 	// An Init mismatch (model length vs window geometry) falls through
 	// to the descriptor path, where Model.Margin reports the wiring
-	// bug exactly as it always has.
+	// bug exactly as it always has. A quantizer Init failure (weights
+	// beyond the int16 range) silently keeps the float path: quantized
+	// scoring is an optimization, not a different contract.
+	useQuant := useBlocks && s.Quantized &&
+		sc.qbm.Init(s.Model, bw, bh, blockLen, s.Thresh) == nil
+	useEarly := !s.NoEarlyReject
+	usePref := false
+	if s.Prefilter != nil {
+		pw, ph := s.Prefilter.Window()
+		usePref = pw == s.WinW && ph == s.WinH
+	}
 
 	// Stage 2: per level, one shared feature cache (row-parallel); on
-	// the fast path also the normalized block grid and the per-anchor
-	// partial SVM responses, each computed once per frame instead of
-	// once per window.
+	// the fast path also the normalized block grid, computed once per
+	// frame instead of once per window, plus whichever response
+	// representation the scoring strategy needs.
 	for i := 0; i < nl; i++ {
 		level := sc.levels[i]
 		fm := sc.maps[i]
@@ -138,8 +198,18 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 			return nil, err
 		}
 		lap(&t.Feature)
-		sc.resp[i] = sc.resp[i][:0] // marks the level descriptor-path
+		// Reset the level's scan state first: a level that skips the
+		// fast path below must never be read through a previous frame's
+		// plane or lattice.
+		sc.resp[i] = sc.resp[i][:0]
+		sc.qgrids[i] = sc.qgrids[i][:0]
+		sc.qresp[i] = sc.qresp[i][:0]
+		sc.lats[i] = svm.Lattice{}
 		sc.nax[i] = 0
+		if usePref && level.W >= s.WinW && level.H >= s.WinH {
+			sc.its[i].Compute(level)
+			lap(&t.Prefilter)
+		}
 		if !useBlocks {
 			continue
 		}
@@ -160,10 +230,31 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 			NAX: nax, NAY: nay,
 			BlockStride: s.Cfg.BlockStride,
 		}
-		sc.resp[i] = growF64(sc.resp[i], nax*nay*bw*bh)
-		if err := sc.bm.Responses(ctx, workers, bg.Data(), lat, sc.resp[i]); err != nil {
+		if err := sc.bm.CheckLattice(lat, len(bg.Data())); err != nil {
 			return nil, err
 		}
+		switch {
+		case useQuant:
+			sc.qgrids[i] = fixed.QuantizeQ14(sc.qgrids[i], bg.Data())
+			if err := sc.qbm.CheckLattice(lat, len(sc.qgrids[i])); err != nil {
+				return nil, err
+			}
+			if !useEarly {
+				sc.qresp[i] = growI32(sc.qresp[i], nax*nay*bw*bh) // lint:alloc grows to the largest level once
+				if err := sc.qbm.Responses(ctx, workers, sc.qgrids[i], lat, sc.qresp[i]); err != nil {
+					return nil, err
+				}
+			}
+		case !useEarly:
+			sc.resp[i] = growF64(sc.resp[i], nax*nay*bw*bh) // lint:alloc grows to the largest level once
+			if err := sc.bm.Responses(ctx, workers, bg.Data(), lat, sc.resp[i]); err != nil {
+				return nil, err
+			}
+		}
+		// With the early exit, margins are computed on demand in stage
+		// 3 straight from the block grid: precomputing every anchor's
+		// partials would spend the work the exit exists to skip.
+		sc.lats[i] = lat
 		sc.nax[i] = nax
 		lap(&t.Response)
 	}
@@ -207,20 +298,84 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 					Y1: int(float64(rt.y+s.WinH) * fy),
 				}
 			}
-			if resp := sc.resp[rt.level]; len(resp) > 0 {
-				// Block-response fast path: a window's margin is the
-				// bias plus its contiguous cached partials — zero
-				// copies, zero normalization, zero allocation.
-				nax, ay := sc.nax[rt.level], rt.y/s.Stride
-				for ax := 0; ax < nax; ax++ {
-					if m := sc.bm.MarginAt(resp, nax, ax, ay); m > s.Thresh {
-						dets = append(dets, Detection{Box: box(ax * s.Stride), Score: m, Kind: s.Kind})
+			var it *haar.Integral
+			if usePref {
+				it = sc.its[rt.level]
+			}
+			pass := func(x int) bool {
+				return it == nil || s.Prefilter.AcceptAt(it, x, rt.y)
+			}
+			if nax := sc.nax[rt.level]; nax > 0 {
+				// Block-response fast path: zero copies, zero
+				// normalization, zero allocation per window.
+				ay := rt.y / s.Stride
+				lat := sc.lats[rt.level]
+				blocks := sc.grids[rt.level].Data()
+				emit := func(ax int, m float64) {
+					dets = append(dets, Detection{Box: box(ax * s.Stride), Score: m, Kind: s.Kind}) // lint:alloc detections are rare post-threshold events; no useful pre-size exists
+				}
+				switch {
+				case len(sc.qresp[rt.level]) > 0:
+					// Quantized plane: integer decisions, borderline
+					// margins resolved by the float oracle.
+					qresp := sc.qresp[rt.level]
+					for ax := 0; ax < nax; ax++ {
+						if !pass(ax * s.Stride) {
+							continue
+						}
+						score, dec := sc.qbm.DecideAt(qresp, nax, ax, ay)
+						if m, ok := resolveQuant(&sc.bm, score, dec, blocks, lat, ax, ay, s.Thresh); ok {
+							emit(ax, m)
+						}
+					}
+				case len(sc.qgrids[rt.level]) > 0:
+					// Quantized on-demand with integer early exit.
+					qblocks := sc.qgrids[rt.level]
+					for ax := 0; ax < nax; ax++ {
+						if !pass(ax * s.Stride) {
+							continue
+						}
+						score, dec := sc.qbm.ScoreAt(qblocks, lat, ax, ay, true)
+						if m, ok := resolveQuant(&sc.bm, score, dec, blocks, lat, ax, ay, s.Thresh); ok {
+							emit(ax, m)
+						}
+					}
+				case len(sc.resp[rt.level]) > 0:
+					// Full-margin plane (NoEarlyReject): a window's
+					// margin is the bias plus its contiguous cached
+					// partials.
+					resp := sc.resp[rt.level]
+					for ax := 0; ax < nax; ax++ {
+						if !pass(ax * s.Stride) {
+							continue
+						}
+						if m := sc.bm.MarginAt(resp, nax, ax, ay); m > s.Thresh {
+							emit(ax, m)
+						}
+					}
+				default:
+					// Early reject: accumulate partials in descending
+					// weight-mass order, bail when the bound closes.
+					if cap(rs.partial) < bw*bh {
+						rs.partial = make([]float64, bw*bh) // lint:alloc once per worker per scan
+					}
+					for ax := 0; ax < nax; ax++ {
+						if !pass(ax * s.Stride) {
+							continue
+						}
+						m, rejected := sc.bm.EarlyMarginAt(blocks, lat, ax, ay, s.Thresh, rs.partial[:bw*bh])
+						if !rejected && m > s.Thresh {
+							emit(ax, m)
+						}
 					}
 				}
 			} else {
 				for x := 0; x+s.WinW <= level.W; x += s.Stride {
+					if !pass(x) {
+						continue
+					}
 					if cap(rs.desc) < descLen {
-						rs.desc = make([]float64, descLen)
+						rs.desc = make([]float64, descLen) // lint:alloc once per worker per scan
 					}
 					desc := fm.Descriptor(x, rt.y, s.WinW, s.WinH, rs.desc[:descLen])
 					if desc == nil {
@@ -230,7 +385,7 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 						desc = s.Cfg.Extract(level.SubImage(img.Rect{X0: x, Y0: rt.y, X1: x + s.WinW, Y1: rt.y + s.WinH}))
 					}
 					if m := s.Model.Margin(desc); m > s.Thresh {
-						dets = append(dets, Detection{Box: box(x), Score: m, Kind: s.Kind})
+						dets = append(dets, Detection{Box: box(x), Score: m, Kind: s.Kind}) // lint:alloc detections are rare post-threshold events; no useful pre-size exists
 					}
 				}
 			}
@@ -250,7 +405,29 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 	lap(&t.Windows)
 	if timed {
 		t.BlockPath = useBlocks
+		t.Quantized = useQuant
 		*tm = t
 	}
 	return all, nil
+}
+
+// resolveQuant turns a quantized decision into the float-path verdict
+// for one window: accepts and rejects outside the guard band are
+// final (the analytic error bound proves the float margin lands on
+// the same side of the threshold), and borderline margins re-score
+// through the float block model — which is why the quantized scan's
+// box set is structurally identical to the float scan's.
+//
+// lint:hotpath
+func resolveQuant(bm *svm.BlockModel, score float64, dec svm.QuantDecision,
+	blocks []float64, lat svm.Lattice, ax, ay int, thresh float64) (float64, bool) {
+	switch dec {
+	case svm.QuantAccept:
+		return score, true
+	case svm.QuantBorderline:
+		m := bm.WindowMargin(blocks, lat, ax, ay)
+		return m, m > thresh
+	default:
+		return 0, false
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"advdet/internal/haar"
 	"advdet/internal/hog"
 	"advdet/internal/img"
 	"advdet/internal/svm"
@@ -32,6 +33,16 @@ type PedestrianDetector struct {
 	// NoBlockResponse disables the block-response scoring engine
 	// (see DayDuskDetector.NoBlockResponse).
 	NoBlockResponse bool
+	// NoEarlyReject disables the partial-margin early exit
+	// (see DayDuskDetector.NoEarlyReject).
+	NoEarlyReject bool
+	// Quantized scores windows in the fixed-point datapath
+	// (see DayDuskDetector.Quantized).
+	Quantized bool
+	// Prefilter integral-image-rejects scan windows before HOG scoring
+	// when trained at this detector's window geometry
+	// (see DayDuskDetector.Prefilter).
+	Prefilter *haar.Cascade
 }
 
 // NewPedestrianDetector wraps a trained model with default scan
@@ -78,6 +89,8 @@ func (d *PedestrianDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, wo
 		WinW: PedWindowW, WinH: PedWindowH,
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
 		Kind: KindPedestrian, NoBlockResponse: d.NoBlockResponse,
+		NoEarlyReject: d.NoEarlyReject, Quantized: d.Quantized,
+		Prefilter: d.Prefilter,
 	}
 	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {

@@ -14,6 +14,7 @@ package svm
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"advdet/internal/par"
 )
@@ -26,7 +27,26 @@ type BlockModel struct {
 	BlockLen int // floats per normalized block vector
 	Bias     float64
 	w        []float64 // copy of Model.W; position p at w[p*BlockLen:]
+
+	// Early-exit precompute (see EarlyMarginAt). L2Hys blocks are
+	// non-negative with L2 norm <= 1, so position p's partial response
+	// dot(block, W_p) is bounded above by the L2 norm of the positive
+	// part of W_p. Evaluating positions in descending order of that
+	// bound shrinks the remaining-response upper bound as fast as
+	// possible per block evaluated.
+	order  []int     // block positions, descending positive-part norm
+	ordPBX []int     // order[k]'s window-relative block x
+	ordPBY []int     // order[k]'s window-relative block y
+	tail   []float64 // tail[k]: sound upper bound on sum of dots of order[k:]
+
+	lastModel *Model // Init memo: skip the reshape when nothing changed
 }
+
+// earlyExitGuard pads every tail bound so float rounding in the
+// partial-sum comparison can never turn a sound reject into an unsound
+// one: the Cauchy-Schwarz slack of the bound dwarfs it, and rejects
+// only become (immeasurably) more conservative.
+const earlyExitGuard = 1e-9
 
 // NewBlockModel reshapes m for a window of bw x bh blocks of blockLen
 // floats each. The HOG descriptor layout is already block-major, so
@@ -41,7 +61,10 @@ func NewBlockModel(m *Model, bw, bh, blockLen int) (*BlockModel, error) {
 
 // Init (re)shapes m into bm, reusing bm's weight buffer when it has
 // sufficient capacity so a pooled BlockModel costs no steady-state
-// allocations.
+// allocations, and precomputing the early-exit evaluation order and
+// tail bounds. Models are treated as immutable once trained (the
+// engine shares them across streams on that contract), so a repeat
+// Init against the same *Model and geometry is a no-op.
 func (bm *BlockModel) Init(m *Model, bw, bh, blockLen int) error {
 	if bw <= 0 || bh <= 0 || blockLen <= 0 {
 		return fmt.Errorf("svm: block model geometry %dx%d blocks of %d floats", bw, bh, blockLen) // lint:alloc cold validation error path, runs once per reshape not per window
@@ -50,13 +73,98 @@ func (bm *BlockModel) Init(m *Model, bw, bh, blockLen int) error {
 		return fmt.Errorf("svm: model has %d weights, want %d (%dx%d blocks of %d floats)", // lint:alloc cold validation error path, runs once per reshape not per window
 			len(m.W), n, bw, bh, blockLen)
 	}
+	if bm.lastModel == m && bm.BW == bw && bm.BH == bh && bm.BlockLen == blockLen {
+		return nil
+	}
 	bm.BW, bm.BH, bm.BlockLen, bm.Bias = bw, bh, blockLen, m.Bias
 	if cap(bm.w) < len(m.W) {
 		bm.w = make([]float64, len(m.W))
 	}
 	bm.w = bm.w[:len(m.W)]
 	copy(bm.w, m.W)
+	bm.initEarlyExit()
+	bm.lastModel = m
 	return nil
+}
+
+// growInts returns s resized to n entries, reusing its backing array.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// fillPosNorms writes the positive-part L2 norm of every
+// window-relative block position's weight slice into dst: the tight
+// upper bound on dot(block, W_p) over non-negative blocks of norm
+// <= 1, the constraint set L2Hys normalization produces.
+func fillPosNorms(dst, w []float64, blockLen int) {
+	for p := range dst {
+		var ss float64
+		for _, x := range w[p*blockLen:][:blockLen] {
+			if x > 0 {
+				ss += x * x
+			}
+		}
+		dst[p] = math.Sqrt(ss)
+	}
+}
+
+// orderByDescending fills order with 0..len-1 sorted by descending
+// key, ties by ascending index so the order is deterministic.
+// Insertion sort: the inputs are tiny (<= bw*bh positions) and the
+// sort must not allocate on the pooled-scratch path.
+func orderByDescending(order []int, key []float64) {
+	for p := range order {
+		order[p] = p
+	}
+	for i := 1; i < len(order); i++ {
+		p := order[i]
+		j := i
+		for j > 0 && key[order[j-1]] < key[p] {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = p
+	}
+}
+
+// initEarlyExit precomputes the truncated-block evaluation order: the
+// positive-part weight norm of every window-relative block position
+// (the tight dot-product bound for non-negative unit-capped blocks),
+// positions sorted by descending bound, and the suffix sums that bound
+// everything not yet evaluated.
+func (bm *BlockModel) initEarlyExit() {
+	perWin := bm.BW * bm.BH
+	bm.order = growInts(bm.order, perWin)
+	bm.ordPBX = growInts(bm.ordPBX, perWin)
+	bm.ordPBY = growInts(bm.ordPBY, perWin)
+	if cap(bm.tail) < perWin+1 {
+		bm.tail = make([]float64, perWin+1)
+	}
+	bm.tail = bm.tail[:perWin+1]
+
+	// Positive-part norms, temporarily parked in tail[0:perWin].
+	posNorm := bm.tail[:perWin]
+	fillPosNorms(posNorm, bm.w, bm.BlockLen)
+	orderByDescending(bm.order, posNorm)
+	for k, p := range bm.order {
+		bm.ordPBX[k] = p % bm.BW
+		bm.ordPBY[k] = p / bm.BW
+	}
+	// Suffix bounds over the sorted order: tail[k] bounds the total
+	// response of every position not yet evaluated after k blocks.
+	// posNorm aliases tail, so gather the sorted norms before the
+	// back-to-front suffix pass overwrites them.
+	sorted := make([]float64, perWin) // lint:alloc runs once per model reshape (Init memoizes), not per scan
+	for k, p := range bm.order {
+		sorted[k] = posNorm[p]
+	}
+	bm.tail[perWin] = earlyExitGuard
+	for k := perWin - 1; k >= 0; k-- {
+		bm.tail[k] = bm.tail[k+1] + sorted[k]
+	}
 }
 
 // PosWeights returns the weight slice of window-relative block
@@ -77,25 +185,41 @@ type Lattice struct {
 }
 
 // validate checks that every block the response pass will read lies
-// inside the grid.
+// inside the grid and that the response buffer covers the lattice.
 func (l Lattice) validate(bm *BlockModel, blocks, dst int) error {
+	if err := bm.CheckLattice(l, blocks); err != nil {
+		return err
+	}
+	if need := l.NAX * l.NAY * bm.BW * bm.BH; dst < need {
+		return fmt.Errorf("svm: response buffer holds %d floats, lattice needs %d", dst, need) // lint:alloc cold validation error path, runs once per reshape not per window
+	}
+	return nil
+}
+
+// CheckLattice verifies once per level that every block any window of
+// the lattice will read lies inside a block grid of blocksLen floats,
+// so the per-window scorers (EarlyMarginAt, WindowMargin) can skip
+// bounds checks on the hot path.
+func (bm *BlockModel) CheckLattice(l Lattice, blocksLen int) error {
+	return checkLattice(l, bm.BW, bm.BH, bm.BlockLen, blocksLen)
+}
+
+// checkLattice is the shared float/quantized lattice validation.
+func checkLattice(l Lattice, bw, bh, blockLen, blocksLen int) error {
 	if l.NAX <= 0 || l.NAY <= 0 {
 		return fmt.Errorf("svm: empty anchor lattice %dx%d", l.NAX, l.NAY) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
 	if l.StepX <= 0 || l.StepY <= 0 || l.BlockStride <= 0 {
 		return fmt.Errorf("svm: non-positive lattice steps %+v", l) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
-	maxCX := (l.NAX-1)*l.StepX + (bm.BW-1)*l.BlockStride
-	maxCY := (l.NAY-1)*l.StepY + (bm.BH-1)*l.BlockStride
+	maxCX := (l.NAX-1)*l.StepX + (bw-1)*l.BlockStride
+	maxCY := (l.NAY-1)*l.StepY + (bh-1)*l.BlockStride
 	if maxCX >= l.NBX || maxCY >= l.NBY {
 		return fmt.Errorf("svm: lattice %+v reads block (%d,%d) outside %dx%d grid", // lint:alloc cold validation error path, runs once per reshape not per window
 			l, maxCX, maxCY, l.NBX, l.NBY)
 	}
-	if need := l.NBX * l.NBY * bm.BlockLen; blocks < need {
-		return fmt.Errorf("svm: block data holds %d floats, grid needs %d", blocks, need) // lint:alloc cold validation error path, runs once per reshape not per window
-	}
-	if need := l.NAX * l.NAY * bm.BW * bm.BH; dst < need {
-		return fmt.Errorf("svm: response buffer holds %d floats, lattice needs %d", dst, need) // lint:alloc cold validation error path, runs once per reshape not per window
+	if need := l.NBX * l.NBY * blockLen; blocksLen < need {
+		return fmt.Errorf("svm: block data holds %d values, grid needs %d", blocksLen, need) // lint:alloc cold validation error path, runs once per reshape not per window
 	}
 	return nil
 }
@@ -161,4 +285,78 @@ func (bm *BlockModel) MarginAt(resp []float64, nax, ax, ay int) float64 {
 		s += v
 	}
 	return s
+}
+
+// WindowMargin computes the full margin of the window at anchor
+// (ax, ay) directly from the level block grid, without a precomputed
+// response plane: each partial response uses the same inner dot loop
+// as Responses and the partials are summed in canonical position
+// order, so the result is bitwise identical to Responses + MarginAt.
+// The caller must have validated lat with CheckLattice.
+//
+// lint:hotpath
+func (bm *BlockModel) WindowMargin(blocks []float64, lat Lattice, ax, ay int) float64 {
+	s := bm.Bias
+	p := 0
+	for pby := 0; pby < bm.BH; pby++ {
+		cy := ay*lat.StepY + pby*lat.BlockStride
+		for pbx := 0; pbx < bm.BW; pbx++ {
+			cx := ax*lat.StepX + pbx*lat.BlockStride
+			blk := blocks[(cy*lat.NBX+cx)*bm.BlockLen:][:bm.BlockLen]
+			w := bm.w[p*bm.BlockLen:][:bm.BlockLen]
+			var d float64
+			for i, v := range blk {
+				d += w[i] * v
+			}
+			s += d
+			p++
+		}
+	}
+	return s
+}
+
+// EarlyMarginAt scores the window at anchor (ax, ay) with the
+// truncated-block partial-margin early exit: block positions are
+// evaluated in the precomputed descending-bound order, and as soon as
+// the accumulated partial response plus the sound upper bound on
+// everything remaining cannot exceed thresh, the window is rejected
+// without touching its remaining blocks.
+//
+// The reject is provable — L2Hys blocks are non-negative with norm
+// <= 1, so no evaluation order can lift the margin past the bound —
+// and a window that survives all positions re-sums its stashed
+// partials in canonical position order, making the returned margin
+// bitwise identical to the full WindowMargin / Responses + MarginAt
+// value. Detection sets therefore match the full sweep byte for byte.
+//
+// partial is caller scratch of at least BW*BH floats (one slot per
+// block position). The second return is true when the window was
+// rejected early; the margin is then meaningless.
+//
+// lint:hotpath
+func (bm *BlockModel) EarlyMarginAt(blocks []float64, lat Lattice, ax, ay int, thresh float64, partial []float64) (float64, bool) {
+	rel := thresh - bm.Bias // bail when partial responses cannot exceed this
+	acc := 0.0
+	for k, p := range bm.order {
+		cy := ay*lat.StepY + bm.ordPBY[k]*lat.BlockStride
+		cx := ax*lat.StepX + bm.ordPBX[k]*lat.BlockStride
+		blk := blocks[(cy*lat.NBX+cx)*bm.BlockLen:][:bm.BlockLen]
+		w := bm.w[p*bm.BlockLen:][:bm.BlockLen]
+		var d float64
+		for i, v := range blk {
+			d += w[i] * v
+		}
+		partial[p] = d
+		acc += d
+		if acc+bm.tail[k+1] <= rel {
+			return 0, true
+		}
+	}
+	// Canonical re-sum: same partials, index order — bitwise equal to
+	// MarginAt over a precomputed plane.
+	m := bm.Bias
+	for _, d := range partial[:len(bm.order)] {
+		m += d
+	}
+	return m, false
 }

@@ -79,3 +79,22 @@ func WithFaultPlan(p *FaultPlan) Option {
 func WithRetryPolicy(rp RetryPolicy) Option {
 	return func(o *SystemOptions) { o.Retry = rp }
 }
+
+// WithQuantizedScan scores the HOG scans through the int16/int32
+// fixed-point block-response datapath — the software rendition of the
+// PL's DSP48 window evaluators. Detection boxes are identical to the
+// float scan (borderline margins re-score through the float path);
+// reported scores may differ by at most the quantizer's analytic
+// error bound. Models whose weights exceed the quantizer's range fall
+// back to the float path silently.
+func WithQuantizedScan() Option {
+	return func(o *SystemOptions) { o.ScanQuantized = true }
+}
+
+// WithoutEarlyReject disables the partial-margin early exit in the
+// HOG scans, scoring every window from the full precomputed response
+// plane. Detection output is identical either way; this exists for
+// benchmarking the cascade's saving and as a fallback switch.
+func WithoutEarlyReject() Option {
+	return func(o *SystemOptions) { o.ScanNoEarlyReject = true }
+}

@@ -106,6 +106,18 @@ func WithStreamRetryPolicy(rp RetryPolicy) StreamOption {
 	return func(c *streamConfig) { c.opt.Retry = rp }
 }
 
+// WithStreamQuantizedScan scores this stream's HOG scans through the
+// fixed-point block-response datapath (see WithQuantizedScan).
+func WithStreamQuantizedScan() StreamOption {
+	return func(c *streamConfig) { c.opt.ScanQuantized = true }
+}
+
+// WithStreamNoEarlyReject disables the partial-margin early exit for
+// this stream's HOG scans (see WithoutEarlyReject).
+func WithStreamNoEarlyReject() StreamOption {
+	return func(c *streamConfig) { c.opt.ScanNoEarlyReject = true }
+}
+
 // Name returns the stream's fleet label.
 func (s *Stream) Name() string { return s.name }
 
