@@ -52,12 +52,14 @@
 package advdet
 
 import (
+	"io"
 	"time"
 
 	"advdet/internal/adaptive"
 	"advdet/internal/eval"
 	"advdet/internal/fault"
 	"advdet/internal/img"
+	"advdet/internal/ledger"
 	"advdet/internal/metrics"
 	"advdet/internal/pipeline"
 	"advdet/internal/pr"
@@ -121,8 +123,118 @@ type (
 	Mode = adaptive.Mode
 	// FaultRecord is one reconfiguration fault in Stats.FaultLog; its
 	// Err wraps the typed sentinels for errors.Is dispatch.
+	// Stats.FaultLog is a derived view of the typed event stream (the
+	// EvFault events carrying an error); subscribe an EventSink for
+	// the full stream.
 	FaultRecord = adaptive.FaultRecord
 )
+
+// The unified typed event stream: every frame verdict, model select,
+// reconfiguration outcome, fault and mode transition a System decides
+// or suffers, as one subscribable sum type. Attach consumers with
+// WithEventSink / WithStreamEventSink; the tamper-evident ledger
+// (WithLedger / WithStreamLedger) consumes the same stream.
+type (
+	// Event is one typed event: Kind selects the active payload, and
+	// every event carries its stream id, frame index and
+	// simulated-picosecond timestamp.
+	Event = adaptive.Event
+	// EventKind discriminates the Event sum (EvFrame, EvModelSwitch,
+	// EvReconfig, EvFault, EvModeChange).
+	EventKind = adaptive.EventKind
+	// EventSink receives a stream's events, synchronously and in
+	// deterministic per-stream order.
+	EventSink = adaptive.EventSink
+	// EventLog is a ready-made concurrent recording sink (see
+	// NewEventLog).
+	EventLog = adaptive.EventLog
+	// FrameEvent is the EvFrame payload: one frame's verdict.
+	FrameEvent = adaptive.FrameEvent
+	// ModelSwitchEvent is the EvModelSwitch payload: a day<->dusk BRAM
+	// model select.
+	ModelSwitchEvent = adaptive.ModelSwitchEvent
+	// ReconfigEvent is the EvReconfig payload: one reconfiguration
+	// state-machine transition.
+	ReconfigEvent = adaptive.ReconfigEvent
+	// FaultEvent is the EvFault payload; Err wraps the typed sentinels
+	// for errors.Is dispatch and Code is the encodable classification.
+	FaultEvent = adaptive.FaultEvent
+	// ModeChangeEvent is the EvModeChange payload.
+	ModeChangeEvent = adaptive.ModeChangeEvent
+	// ReconfigPhase names the transition an EvReconfig event reports.
+	ReconfigPhase = adaptive.ReconfigPhase
+	// FaultCode classifies an EvFault event.
+	FaultCode = adaptive.FaultCode
+)
+
+// Event kinds.
+const (
+	EvFrame       = adaptive.EvFrame
+	EvModelSwitch = adaptive.EvModelSwitch
+	EvReconfig    = adaptive.EvReconfig
+	EvFault       = adaptive.EvFault
+	EvModeChange  = adaptive.EvModeChange
+)
+
+// Reconfiguration phases of an EvReconfig event.
+const (
+	ReconfigRequested      = adaptive.ReconfigRequested
+	ReconfigLaunched       = adaptive.ReconfigLaunched
+	ReconfigCompleted      = adaptive.ReconfigCompleted
+	ReconfigRetryScheduled = adaptive.ReconfigRetryScheduled
+	ReconfigCancelled      = adaptive.ReconfigCancelled
+)
+
+// Fault codes of an EvFault event.
+const (
+	FaultCodeVerify     = adaptive.FaultCodeVerify
+	FaultCodeTimeout    = adaptive.FaultCodeTimeout
+	FaultCodeBusy       = adaptive.FaultCodeBusy
+	FaultCodeBankSelect = adaptive.FaultCodeBankSelect
+	FaultCodeIRQDrop    = adaptive.FaultCodeIRQDrop
+	FaultCodeOther      = adaptive.FaultCodeOther
+)
+
+// NewEventLog returns an empty recording sink: it accumulates every
+// event it receives, is safe across streams, and reads back copies
+// (Events, Kind, FaultRecords) that never alias its internal state.
+func NewEventLog() *EventLog { return adaptive.NewEventLog() }
+
+// The tamper-evident detection ledger: an append-only, hash-chained
+// log of the event stream, batched into Merkle trees under one anchor
+// chain. See WithLedger, WithStreamLedger, Engine.Ledger and
+// cmd/ledgerverify.
+type (
+	// Ledger is the append-only hash-chained event ledger.
+	Ledger = ledger.Ledger
+	// LedgerConfig shapes the ledger's size-or-deadline batch sealing.
+	LedgerConfig = ledger.Config
+	// LedgerBatch is one sealed Merkle batch.
+	LedgerBatch = ledger.Batch
+	// LedgerProof is an inclusion proof from one ledgered event to its
+	// batch's sealed Merkle root.
+	LedgerProof = ledger.Proof
+	// LedgerLog is a ledger read back from its serialized form (see
+	// ReadLedgerLog and VerifyLedgerLog).
+	LedgerLog = ledger.Log
+	// LedgerReport is the outcome of a full offline verification pass,
+	// pinpointing the first tampered record and batch if any.
+	LedgerReport = ledger.Report
+	// LedgerHash is a SHA-256 digest (chain head, Merkle root, anchor).
+	LedgerHash = ledger.Hash
+)
+
+// NewLedger builds an empty standalone ledger; the zero LedgerConfig
+// selects the defaults (64-event batches, 250 ms simulated-time span).
+func NewLedger(cfg LedgerConfig) *Ledger { return ledger.New(cfg) }
+
+// ReadLedgerLog parses a ledger serialized with Ledger.WriteTo.
+func ReadLedgerLog(r io.Reader) (*LedgerLog, error) { return ledger.ReadLog(r) }
+
+// VerifyLedgerLog recomputes every hash layer of a recorded ledger
+// from the raw event bytes — per-stream chains, per-batch Merkle
+// roots, the anchor chain — trusting nothing but the payloads.
+func VerifyLedgerLog(lg *LedgerLog) LedgerReport { return ledger.VerifyLog(lg) }
 
 // Resilience modes: how well the reconfigurable partition is doing.
 // The static (pedestrian) partition runs every frame in every mode.

@@ -71,6 +71,12 @@ func main() {
 	opt.RunDetectors = false
 	opt.Initial = synth.Day
 	opt.EnableMetrics = *metricsOut != "" || *metricsJSON != ""
+	// The fault summary below reads the unified typed event stream: an
+	// EventLog sink sees every fault (including IRQ drops, which carry
+	// no error and so never reach the legacy Stats.FaultLog view),
+	// reconfiguration phase and mode transition with ps timestamps.
+	events := adaptive.NewEventLog()
+	opt.EventSinks = []adaptive.EventSink{events}
 	var plan *fault.Plan
 	if *faultSpec != "" {
 		var err error
@@ -134,9 +140,18 @@ func main() {
 			st.VerifyFailures, st.WatchdogTrips, st.Retries, st.IRQsDropped)
 		fmt.Printf("  stale vehicle frames: %d, degraded frames: %d, bank-select faults: %d\n",
 			st.StaleVehicleFrames, st.DegradedFrames, st.BankSelectFaults)
-		for _, f := range st.FaultLog {
-			fmt.Printf("  fault @%8.2f ms frame %3d attempt %d -> %s: %v\n",
-				soc.Seconds(f.PS)*1e3, f.Frame, f.Attempt, f.Target, f.Err)
+		for _, ev := range events.Kind(adaptive.EvFault) {
+			detail := "(observed from the platform drop counter)"
+			if ev.Fault.Err != nil {
+				detail = ev.Fault.Err.Error()
+			}
+			fmt.Printf("  fault @%8.2f ms frame %3d attempt %d [%s] -> %s: %s\n",
+				soc.Seconds(ev.PS)*1e3, ev.Frame, ev.Fault.Attempt, ev.Fault.Code,
+				ev.Fault.Target, detail)
+		}
+		for _, ev := range events.Kind(adaptive.EvModeChange) {
+			fmt.Printf("  mode  @%8.2f ms frame %3d %s -> %s\n",
+				soc.Seconds(ev.PS)*1e3, ev.Frame, ev.ModeChange.From, ev.ModeChange.To)
 		}
 	}
 
@@ -144,15 +159,15 @@ func main() {
 	type key struct{ src, name string }
 	counts := map[key]int{}
 	var firstPS, lastPS uint64
-	events := sys.Z.Trace.Events()
-	for i, e := range events {
+	trEvents := sys.Z.Trace.Events()
+	for i, e := range trEvents {
 		counts[key{e.Source, e.Name}]++
 		if i == 0 {
 			firstPS = e.PS
 		}
 		lastPS = e.PS
 	}
-	fmt.Printf("\ntrace: %d events spanning %.2f ms\n", len(events), soc.Seconds(lastPS-firstPS)*1e3)
+	fmt.Printf("\ntrace: %d events spanning %.2f ms\n", len(trEvents), soc.Seconds(lastPS-firstPS)*1e3)
 	fmt.Printf("  %-12s %-24s %s\n", "source", "event", "count")
 	for k, n := range counts {
 		fmt.Printf("  %-12s %-24s %d\n", k.src, k.name, n)

@@ -8,6 +8,7 @@ import (
 
 	"advdet/internal/adaptive"
 	"advdet/internal/fleet"
+	"advdet/internal/ledger"
 	"advdet/internal/metrics"
 )
 
@@ -59,6 +60,8 @@ type Engine struct {
 	mu     sync.Mutex
 	nextID int
 	closed bool
+	led    *ledger.Ledger
+	sealer *fleet.Sealer
 }
 
 // engineConfig collects the EngineOption knobs.
@@ -145,16 +148,42 @@ func (e *Engine) FleetSnapshot() FleetSnapshot { return e.rollup.Snapshot() }
 // stream plus the aggregate capacity gauges.
 func (e *Engine) WriteFleetProm(w io.Writer) error { return e.rollup.WriteProm(w) }
 
+// Ledger returns the engine-level tamper-evident ledger, or nil if no
+// stream was opened with WithStreamLedger. All enrolled streams chain
+// into it (one hash chain per stream) under one Merkle sealer and one
+// anchor chain.
+func (e *Engine) Ledger() *Ledger {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.led
+}
+
+// ledgerLocked lazily builds the shared ledger and starts its
+// wall-clock sealer the first time a stream enrolls. Caller holds
+// e.mu.
+func (e *Engine) ledgerLocked() *ledger.Ledger {
+	if e.led == nil {
+		e.led = ledger.New(ledger.Config{})
+		e.sealer = fleet.NewSealer(e.led.SealOpen, 0)
+	}
+	return e.led
+}
+
 // Close shuts the engine down: in-flight frames complete, the
-// dispatcher's goroutines are joined, and every subsequent
-// Stream.Process fails with ErrEngineClosed. Close is idempotent.
-// Streams need no separate teardown, though closing them first gives a
-// cleaner capacity rollup (closed streams stop counting as active).
+// dispatcher's goroutines are joined (then the ledger sealer's, which
+// seals the tail batch), and every subsequent Stream.Process fails
+// with ErrEngineClosed. Close is idempotent. Streams need no separate
+// teardown, though closing them first gives a cleaner capacity rollup
+// (closed streams stop counting as active).
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.closed = true
+	sealer := e.sealer
 	e.mu.Unlock()
 	e.disp.Close()
+	if sealer != nil {
+		sealer.Close()
+	}
 }
 
 // NewStream opens one camera stream on the engine. The stream owns
@@ -180,6 +209,13 @@ func (e *Engine) NewStream(opts ...StreamOption) (*Stream, error) {
 	}
 	id := e.nextID
 	e.nextID++
+	// The engine-assigned id labels the stream's events and keys its
+	// hash chain in the shared ledger; with WithStreamLedger the stream
+	// enrolls in the lazily built engine-level ledger + sealer.
+	cfg.opt.StreamID = int32(id)
+	if cfg.ledger {
+		cfg.opt.Ledger = e.ledgerLocked()
+	}
 	e.mu.Unlock()
 	if cfg.name == "" {
 		cfg.name = fmt.Sprintf("stream-%d", id)

@@ -13,7 +13,13 @@
 //     partition never misses a frame, and vehicle detection serves the
 //     last-good resident model (stale, but live) instead of dropping,
 //   - ModeDegraded only once the retry budget is exhausted, and
-//     automatic recovery to ModeNominal on the next clean completion.
+//     automatic recovery to ModeNominal on the next clean completion,
+//   - the unified typed event stream (WithStreamEventSink) carrying
+//     every fault, reconfiguration phase and mode transition — the
+//     legacy Stats.FaultLog is a derived view of the same stream,
+//   - the tamper-evident ledger (WithStreamLedger): the whole drive
+//     hash-chained and Merkle-batched, with an inclusion proof checked
+//     at the end.
 package main
 
 import (
@@ -33,12 +39,15 @@ func main() {
 		DropIRQ(advdet.IRQPRDone, 1) // first reconfiguration completion
 	eng := advdet.NewEngine(advdet.Detectors{})
 	defer eng.Close()
+	events := advdet.NewEventLog()
 	sys, err := eng.NewStream(
 		advdet.WithStreamTimingOnly(),
 		advdet.WithStreamInitial(advdet.Dusk),
 		advdet.WithStreamMetrics(),
 		advdet.WithStreamFaultPlan(plan),
 		advdet.WithStreamRetryPolicy(advdet.RetryPolicy{MaxRetries: 1}),
+		advdet.WithStreamEventSink(events),
+		advdet.WithStreamLedger(),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -89,18 +98,37 @@ func main() {
 		fmt.Printf("the dusk->dark transition took %d attempts before completing\n", r.Attempts)
 	}
 
-	fmt.Println("\nfault log (typed sentinels, errors.Is-dispatchable):")
-	for _, f := range st.FaultLog {
-		kind := "other"
-		switch {
-		case errors.Is(f.Err, advdet.ErrVerify):
-			kind = "ErrVerify"
-		case errors.Is(f.Err, advdet.ErrReconfigTimeout):
-			kind = "ErrReconfigTimeout"
-		case errors.Is(f.Err, advdet.ErrBankSelect):
-			kind = "ErrBankSelect"
+	// The typed event stream is the one subscribable surface for all of
+	// the above: faults (typed sentinels, errors.Is-dispatchable),
+	// reconfiguration phases and mode transitions, in deterministic
+	// order. Stats.FaultLog is a derived view of the same stream.
+	fmt.Println("\nevent stream (faults, reconfig phases, mode transitions):")
+	for _, ev := range events.Events() {
+		switch ev.Kind {
+		case advdet.EvFault:
+			kind := "other"
+			switch {
+			case errors.Is(ev.Fault.Err, advdet.ErrVerify):
+				kind = "ErrVerify"
+			case errors.Is(ev.Fault.Err, advdet.ErrReconfigTimeout):
+				kind = "ErrReconfigTimeout"
+			case errors.Is(ev.Fault.Err, advdet.ErrBankSelect):
+				kind = "ErrBankSelect"
+			case ev.Fault.Code == advdet.FaultCodeIRQDrop:
+				kind = "IRQ drop"
+			}
+			fmt.Printf("  frame %3d  fault     attempt %d  %-18s %v\n",
+				ev.Frame, ev.Fault.Attempt, kind, ev.Fault.Err)
+		case advdet.EvReconfig:
+			fmt.Printf("  frame %3d  reconfig  %s -> %s (%s, attempt %d)\n",
+				ev.Frame, ev.Reconfig.From, ev.Reconfig.To, ev.Reconfig.Phase, ev.Reconfig.Attempt)
+		case advdet.EvModeChange:
+			fmt.Printf("  frame %3d  mode      %s -> %s\n",
+				ev.Frame, ev.ModeChange.From, ev.ModeChange.To)
 		}
-		fmt.Printf("  frame %3d attempt %d  %-18s %v\n", f.Frame, f.Attempt, kind, f.Err)
+	}
+	if len(events.FaultRecords()) != len(st.FaultLog) {
+		log.Fatal("derived FaultLog view out of sync with the event stream")
 	}
 
 	snap := sys.Snapshot()
@@ -110,4 +138,22 @@ func main() {
 			fmt.Printf("  %-20s %d\n", row.Kind, row.Count)
 		}
 	}
+
+	// Every event above was also hash-chained into the engine's
+	// tamper-evident ledger. Seal the tail batch and check an
+	// inclusion proof: event 0 of the chain provably belongs to batch
+	// 0 under its sealed Merkle root.
+	led := eng.Ledger()
+	led.SealOpen()
+	nEvents, nBatches := led.Counts()
+	anchor := led.AnchorHead()
+	fmt.Printf("\nledger: %d events in %d sealed batches, anchor %x...\n",
+		nEvents, nBatches, anchor[:8])
+	proof, err := led.Prove(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, _ := led.Batch(0)
+	fmt.Printf("inclusion proof for event 0: %d siblings, verifies: %v\n",
+		len(proof.Path), proof.Verify(batch.Root))
 }

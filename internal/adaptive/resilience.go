@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"advdet/internal/metrics"
 	"advdet/internal/pr"
 	"advdet/internal/soc"
 	"advdet/internal/synth"
@@ -147,6 +146,8 @@ func (s *System) requestReconfig(target ConfigID) {
 		To:      target,
 		StartPS: s.Z.Sim.Now(),
 	})
+	s.emit(Event{Kind: EvReconfig,
+		Reconfig: ReconfigEvent{Phase: ReconfigRequested, From: s.loaded, To: target}})
 	// If a stream to a stale target is in flight, let it finish;
 	// onPRDone sees the retarget and relaunches.
 	if !s.reconfiguring {
@@ -183,6 +184,8 @@ func (s *System) launchAttempt() {
 	s.reconfiguring = true
 	s.inFlightGen = gen
 	s.inFlightTarget = target
+	s.emit(Event{Kind: EvReconfig,
+		Reconfig: ReconfigEvent{Phase: ReconfigLaunched, From: s.loaded, To: target, Attempt: int32(attempt)}})
 	wd := s.Opt.Retry.WatchdogPS
 	s.Z.Sim.Schedule(wd, func() { s.onWatchdog(gen) })
 }
@@ -200,9 +203,9 @@ func (s *System) onPRDone() {
 	now := s.Z.Sim.Now()
 	rec := &s.stats.Reconfigs[s.recIdx]
 	rec.DonePS = now
-	if s.metrics != nil {
-		s.metrics.StageObserve(metrics.StageReconfig, now-rec.StartPS, 0)
-	}
+	s.emit(Event{Kind: EvReconfig, Reconfig: ReconfigEvent{
+		Phase: ReconfigCompleted, From: rec.From, To: s.loaded,
+		Attempt: int32(rec.Attempts), ElapsedPS: now - rec.StartPS}})
 	switch {
 	case s.pending && s.pendTarget == s.loaded:
 		s.pending = false
@@ -246,10 +249,9 @@ func (s *System) scheduleRetry() {
 		s.setMode(ModeDegraded, s.pendTarget.String())
 	}
 	backoff := s.Opt.Retry.backoffFor(s.retries)
-	if s.metrics != nil {
-		s.metrics.FaultAdd(metrics.FaultRetry)
-		s.metrics.StageObserve(metrics.StageReconfigFault, backoff, 0)
-	}
+	s.emit(Event{Kind: EvReconfig, Reconfig: ReconfigEvent{
+		Phase: ReconfigRetryScheduled, From: s.loaded, To: s.pendTarget,
+		Attempt: int32(s.retries), ElapsedPS: backoff}})
 	s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "reconfig-retry",
 		fmt.Sprintf("retry %d in %d ps", s.retries, backoff))
 	s.Z.Sim.Schedule(backoff, func() { s.launchAttempt() })
@@ -259,46 +261,40 @@ func (s *System) scheduleRetry() {
 // to the loaded configuration before a retry landed, so there is
 // nothing left to recover toward.
 func (s *System) cancelPending() {
+	s.emit(Event{Kind: EvReconfig,
+		Reconfig: ReconfigEvent{Phase: ReconfigCancelled, From: s.loaded, To: s.pendTarget}})
 	s.pending = false
 	s.retries = 0
 	s.setMode(ModeNominal, "condition reverted")
 }
 
-// recordFault logs one fault into the stats, trace and metrics, and
-// moves a nominal system into ModeRecovering — the fault is the
+// recordFault emits one fault into the event stream (which projects
+// it into Stats.FaultLog and the metrics fault counters), traces it,
+// and moves a nominal system into ModeRecovering — the fault is the
 // moment recovery starts.
 func (s *System) recordFault(target ConfigID, attempt int, err error) {
-	s.stats.FaultLog = append(s.stats.FaultLog, FaultRecord{
-		PS:      s.Z.Sim.Now(),
-		Frame:   s.frameIdx,
+	s.emit(Event{Kind: EvFault, Fault: FaultEvent{
+		Code:    faultCodeFor(err),
 		Target:  target,
-		Attempt: attempt,
+		Attempt: int32(attempt),
 		Err:     err,
-	})
+	}})
 	s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "reconfig-fault", err.Error())
-	if s.metrics != nil {
-		switch {
-		case errors.Is(err, pr.ErrVerify):
-			s.metrics.FaultAdd(metrics.FaultVerify)
-		case errors.Is(err, pr.ErrTimeout):
-			s.metrics.FaultAdd(metrics.FaultWatchdog)
-		}
-	}
 	if s.mode == ModeNominal {
 		s.setMode(ModeRecovering, target.String())
 	}
 }
 
-// setMode transitions the resilience mode, tracing and publishing it.
+// setMode transitions the resilience mode, tracing it and emitting the
+// change (the mode gauge is a projection of the event).
 func (s *System) setMode(m Mode, detail string) {
 	if s.mode == m {
 		return
 	}
+	from := s.mode
 	s.mode = m
 	s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "mode-"+m.String(), detail)
-	if s.metrics != nil {
-		s.metrics.SetGauge(metrics.GaugeMode, uint64(m))
-	}
+	s.emit(Event{Kind: EvModeChange, ModeChange: ModeChangeEvent{From: from, To: m}})
 }
 
 // residentCondition maps the loaded configuration to the condition
@@ -316,15 +312,15 @@ func (s *System) residentCondition() synth.Condition {
 	return synth.Day
 }
 
-// syncIRQDropMetrics folds platform-level dropped-interrupt counts
-// into the fault counters (the IRQ controller cannot reach the
-// registry itself).
-func (s *System) syncIRQDropMetrics() {
+// syncIRQDrops folds platform-level dropped-interrupt counts into the
+// event stream (the IRQ controller cannot emit itself): one
+// FaultCodeIRQDrop event per newly observed drop, which the metrics
+// projection counts. The loss carries no error value, so these events
+// do not enter the derived Stats.FaultLog.
+func (s *System) syncIRQDrops() {
 	d := s.Z.IRQ.Dropped(soc.IRQPRDone)
 	for s.seenIRQDrops < d {
 		s.seenIRQDrops++
-		if s.metrics != nil {
-			s.metrics.FaultAdd(metrics.FaultIRQDrop)
-		}
+		s.emit(Event{Kind: EvFault, Fault: FaultEvent{Code: FaultCodeIRQDrop, Target: s.inFlightTarget}})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"advdet/internal/fault"
 	"advdet/internal/fpga"
 	"advdet/internal/img"
+	"advdet/internal/ledger"
 	"advdet/internal/metrics"
 	"advdet/internal/par"
 	"advdet/internal/pipeline"
@@ -129,6 +130,21 @@ type Options struct {
 	// ScanNoEarlyReject disables the partial-margin early exit in the
 	// HOG scans, scoring every window from the full response plane.
 	ScanNoEarlyReject bool
+	// EventSinks subscribes consumers to the unified typed event
+	// stream: every frame verdict, model select, reconfiguration
+	// outcome, fault and mode transition (see Event). Sinks are called
+	// synchronously on the frame-processing goroutine in deterministic
+	// per-stream order; the slice is copied at boot.
+	EventSinks []EventSink
+	// Ledger appends every event's canonical encoding to this
+	// tamper-evident ledger. Streams sharing an engine share one
+	// ledger (each keeps its own hash chain inside it, keyed by
+	// StreamID) under a single engine-level Merkle sealer.
+	Ledger *ledger.Ledger
+	// StreamID labels this system's events and its chain in a shared
+	// ledger. Engine streams get the engine-assigned id; standalone
+	// systems default to 0.
+	StreamID int32
 }
 
 // DefaultOptions returns the paper's operating point.
@@ -180,6 +196,13 @@ type Stats struct {
 	// FaultLog records every fault in order; Err wraps the typed
 	// sentinels (pr.ErrVerify, pr.ErrTimeout, pr.ErrBusy,
 	// ErrBankSelect) for errors.Is dispatch.
+	//
+	// FaultLog is a derived view of the typed event stream — the
+	// projection of EvFault events that carry an error — kept for
+	// compatibility. New code should subscribe an EventSink
+	// (Options.EventSinks), which additionally sees frame verdicts,
+	// model selects, reconfiguration phases, IRQ drops and mode
+	// transitions.
 	FaultLog []FaultRecord
 }
 
@@ -240,6 +263,12 @@ type System struct {
 	retries        int
 	recIdx         int // index of the open Reconfiguration record
 	seenIRQDrops   int
+
+	// Event-stream fan-out (see emit.go): subscribed sinks, the shared
+	// tamper-evident ledger and its reusable encoding scratch.
+	sinks  []EventSink
+	led    *ledger.Ledger
+	ledBuf []byte
 }
 
 // New boots a standalone system: it builds the platform, stages both
@@ -276,6 +305,13 @@ func newSystem(eng *Engine, dets Detectors, opt Options) (*System, error) {
 	}
 	if opt.EnableMetrics {
 		s.metrics = metrics.NewRegistry()
+	}
+	// Copy the sink list so a caller mutating their options slice after
+	// boot can never alias the emission path.
+	s.sinks = append([]EventSink(nil), opt.EventSinks...)
+	s.led = opt.Ledger
+	if s.led != nil {
+		s.ledBuf = make([]byte, 0, 128)
 	}
 	// Fault wiring happens before boot staging so even the boot-time
 	// transfers are injectable; reconfiguration completion is
@@ -353,6 +389,10 @@ func (s *System) Engine() *Engine { return s.eng }
 // disabled. All registry methods are nil-safe, so callers may use the
 // result unconditionally.
 func (s *System) Metrics() *metrics.Registry { return s.metrics }
+
+// Ledger returns the tamper-evident ledger this system appends to, or
+// nil when none is attached.
+func (s *System) Ledger() *ledger.Ledger { return s.led }
 
 // Snapshot exports the telemetry registry's current state. With
 // metrics disabled it returns a zero snapshot with Enabled=false.
@@ -451,18 +491,16 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 		case err == nil && s.bank.Switches > before:
 			s.stats.ModelSwitches++
 			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "model-select", cond.String())
-			if s.metrics != nil {
-				s.metrics.StageObserve(metrics.StageModelSelect, 0, 0)
-			}
+			s.emit(Event{Kind: EvModelSwitch,
+				ModelSwitch: ModelSwitchEvent{Slot: int32(slot), Cond: cond}})
 		case errors.Is(err, ErrBankSelect):
 			// Fault-injected select failure: the previously active
 			// model keeps serving and the select retries on the next
 			// frame (the register write is idempotent).
 			s.stats.BankSelectFaults++
 			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "bank-select-fault", cond.String())
-			if s.metrics != nil {
-				s.metrics.FaultAdd(metrics.FaultBankSelect)
-			}
+			s.emit(Event{Kind: EvFault,
+				Fault: FaultEvent{Code: FaultCodeBankSelect, Target: s.loaded, Attempt: 1, Err: err}})
 		}
 	}
 
@@ -522,9 +560,6 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 			serveCond = s.residentCondition()
 			s.Z.Trace.Record(s.Z.Sim.Now(), "adaptive", "vehicle-stale",
 				fmt.Sprintf("frame %d serving %s for %s", s.frameIdx, serveCond, cond))
-			if s.metrics != nil {
-				s.metrics.FaultAdd(metrics.FaultStaleVehicleFrame)
-			}
 		}
 		if s.Opt.RunDetectors {
 			var scanWall time.Time
@@ -570,13 +605,23 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 	res.Mode = s.mode
 	if s.mode == ModeDegraded {
 		s.stats.DegradedFrames++
-		if s.metrics != nil {
-			s.metrics.FaultAdd(metrics.FaultDegradedFrame)
-		}
 	}
-	s.syncIRQDropMetrics()
+	s.syncIRQDrops()
 
 	s.stats.Frames++
+	// The frame verdict closes the frame's slice of the event stream
+	// (stale/degraded fault counters are projected from it; see
+	// emit.go). Emitted before frameIdx advances so the event carries
+	// the index of the frame it describes.
+	s.emit(Event{Kind: EvFrame, Verdict: FrameEvent{
+		Cond:            cond,
+		Vehicles:        int32(len(res.Vehicles)),
+		Pedestrians:     int32(len(res.Pedestrians)),
+		VehicleDropped:  res.VehicleDropped,
+		VehicleStale:    res.VehicleStale,
+		ReconfigStarted: res.ReconfigStarted,
+		Mode:            s.mode,
+	}})
 	s.frameIdx++
 	if s.metrics != nil {
 		s.metrics.FrameObserve(hwFinish-slotStart,
@@ -589,6 +634,11 @@ func (s *System) ProcessFrameCtx(ctx context.Context, sc *synth.Scene) (FrameRes
 		s.metrics.SetGauge(metrics.GaugeReconfigInFlight, inFlight)
 		s.metrics.SetGauge(metrics.GaugeFrameIndex, uint64(res.Index))
 		s.metrics.SetGauge(metrics.GaugeMode, uint64(s.mode))
+		if s.led != nil {
+			evs, batches := s.led.Counts()
+			s.metrics.SetGauge(metrics.GaugeLedgerEvents, evs)
+			s.metrics.SetGauge(metrics.GaugeLedgerBatches, batches)
+		}
 	}
 	return res, nil
 }

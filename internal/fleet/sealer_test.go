@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSealerTicks: the wall-clock sealer must call flush on its own
+// while the owner is idle — that is its whole liveness job.
+func TestSealerTicks(t *testing.T) {
+	var n atomic.Int64
+	s := NewSealer(func() { n.Add(1) }, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sealer never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+}
+
+// TestSealerCloseFlushes: Close joins the loop and then runs one final
+// flush, so a ledger's tail batch is always sealed at engine shutdown;
+// repeated Closes are no-ops.
+func TestSealerCloseFlushes(t *testing.T) {
+	var n atomic.Int64
+	// An interval far beyond the test's lifetime: any flush observed
+	// must come from Close itself.
+	s := NewSealer(func() { n.Add(1) }, time.Hour)
+	if got := n.Load(); got != 0 {
+		t.Fatalf("flushed %d times before Close", got)
+	}
+	s.Close()
+	if got := n.Load(); got != 1 {
+		t.Fatalf("flushes after Close = %d, want exactly 1", got)
+	}
+	s.Close()
+	s.Close()
+	if got := n.Load(); got != 1 {
+		t.Fatalf("idempotent Close re-flushed: %d", got)
+	}
+}
+
+// TestSealerDefaultInterval: a non-positive interval selects the
+// default rather than panicking time.NewTicker.
+func TestSealerDefaultInterval(t *testing.T) {
+	var n atomic.Int64
+	s := NewSealer(func() { n.Add(1) }, 0)
+	s.Close()
+	if got := n.Load(); got != 1 {
+		t.Fatalf("flushes = %d, want 1 from Close", got)
+	}
+}

@@ -1,0 +1,420 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The serialized form is deterministic big-endian binary: the exact
+// bytes of every chain record plus every seal, so an offline verifier
+// can recompute all three hash layers from the file alone.
+var logMagic = [8]byte{'A', 'D', 'V', 'L', 'E', 'D', 'G', '1'}
+
+// Caps on decoded counts/lengths: a corrupted length field must fail
+// the parse, not drive a giant allocation.
+const (
+	maxLogRecords = 1 << 24
+	maxLogPayload = 1 << 20
+)
+
+// ErrLogFormat is the typed parse failure of a serialized ledger log;
+// ReadLog errors wrap it for errors.Is dispatch.
+var ErrLogFormat = errors.New("malformed ledger log")
+
+// StreamLog is one stream's chain as recorded: every event's timestamp
+// and canonical payload, plus the head the live ledger claimed.
+type StreamLog struct {
+	Stream   int32
+	PS       []uint64
+	Payloads [][]byte
+	Head     Hash
+}
+
+// Log is a ledger read back from its serialized form — the input to
+// VerifyLog and Prove. Batches[].Leaves reference records by
+// (Stream, Seq); Open holds the tail that was never sealed.
+type Log struct {
+	Streams    []StreamLog
+	Batches    []Batch
+	Open       []LeafRef
+	AnchorHead Hash
+}
+
+// WriteTo serializes the ledger: magic, every stream chain (timestamp
+// + payload per record, claimed head), every sealed batch (leaf refs,
+// root, anchor), the open tail, and the anchor head. Callers who want
+// the tail sealed should call SealOpen first. Implements io.WriterTo.
+func (l *Ledger) WriteTo(w io.Writer) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	bw.Write(logMagic[:])
+	nStreams := 0
+	for _, c := range l.chains {
+		if c != nil {
+			nStreams++
+		}
+	}
+	writeU32(bw, uint32(nStreams))
+	for _, c := range l.chains {
+		if c == nil {
+			continue
+		}
+		writeU32(bw, uint32(c.stream))
+		writeU64(bw, uint64(c.Len()))
+		for i := 0; i < c.Len(); i++ {
+			writeU64(bw, c.ps[i])
+			p := c.payloadView(i)
+			writeU32(bw, uint32(len(p)))
+			bw.Write(p)
+		}
+		bw.Write(c.head[:])
+	}
+	writeU32(bw, uint32(len(l.batches)))
+	for i := range l.batches {
+		b := &l.batches[i]
+		writeU64(bw, b.FirstPS)
+		writeU64(bw, b.LastPS)
+		writeLeaves(bw, b.Leaves)
+		bw.Write(b.Root[:])
+		bw.Write(b.Anchor[:])
+	}
+	writeLeaves(bw, l.open)
+	bw.Write(l.anchor[:])
+	err := bw.Flush()
+	return cw.n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeLeaves(w *bufio.Writer, refs []LeafRef) {
+	writeU32(w, uint32(len(refs)))
+	for _, r := range refs {
+		writeU32(w, uint32(r.Stream))
+		writeU64(w, r.Seq)
+		writeU64(w, r.PS)
+		w.Write(r.Leaf[:])
+	}
+}
+
+// ReadLog parses a serialized ledger. It validates structure only
+// (magic, counts, lengths); hash checking is VerifyLog's job, so a
+// tampered-but-well-formed file reads fine and then fails
+// verification.
+func ReadLog(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != logMagic {
+		return nil, fmt.Errorf("ledger: bad magic: %w", ErrLogFormat)
+	}
+	nStreams, err := readU32(br)
+	if err != nil || nStreams > maxLogRecords {
+		return nil, fmt.Errorf("ledger: stream count: %w", ErrLogFormat)
+	}
+	lg := &Log{Streams: make([]StreamLog, 0, nStreams)}
+	for si := uint32(0); si < nStreams; si++ {
+		var sl StreamLog
+		id, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: stream id: %w", ErrLogFormat)
+		}
+		sl.Stream = int32(id)
+		n, err := readU64(br)
+		if err != nil || n > maxLogRecords {
+			return nil, fmt.Errorf("ledger: stream %d record count: %w", sl.Stream, ErrLogFormat)
+		}
+		sl.PS = make([]uint64, 0, n)
+		sl.Payloads = make([][]byte, 0, n)
+		for i := uint64(0); i < n; i++ {
+			ps, err := readU64(br)
+			if err != nil {
+				return nil, fmt.Errorf("ledger: stream %d record %d: %w", sl.Stream, i, ErrLogFormat)
+			}
+			plen, err := readU32(br)
+			if err != nil || plen > maxLogPayload {
+				return nil, fmt.Errorf("ledger: stream %d record %d length: %w", sl.Stream, i, ErrLogFormat)
+			}
+			p := make([]byte, plen)
+			if _, err := io.ReadFull(br, p); err != nil {
+				return nil, fmt.Errorf("ledger: stream %d record %d payload: %w", sl.Stream, i, ErrLogFormat)
+			}
+			sl.PS = append(sl.PS, ps)
+			sl.Payloads = append(sl.Payloads, p)
+		}
+		if _, err := io.ReadFull(br, sl.Head[:]); err != nil {
+			return nil, fmt.Errorf("ledger: stream %d head: %w", sl.Stream, ErrLogFormat)
+		}
+		lg.Streams = append(lg.Streams, sl)
+	}
+	nBatches, err := readU32(br)
+	if err != nil || nBatches > maxLogRecords {
+		return nil, fmt.Errorf("ledger: batch count: %w", ErrLogFormat)
+	}
+	lg.Batches = make([]Batch, 0, nBatches)
+	for bi := uint32(0); bi < nBatches; bi++ {
+		b := Batch{Index: int(bi)}
+		if b.FirstPS, err = readU64(br); err != nil {
+			return nil, fmt.Errorf("ledger: batch %d: %w", bi, ErrLogFormat)
+		}
+		if b.LastPS, err = readU64(br); err != nil {
+			return nil, fmt.Errorf("ledger: batch %d: %w", bi, ErrLogFormat)
+		}
+		if b.Leaves, err = readLeaves(br); err != nil {
+			return nil, fmt.Errorf("ledger: batch %d leaves: %w", bi, err)
+		}
+		if _, err := io.ReadFull(br, b.Root[:]); err != nil {
+			return nil, fmt.Errorf("ledger: batch %d root: %w", bi, ErrLogFormat)
+		}
+		if _, err := io.ReadFull(br, b.Anchor[:]); err != nil {
+			return nil, fmt.Errorf("ledger: batch %d anchor: %w", bi, ErrLogFormat)
+		}
+		lg.Batches = append(lg.Batches, b)
+	}
+	if lg.Open, err = readLeaves(br); err != nil {
+		return nil, fmt.Errorf("ledger: open tail: %w", err)
+	}
+	if _, err := io.ReadFull(br, lg.AnchorHead[:]); err != nil {
+		return nil, fmt.Errorf("ledger: anchor head: %w", ErrLogFormat)
+	}
+	return lg, nil
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func readLeaves(r *bufio.Reader) ([]LeafRef, error) {
+	n, err := readU32(r)
+	if err != nil || n > maxLogRecords {
+		return nil, fmt.Errorf("ledger: leaf count: %w", ErrLogFormat)
+	}
+	refs := make([]LeafRef, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var ref LeafRef
+		id, err := readU32(r)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: leaf %d: %w", i, ErrLogFormat)
+		}
+		ref.Stream = int32(id)
+		if ref.Seq, err = readU64(r); err != nil {
+			return nil, fmt.Errorf("ledger: leaf %d: %w", i, ErrLogFormat)
+		}
+		if ref.PS, err = readU64(r); err != nil {
+			return nil, fmt.Errorf("ledger: leaf %d: %w", i, ErrLogFormat)
+		}
+		if _, err := io.ReadFull(r, ref.Leaf[:]); err != nil {
+			return nil, fmt.Errorf("ledger: leaf %d hash: %w", i, ErrLogFormat)
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}
+
+// Report is the outcome of a full offline verification pass over a
+// recorded ledger.
+type Report struct {
+	Events  int
+	Batches int
+	Streams int
+	OK      bool
+	// BadBatch is the first batch whose Merkle root, recomputed from
+	// the recorded payloads, disagrees with the sealed root (-1 if
+	// none). Flipping any byte of any sealed event pinpoints here.
+	BadBatch int
+	// BadStream/BadSeq pinpoint the first record whose recomputed leaf
+	// hash disagrees with what a batch or the chain committed to
+	// (BadStream -1 if none).
+	BadStream int32
+	BadSeq    int64
+	// Err is the first structural failure: a chain head that does not
+	// match its records, a batch referencing a missing record, or a
+	// broken anchor chain. Nil when OK.
+	Err error
+}
+
+// VerifyLog recomputes every hash layer of a recorded ledger from the
+// raw payload bytes: per-stream leaves and chain heads, per-batch
+// Merkle roots, and the anchor chain — trusting nothing but the
+// payloads themselves. Any byte flipped anywhere (payload, committed
+// leaf, root, anchor, head) makes OK false, and payload tampering is
+// pinpointed to the record and its batch.
+func VerifyLog(lg *Log) Report {
+	rep := Report{BadBatch: -1, BadStream: -1, BadSeq: -1, Streams: len(lg.Streams)}
+	structural := func(err error) {
+		if rep.Err == nil {
+			rep.Err = err
+		}
+	}
+	// Layer 1: leaves and chain heads from payloads.
+	maxID := int32(-1)
+	for i := range lg.Streams {
+		if lg.Streams[i].Stream > maxID {
+			maxID = lg.Streams[i].Stream
+		}
+		if lg.Streams[i].Stream < 0 {
+			structural(fmt.Errorf("ledger: negative stream id %d", lg.Streams[i].Stream))
+		}
+	}
+	leavesByStream := make([][]Hash, maxID+1)
+	for i := range lg.Streams {
+		sl := &lg.Streams[i]
+		if sl.Stream < 0 || len(sl.PS) != len(sl.Payloads) {
+			structural(fmt.Errorf("ledger: stream %d: %d timestamps vs %d payloads",
+				sl.Stream, len(sl.PS), len(sl.Payloads)))
+			continue
+		}
+		hs := make([]Hash, len(sl.Payloads))
+		var head Hash
+		for j, p := range sl.Payloads {
+			hs[j] = leafHash(sl.PS[j], p)
+			head = chainHash(head, hs[j])
+		}
+		if head != sl.Head {
+			structural(fmt.Errorf("ledger: stream %d: recorded chain head does not match its records", sl.Stream))
+		}
+		leavesByStream[sl.Stream] = hs
+		rep.Events += len(sl.Payloads)
+	}
+	lookup := func(ref LeafRef) (Hash, bool) {
+		if ref.Stream < 0 || int(ref.Stream) >= len(leavesByStream) ||
+			ref.Seq >= uint64(len(leavesByStream[ref.Stream])) {
+			return Hash{}, false
+		}
+		return leavesByStream[ref.Stream][ref.Seq], true
+	}
+	psOf := func(ref LeafRef) uint64 {
+		for i := range lg.Streams {
+			if lg.Streams[i].Stream == ref.Stream && ref.Seq < uint64(len(lg.Streams[i].PS)) {
+				return lg.Streams[i].PS[ref.Seq]
+			}
+		}
+		return 0
+	}
+	checkRef := func(where string, ref LeafRef) Hash {
+		re, ok := lookup(ref)
+		if !ok {
+			structural(fmt.Errorf("ledger: %s references missing record stream=%d seq=%d",
+				where, ref.Stream, ref.Seq))
+			return ref.Leaf
+		}
+		if ref.PS != psOf(ref) {
+			structural(fmt.Errorf("ledger: %s timestamp disagrees with record stream=%d seq=%d",
+				where, ref.Stream, ref.Seq))
+		}
+		if re != ref.Leaf && rep.BadStream < 0 {
+			rep.BadStream, rep.BadSeq = ref.Stream, int64(ref.Seq)
+		}
+		return re
+	}
+	// Layers 2 and 3: Merkle roots from recomputed leaves, anchors from
+	// recomputed roots.
+	var anchor Hash
+	for bi := range lg.Batches {
+		b := &lg.Batches[bi]
+		leaves := make([]Hash, len(b.Leaves))
+		for li, ref := range b.Leaves {
+			leaves[li] = checkRef(fmt.Sprintf("batch %d", bi), ref)
+		}
+		if len(b.Leaves) == 0 {
+			structural(fmt.Errorf("ledger: batch %d is empty", bi))
+		} else if b.FirstPS != b.Leaves[0].PS || b.LastPS != b.Leaves[len(b.Leaves)-1].PS {
+			structural(fmt.Errorf("ledger: batch %d ps span disagrees with its leaves", bi))
+		}
+		root := merkleRoot(leaves)
+		if root != b.Root && rep.BadBatch < 0 {
+			rep.BadBatch = bi
+		}
+		anchor = anchorHash(anchor, root)
+		if anchor != b.Anchor {
+			structural(fmt.Errorf("ledger: batch %d: anchor chain broken", bi))
+		}
+	}
+	for _, ref := range lg.Open {
+		checkRef("open tail", ref)
+	}
+	rep.Batches = len(lg.Batches)
+	if anchor != lg.AnchorHead {
+		structural(errors.New("ledger: recorded anchor head does not match sealed batches"))
+	}
+	rep.OK = rep.Err == nil && rep.BadBatch < 0 && rep.BadStream < 0
+	return rep
+}
+
+// Prove builds an inclusion proof for leaf li of batch bi from the
+// recorded payloads — recomputing the leaf hashes, so a proof that
+// verifies against the sealed root genuinely commits to the recorded
+// bytes, not just to the file's claimed hashes.
+func (lg *Log) Prove(bi, li int) (Proof, error) {
+	if bi < 0 || bi >= len(lg.Batches) {
+		return Proof{}, fmt.Errorf("ledger: prove: batch %d of %d", bi, len(lg.Batches))
+	}
+	b := &lg.Batches[bi]
+	if li < 0 || li >= len(b.Leaves) {
+		return Proof{}, fmt.Errorf("ledger: prove: leaf %d of %d in batch %d", li, len(b.Leaves), bi)
+	}
+	leaves := make([]Hash, len(b.Leaves))
+	for i, ref := range b.Leaves {
+		ps, p, ok := lg.payload(ref)
+		if !ok {
+			return Proof{}, fmt.Errorf("ledger: prove: batch %d references missing record stream=%d seq=%d",
+				bi, ref.Stream, ref.Seq)
+		}
+		leaves[i] = leafHash(ps, p)
+	}
+	return Proof{
+		BatchIndex: bi,
+		LeafIndex:  li,
+		LeafCount:  len(b.Leaves),
+		Leaf:       leaves[li],
+		Path:       proofPath(leaves, li),
+	}, nil
+}
+
+func (lg *Log) payload(ref LeafRef) (uint64, []byte, bool) {
+	for i := range lg.Streams {
+		if lg.Streams[i].Stream == ref.Stream {
+			if ref.Seq >= uint64(len(lg.Streams[i].Payloads)) {
+				return 0, nil, false
+			}
+			return lg.Streams[i].PS[ref.Seq], lg.Streams[i].Payloads[ref.Seq], true
+		}
+	}
+	return 0, nil, false
+}

@@ -89,12 +89,19 @@ const (
 	// GaugeMode is the resilience mode of the adaptive system
 	// (0 nominal, 1 recovering, 2 degraded).
 	GaugeMode
+	// GaugeLedgerEvents is the total events appended to the attached
+	// tamper-evident ledger (0 when no ledger is attached).
+	GaugeLedgerEvents
+	// GaugeLedgerBatches is the number of Merkle batches the attached
+	// ledger has sealed.
+	GaugeLedgerBatches
 	// NumGauges bounds the gauge space.
 	NumGauges
 )
 
 var gaugeNames = [NumGauges]string{
 	"loaded_config", "reconfig_in_flight", "frame_index", "mode",
+	"ledger_events", "ledger_batches",
 }
 
 func (g Gauge) String() string {

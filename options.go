@@ -98,3 +98,31 @@ func WithQuantizedScan() Option {
 func WithoutEarlyReject() Option {
 	return func(o *SystemOptions) { o.ScanNoEarlyReject = true }
 }
+
+// WithEventSink subscribes a consumer to the system's unified typed
+// event stream: every frame verdict, model select, reconfiguration
+// outcome, fault and mode transition, as Event values with stream id,
+// frame index and simulated-ps timestamp. Sinks are invoked
+// synchronously on the frame-processing goroutine in deterministic
+// order; delivery allocates nothing. May be given multiple times.
+func WithEventSink(sink EventSink) Option {
+	return func(o *SystemOptions) { o.EventSinks = append(o.EventSinks, sink) }
+}
+
+// WithLedger attaches a tamper-evident ledger to a standalone system:
+// every event's canonical encoding is appended to a hash chain and
+// Merkle-batched (size-or-simulated-deadline sealing). Detection
+// output is byte-identical with the ledger on, and the scan hot path
+// stays within its allocation budget. Read it back with
+// System.Ledger(); NewSystem still spawns no goroutines, so the
+// wall-clock sealer is engine-only — call Ledger.SealOpen to flush
+// the tail before serializing. Passing nil installs a
+// default-configured ledger.
+func WithLedger(led *Ledger) Option {
+	return func(o *SystemOptions) {
+		if led == nil {
+			led = NewLedger(LedgerConfig{})
+		}
+		o.Ledger = led
+	}
+}

@@ -23,8 +23,9 @@ type Stream struct {
 
 // streamConfig collects the StreamOption knobs over a SystemOptions.
 type streamConfig struct {
-	name string
-	opt  SystemOptions
+	name   string
+	ledger bool
+	opt    SystemOptions
 }
 
 // StreamOption configures a Stream at creation time. Options are
@@ -116,6 +117,25 @@ func WithStreamQuantizedScan() StreamOption {
 // this stream's HOG scans (see WithoutEarlyReject).
 func WithStreamNoEarlyReject() StreamOption {
 	return func(c *streamConfig) { c.opt.ScanNoEarlyReject = true }
+}
+
+// WithStreamEventSink subscribes a consumer to this stream's typed
+// event stream (see WithEventSink). One sink value may subscribe to
+// several streams — EventLog is safe for that — with each event
+// carrying the engine-assigned stream id.
+func WithStreamEventSink(sink EventSink) StreamOption {
+	return func(c *streamConfig) { c.opt.EventSinks = append(c.opt.EventSinks, sink) }
+}
+
+// WithStreamLedger enrolls the stream in the engine's shared
+// tamper-evident ledger: the stream gets its own hash chain (keyed by
+// its engine-assigned id) inside the one engine-level ledger, whose
+// Merkle batches interleave all enrolled streams under a single
+// anchor chain and are sealed by size, simulated-time span, or the
+// engine's wall-clock sealer (joined and flushed by Engine.Close).
+// Access it with Engine.Ledger().
+func WithStreamLedger() StreamOption {
+	return func(c *streamConfig) { c.ledger = true }
 }
 
 // Name returns the stream's fleet label.
