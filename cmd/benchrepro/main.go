@@ -5,15 +5,17 @@
 // Usage:
 //
 //	benchrepro [-table1] [-table2] [-reconfig] [-dark] [-fps] [-fleet]
-//	           [-all] [-quick] [-json file]
+//	           [-all] [-quick] [-json file] [-uhd]
 //
 // With no selection flags, -all is assumed. -quick shrinks the
 // Table I datasets (for CI-speed runs). -json runs the timing-mode
 // performance benchmark plus the fleet capacity experiment (fast, no
 // training) and writes the schema-stable advdet-bench/v1 report
-// (e.g. BENCH_pr8.json) to the given file; combine with other flags
-// to also run those sections. -fleet runs the multi-stream capacity
-// experiment alone, with -fleet-streams/-fleet-frames to scale it.
+// (e.g. BENCH_pr10.json) to the given file; combine with other flags
+// to also run those sections. -uhd additionally measures the temporal
+// scan cache at 3840x2160 for the report's uhd row. -fleet runs the
+// multi-stream capacity experiment alone, with
+// -fleet-streams/-fleet-frames to scale it.
 package main
 
 import (
@@ -43,7 +45,8 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "smaller Table I datasets")
 	repeats := flag.Int("repeats", 1, "measurement repeats per reconfiguration controller")
-	jsonOut := flag.String("json", "", "write the machine-readable advdet-bench/v1 performance report (e.g. BENCH_pr8.json) to this file")
+	jsonOut := flag.String("json", "", "write the machine-readable advdet-bench/v1 performance report (e.g. BENCH_pr10.json) to this file")
+	uhd := flag.Bool("uhd", false, "with -json, add the 3840x2160 temporal-cache cold/warm row (slow: UHD frames)")
 	flag.Parse()
 
 	if !(*t1 || *t2 || *rc || *dk || *fp || *bl || *sw || *av || *fl || *jsonOut != "") {
@@ -54,6 +57,13 @@ func main() {
 		rep, err := experiments.PerfBench()
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *uhd {
+			u, err := experiments.TemporalBench(3840, 2160, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.UHD = &u
 		}
 		experiments.WritePerf(os.Stdout, rep)
 		f, err := os.Create(*jsonOut)

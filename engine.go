@@ -56,6 +56,7 @@ type Engine struct {
 	disp          *fleet.Dispatcher
 	rollup        *metrics.Fleet
 	scanQuantized bool
+	scanTemporal  bool
 
 	mu     sync.Mutex
 	nextID int
@@ -69,6 +70,7 @@ type engineConfig struct {
 	parallelism   int
 	fleet         fleet.Config
 	scanQuantized bool
+	scanTemporal  bool
 }
 
 // EngineOption configures an Engine at construction time.
@@ -104,6 +106,16 @@ func WithEngineQuantizedScan() EngineOption {
 	return func(c *engineConfig) { c.scanQuantized = true }
 }
 
+// WithEngineTemporalCache makes the temporal scan cache the default
+// for every stream opened on the engine (see WithTemporalCache). Each
+// stream still gets its own caches — only the default is shared —
+// so streams never alias each other's frame history. Individual
+// streams can opt out by passing WithStreamSystemOptions with
+// ScanTemporalCache unset.
+func WithEngineTemporalCache() EngineOption {
+	return func(c *engineConfig) { c.scanTemporal = true }
+}
+
 // WithBatchPolicy shapes the size-or-deadline batcher: a batch is
 // flushed to the executors when it holds maxBatch frames or when its
 // oldest frame has waited maxWait, whichever comes first. Zero values
@@ -129,6 +141,7 @@ func NewEngine(dets Detectors, opts ...EngineOption) *Engine {
 		disp:          fleet.NewDispatcher(cfg.fleet),
 		rollup:        metrics.NewFleet(),
 		scanQuantized: cfg.scanQuantized,
+		scanTemporal:  cfg.scanTemporal,
 	}
 }
 
@@ -199,6 +212,7 @@ func (e *Engine) Close() {
 func (e *Engine) NewStream(opts ...StreamOption) (*Stream, error) {
 	cfg := streamConfig{opt: DefaultSystemOptions()}
 	cfg.opt.ScanQuantized = e.scanQuantized
+	cfg.opt.ScanTemporalCache = e.scanTemporal
 	for _, o := range opts {
 		o(&cfg)
 	}

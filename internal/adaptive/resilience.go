@@ -139,6 +139,7 @@ func (s *System) requestReconfig(target ConfigID) {
 	s.pending = true
 	s.pendTarget = target
 	s.retries = 0
+	s.invalidateTemporalCaches()
 	s.recIdx = len(s.stats.Reconfigs)
 	s.stats.Reconfigs = append(s.stats.Reconfigs, Reconfiguration{
 		Frame:   s.frameIdx,

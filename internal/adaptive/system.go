@@ -59,25 +59,68 @@ type Detectors struct {
 // so the per-system flags must never write through the shared
 // pointers.
 func (d Detectors) withScanOptions(opt Options) Detectors {
-	if !opt.ScanQuantized && !opt.ScanNoEarlyReject {
+	if !opt.ScanQuantized && !opt.ScanNoEarlyReject && !opt.ScanTemporalCache {
 		return d
 	}
+	// Each clone gets its OWN temporal cache: a cache binds a detector
+	// to one frame sequence, so sharing one across streams (or across
+	// the day/dusk/pedestrian scans of one stream, which see different
+	// pyramids) would poison it every frame.
 	if d.Day != nil {
 		c := *d.Day
 		c.Quantized, c.NoEarlyReject = opt.ScanQuantized, opt.ScanNoEarlyReject
+		if opt.ScanTemporalCache {
+			c.Temporal = pipeline.NewTemporalCache()
+		}
 		d.Day = &c
 	}
 	if d.Dusk != nil {
 		c := *d.Dusk
 		c.Quantized, c.NoEarlyReject = opt.ScanQuantized, opt.ScanNoEarlyReject
+		if opt.ScanTemporalCache {
+			c.Temporal = pipeline.NewTemporalCache()
+		}
 		d.Dusk = &c
 	}
 	if d.Pedestrian != nil {
 		c := *d.Pedestrian
 		c.Quantized, c.NoEarlyReject = opt.ScanQuantized, opt.ScanNoEarlyReject
+		if opt.ScanTemporalCache {
+			c.Temporal = pipeline.NewTemporalCache()
+		}
 		d.Pedestrian = &c
 	}
 	return d
+}
+
+// invalidateTemporalCaches drops every per-detector temporal scan
+// cache. Called when a partial reconfiguration is requested: the
+// hardware analogue (persistent BRAM line buffers in the vehicle
+// partition) does not survive a fabric rewrite, and the frame dropped
+// during reconfiguration breaks the consecutive-frame contract the
+// cache's dirty-tile deltas assume.
+func (s *System) invalidateTemporalCaches() {
+	for _, tc := range []*pipeline.TemporalCache{
+		detTemporal(s.Dets.Day), detTemporal(s.Dets.Dusk), pedTemporal(s.Dets.Pedestrian),
+	} {
+		if tc != nil {
+			tc.Invalidate()
+		}
+	}
+}
+
+func detTemporal(d *pipeline.DayDuskDetector) *pipeline.TemporalCache {
+	if d == nil {
+		return nil
+	}
+	return d.Temporal
+}
+
+func pedTemporal(d *pipeline.PedestrianDetector) *pipeline.TemporalCache {
+	if d == nil {
+		return nil
+	}
+	return d.Temporal
 }
 
 // Options configures the system.
@@ -130,6 +173,14 @@ type Options struct {
 	// ScanNoEarlyReject disables the partial-margin early exit in the
 	// HOG scans, scoring every window from the full response plane.
 	ScanNoEarlyReject bool
+	// ScanTemporalCache reuses each HOG detector's feature/block/
+	// response stack across consecutive frames, recomputing only what
+	// each frame's dirty tiles invalidate (byte-identical output; see
+	// pipeline.NewTemporalCache). Every detector clone gets its own
+	// cache, so the option is safe across streams sharing Detectors.
+	// Caches are invalidated whenever a partial reconfiguration is
+	// requested.
+	ScanTemporalCache bool
 	// EventSinks subscribes consumers to the unified typed event
 	// stream: every frame verdict, model select, reconfiguration
 	// outcome, fault and mode transition (see Event). Sinks are called
@@ -678,6 +729,15 @@ func (s *System) detectVehicles(ctx context.Context, sc *synth.Scene, cond synth
 		s.metrics.StageObserve(metrics.StageScanBlocks, 0, uint64(tm.Blocks))
 		s.metrics.StageObserve(metrics.StageScanResponse, 0, uint64(tm.Response))
 		s.metrics.StageObserve(metrics.StageScanWindows, 0, uint64(tm.Windows))
+		if tm.TemporalPath {
+			s.metrics.StageObserve(metrics.StageScanTemporal, 0, uint64(tm.Temporal))
+			s.metrics.TileAdd(metrics.TileHits, uint64(tm.TileHits))
+			s.metrics.TileAdd(metrics.TileMisses, uint64(tm.TileMisses))
+			s.metrics.TileAdd(metrics.TileRefresh, uint64(tm.TileRefreshes))
+			if total := tm.TileHits + tm.TileMisses + tm.TileRefreshes; total > 0 {
+				s.metrics.SetGauge(metrics.GaugeTileHitRate, uint64(tm.TileHits*10000/total))
+			}
+		}
 	}
 	return dets, err
 }

@@ -73,7 +73,30 @@ type PerfReport struct {
 	// a standalone stream (additive in advdet-bench/v1).
 	Fleet *FleetPerf `json:"fleet,omitempty"`
 
+	// Temporal scan cache over a static-camera highway sequence at
+	// 640x360: per-frame cost without the cache, with it, and the
+	// steady-state tile hit rate (additive in advdet-bench/v1).
+	ScanTemporalColdMS float64 `json:"scan_temporal_cold_ms"`
+	ScanTemporalWarmMS float64 `json:"scan_temporal_warm_ms"`
+	TileHitRate        float64 `json:"tile_hit_rate"`
+
+	// UHD repeats the temporal comparison at 3840x2160 when benchrepro
+	// runs with -uhd (additive in advdet-bench/v1).
+	UHD *TemporalPerf `json:"uhd,omitempty"`
+
 	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// TemporalPerf is one resolution's cold-vs-warm temporal-cache scan
+// comparison: the same static-camera highway sequence scanned without
+// and then with the cross-frame cache attached.
+type TemporalPerf struct {
+	W           int     `json:"w"`
+	H           int     `json:"h"`
+	ColdMS      float64 `json:"cold_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+	SpeedupX    float64 `json:"speedup_x"`
+	TileHitRate float64 `json:"tile_hit_rate"`
 }
 
 // ScanStagePerf is one scan sub-stage's wall time inside a PerfReport.
@@ -222,6 +245,17 @@ func PerfBench() (PerfReport, error) {
 		rep.ScanEarlySpeedupX = rep.ScanFullMarginMS / rep.ScanEarlyRejectMS
 	}
 
+	// Temporal scan cache: the same scan geometry over a static-camera
+	// highway sequence, cold vs warm — the cache's intended deployment
+	// (a fixed roadside camera, consecutive frames mostly unchanged).
+	tp, err := TemporalBench(640, 360, 8)
+	if err != nil {
+		return rep, err
+	}
+	rep.ScanTemporalColdMS = tp.ColdMS
+	rep.ScanTemporalWarmMS = tp.WarmMS
+	rep.TileHitRate = tp.TileHitRate
+
 	results, err := ReconfigComparison(1)
 	if err != nil {
 		return rep, err
@@ -241,6 +275,57 @@ func PerfBench() (PerfReport, error) {
 	}
 	rep.Fleet = &fl
 	return rep, nil
+}
+
+// TemporalBench measures the temporal scan cache's cold-vs-warm cost
+// at one resolution: a static-camera highway sequence (3 moving
+// vehicles over a fixed backdrop) is scanned serially frames+1 times
+// without a cache and then with one, reporting the mean per-frame
+// wall time of each lane past the first frame — which the warm lane
+// spends filling the cache and the cold lane uses as its own warm-up,
+// so both lanes time only steady-state frames. Detections are
+// byte-identical between the lanes by the cache's contract.
+func TemporalBench(w, h, frames int) (TemporalPerf, error) {
+	tp := TemporalPerf{W: w, H: h}
+	wrng := synth.NewRNG(17)
+	wts := make([]float64, hog.DefaultConfig().DescriptorLen(pipeline.VehicleWindow, pipeline.VehicleWindow))
+	for i := range wts {
+		wts[i] = 0.05 * wrng.Norm()
+	}
+	det := pipeline.NewDayDuskDetector(&svm.Model{W: wts, Bias: -0.1})
+	sh := synth.NewStaticHighway(10, w, h, synth.Day, 3)
+	grays := make([]*img.Gray, frames+1)
+	for i := range grays {
+		grays[i] = img.RGBToGray(sh.Frame(i).Frame)
+	}
+	ctx := context.Background() // lint:ctxroot benchmark harness owns the run
+	lane := func(tc *pipeline.TemporalCache) (float64, error) {
+		d := *det
+		d.Temporal = tc
+		if _, err := d.DetectCtx(ctx, grays[0], 1); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for _, g := range grays[1:] {
+			if _, err := d.DetectCtx(ctx, g, 1); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds() * 1e3 / float64(frames), nil
+	}
+	var err error
+	if tp.ColdMS, err = lane(nil); err != nil {
+		return tp, err
+	}
+	tc := pipeline.NewTemporalCache()
+	if tp.WarmMS, err = lane(tc); err != nil {
+		return tp, err
+	}
+	tp.TileHitRate = tc.Stats().HitRate()
+	if tp.WarmMS > 0 {
+		tp.SpeedupX = tp.ColdMS / tp.WarmMS
+	}
+	return tp, nil
 }
 
 // WritePerfJSON writes the report as indented JSON.
@@ -272,6 +357,15 @@ func WritePerf(w io.Writer, p PerfReport) {
 			"quantized %.2f ms, descriptor %.2f ms\n",
 			p.ScanEarlyRejectMS, p.ScanFullMarginMS, p.ScanEarlySpeedupX,
 			p.ScanQuantizedMS, p.ScanDescriptorMS)
+	}
+	if p.ScanTemporalColdMS > 0 {
+		fmt.Fprintf(w, "  temporal cache (static camera, 640x360): cold %.2f ms, warm %.2f ms (%.2fx), tile hit rate %.1f%%\n",
+			p.ScanTemporalColdMS, p.ScanTemporalWarmMS,
+			p.ScanTemporalColdMS/p.ScanTemporalWarmMS, 100*p.TileHitRate)
+	}
+	if p.UHD != nil {
+		fmt.Fprintf(w, "  temporal cache (static camera, %dx%d): cold %.2f ms, warm %.2f ms (%.2fx), tile hit rate %.1f%%\n",
+			p.UHD.W, p.UHD.H, p.UHD.ColdMS, p.UHD.WarmMS, p.UHD.SpeedupX, 100*p.UHD.TileHitRate)
 	}
 	for _, c := range p.Controllers {
 		fmt.Fprintf(w, "  controller %-12s %7.1f MB/s, %7.2f ms per 8 MB bitstream\n",

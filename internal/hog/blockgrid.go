@@ -2,6 +2,7 @@ package hog
 
 import (
 	"context"
+	"fmt"
 
 	"advdet/internal/par"
 )
@@ -85,24 +86,65 @@ func (bg *BlockGrid) ComputeCtx(ctx context.Context, fm *FeatureMap, workers int
 // this stage runs once per pyramid level per frame and its memory
 // traffic is on the scan's critical path.
 func (bg *BlockGrid) normalizeRow(fm *FeatureMap, cy int) {
-	c := bg.Cfg
 	for cx := 0; cx < bg.nbx; cx++ {
-		blk := bg.norm[(cy*bg.nbx+cx)*bg.blockLen:][:bg.blockLen]
-		j := 0
-		var ss float64
-		for dy := 0; dy < c.BlockCells; dy++ {
-			row := ((cy+dy)*fm.cw + cx) * c.Bins
-			for dx := 0; dx < c.BlockCells; dx++ {
-				src := fm.hist[row+dx*c.Bins : row+(dx+1)*c.Bins]
-				for i, x := range src {
-					blk[j+i] = x
-					ss += x * x
-				}
-				j += c.Bins
-			}
-		}
-		l2hysSS(blk, c.ClipL2Hys, ss)
+		bg.normalizeBlock(fm, cx, cy)
 	}
+}
+
+// normalizeBlock copies and L2Hys-normalizes the single block whose
+// top-left cell is (cx, cy) — the per-block body of normalizeRow,
+// byte for byte: a block's vector is a pure function of its own cells,
+// so refreshing one block in place is bitwise identical to the full
+// row pass. The temporal scan cache leans on exactly that.
+//
+// lint:hotpath
+func (bg *BlockGrid) normalizeBlock(fm *FeatureMap, cx, cy int) {
+	c := bg.Cfg
+	blk := bg.norm[(cy*bg.nbx+cx)*bg.blockLen:][:bg.blockLen]
+	j := 0
+	var ss float64
+	for dy := 0; dy < c.BlockCells; dy++ {
+		row := ((cy+dy)*fm.cw + cx) * c.Bins
+		for dx := 0; dx < c.BlockCells; dx++ {
+			src := fm.hist[row+dx*c.Bins : row+(dx+1)*c.Bins]
+			for i, x := range src {
+				blk[j+i] = x
+				ss += x * x
+			}
+			j += c.Bins
+		}
+	}
+	l2hysSS(blk, c.ClipL2Hys, ss)
+}
+
+// ComputeDirtyCtx refreshes only the blocks marked in dirty (an
+// nbx*nby row-major mask, as produced by DilateCellsToBlocks), leaving
+// every other block's normalized vector untouched from the previous
+// ComputeCtx against the same feature map. The caller guarantees that
+// unmarked blocks' cells are unchanged since that pass; the refreshed
+// grid is then bitwise identical to a full recompute at every worker
+// count. It fails, without touching the grid, on any geometry mismatch
+// with the cached pass.
+//
+// lint:hotpath
+func (bg *BlockGrid) ComputeDirtyCtx(ctx context.Context, fm *FeatureMap, workers int, dirty []bool) error {
+	c := fm.Cfg
+	nbx, nby := fm.cw-c.BlockCells+1, fm.ch-c.BlockCells+1
+	if c != bg.Cfg || nbx != bg.nbx || nby != bg.nby {
+		return fmt.Errorf("hog: dirty refresh of %dx%d block grid from %dx%d cell map", bg.nbx, bg.nby, fm.cw, fm.ch) // lint:alloc cold validation error path; callers invalidate and recompute fully
+	}
+	if len(dirty) != nbx*nby {
+		return fmt.Errorf("hog: dirty mask holds %d blocks, grid has %dx%d", len(dirty), nbx, nby) // lint:alloc cold validation error path
+	}
+	return par.ForEach(ctx, workers, nby, func(cy int) {
+		row := dirty[cy*nbx : (cy+1)*nbx]
+		for cx, d := range row {
+			if !d {
+				continue
+			}
+			bg.normalizeBlock(fm, cx, cy)
+		}
+	})
 }
 
 // Dims returns the block-grid dimensions (blocks per axis).

@@ -2,6 +2,7 @@ package hog
 
 import (
 	"context"
+	"fmt"
 
 	"advdet/internal/img"
 	"advdet/internal/par"
@@ -114,6 +115,47 @@ func (m *FeatureMap) ComputeCtx(ctx context.Context, c Config, g *img.Gray, work
 	binWidth := 180.0 / float64(c.Bins)
 	return par.ForEach(ctx, workers, ch, func(cy int) {
 		c.cellRowHistograms(g.W, cy, cw, mag, ang, binWidth, m.hist)
+	})
+}
+
+// SupportsDirtyRefresh reports whether ComputeDirtyCtx can refresh
+// this configuration's cells selectively: only the fused LUT path has
+// the per-cell recompute whose accumulation order is provably
+// identical to the full pass. Other bin counts must recompute the
+// whole map.
+func (c Config) SupportsDirtyRefresh() bool { return c.Bins == lutBins }
+
+// ComputeDirtyCtx refreshes only the cells marked in dirty (a cw*ch
+// row-major mask, as produced by TileMap.DirtyCellMask), leaving every
+// other cell's histogram untouched from the previous ComputeCtx. The
+// caller guarantees that unmarked cells' input pixels — including the
+// one-pixel replicate-padded stencil border — are unchanged since that
+// pass; the refreshed map is then bitwise identical to a full
+// recompute at every worker count. It fails, without touching the map,
+// when the config or image geometry differs from the cached pass or
+// the config has no LUT path (SupportsDirtyRefresh).
+//
+// lint:hotpath
+func (m *FeatureMap) ComputeDirtyCtx(ctx context.Context, c Config, g *img.Gray, workers int, dirty []bool) error {
+	c.validate()
+	if c != m.Cfg || g.W != m.W || g.H != m.H {
+		return fmt.Errorf("hog: dirty refresh of %dx%d %+v map with %dx%d %+v inputs", m.W, m.H, m.Cfg, g.W, g.H, c) // lint:alloc cold validation error path; callers invalidate and recompute fully
+	}
+	if c.Bins != lutBins {
+		return fmt.Errorf("hog: dirty refresh requires the %d-bin LUT path, config has %d bins", lutBins, c.Bins) // lint:alloc cold validation error path
+	}
+	if len(dirty) != m.cw*m.ch {
+		return fmt.Errorf("hog: dirty mask holds %d cells, grid has %dx%d", len(dirty), m.cw, m.ch) // lint:alloc cold validation error path
+	}
+	ensureHistLUT()
+	return par.ForEach(ctx, workers, m.ch, func(cy int) {
+		row := dirty[cy*m.cw : (cy+1)*m.cw]
+		for cx, d := range row {
+			if !d {
+				continue
+			}
+			c.cellHistogramLUT(g.Pix, g.W, g.H, cx, cy, m.hist[(cy*m.cw+cx)*lutBins:][:lutBins])
+		}
 	})
 }
 

@@ -109,3 +109,41 @@ func (c Config) cellRowHistogramsLUT(pix []uint8, imgW, imgH, cy, cw int, hist [
 		}
 	}
 }
+
+// cellHistogramLUT recomputes the single cell (cx, cy) through the
+// fused LUT path. Its pixels are visited in the same y-major,
+// x-ascending order a cell's contributions arrive in under
+// cellRowHistogramsLUT, and every increment is the same tabulated
+// float64, so the refreshed cell is bitwise identical to a full
+// recompute — the property the temporal scan cache's byte-identity
+// contract rests on.
+//
+// lint:hotpath
+func (c Config) cellHistogramLUT(pix []uint8, imgW, imgH, cx, cy int, cell []float64) {
+	cs := c.CellSize
+	clear(cell)
+	for y := cy * cs; y < (cy+1)*cs; y++ {
+		yu, yd := y-1, y+1
+		if yu < 0 {
+			yu = 0
+		}
+		if yd >= imgH {
+			yd = imgH - 1
+		}
+		up := pix[yu*imgW : yu*imgW+imgW]
+		down := pix[yd*imgW : yd*imgW+imgW]
+		row := pix[y*imgW : y*imgW+imgW]
+		for x := cx * cs; x < (cx+1)*cs; x++ {
+			xl, xr := x-1, x+1
+			if xl < 0 {
+				xl = 0
+			}
+			if xr >= imgW {
+				xr = imgW - 1
+			}
+			e := &histLUT[histLUTIndex(int(row[xr])-int(row[xl]), int(down[x])-int(up[x]))]
+			cell[e.b0] += e.w0
+			cell[e.b1] += e.w1
+		}
+	}
+}

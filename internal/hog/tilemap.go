@@ -1,0 +1,248 @@
+package hog
+
+import (
+	"encoding/binary"
+
+	"advdet/internal/img"
+)
+
+// TileMap fingerprints one pyramid level for cross-frame reuse: the
+// level is split into cell-aligned square tiles (DefaultTileSize
+// pixels, a whole number of HOG cells), each tile's source pixels are
+// hashed with a cheap 64-bit mixing hash, and Update compares the new
+// fingerprints against the previous frame's to decide which tiles —
+// and therefore which gradient/histogram cells and normalized blocks —
+// actually changed. This is the software analogue of the FPGA
+// pipeline's persistent BRAM line buffers: state that survives the
+// frame boundary so the datapath only touches what the camera changed.
+//
+// Equality is judged by 64-bit hash, so a colliding pair of distinct
+// tiles would be (wrongly) treated as unchanged; at 2^-64 per tile
+// pair the callers' byte-identical guarantee is probabilistic in
+// exactly the way content-addressed stores are. A dimension change
+// between Updates discards every fingerprint: two levels of different
+// geometry can alias tile hashes (a constant-color tile hashes
+// identically under any row stride) while the downstream cell grid
+// changes shape, which is the same stale-state class as the scan
+// scratch's setLevels shrink seam.
+//
+// A TileMap serves one frame sequence at a time; it is not safe for
+// concurrent Updates.
+type TileMap struct {
+	tile   int // tile side in pixels (multiple of the cell size)
+	w, h   int // level dimensions the fingerprints describe
+	tx, ty int // tiles per axis
+	hash   []uint64
+	dirty  []bool
+	valid  bool // false: no comparable fingerprints (fresh or invalidated)
+}
+
+// DefaultTileSize is the tile side used by the temporal scan cache:
+// 64 px = 8 HOG cells, small enough that a moving vehicle dirties a
+// handful of tiles, large enough that hashing stays a trivial fraction
+// of the feature stage it elides.
+const DefaultTileSize = 64
+
+// NewTileMap returns a tile map with the given tile side, which must
+// be a positive multiple of the configured cell size (validated by the
+// caller via AlignedTile; DefaultTileSize fits every shipped config).
+func NewTileMap(tile int) *TileMap {
+	if tile <= 0 {
+		tile = DefaultTileSize
+	}
+	return &TileMap{tile: tile}
+}
+
+// TileSize returns the tile side in pixels.
+func (t *TileMap) TileSize() int { return t.tile }
+
+// Dims returns the tile-grid dimensions of the last Update.
+func (t *TileMap) Dims() (tx, ty int) { return t.tx, t.ty }
+
+// Dirty reports whether tile (x, y) changed in the last Update.
+func (t *TileMap) Dirty(x, y int) bool { return t.dirty[y*t.tx+x] }
+
+// Invalidate discards every fingerprint: the next Update reports all
+// tiles dirty as refreshes. Callers use this when anything upstream of
+// the pixels changes — model swap, reconfiguration, config change.
+func (t *TileMap) Invalidate() { t.valid = false }
+
+// Update rehashes g's tiles against the previous frame's fingerprints
+// and records which tiles changed. It returns the number of tiles
+// whose hash differs from a comparable previous fingerprint (misses),
+// the number hashed with no comparable fingerprint (refreshes: first
+// frame, explicit Invalidate, or a dimension change), and the total;
+// hits are total - misses - refreshes. After Update the dirty mask
+// answers Dirty and feeds DirtyCellMask.
+func (t *TileMap) Update(g *img.Gray) (misses, refreshes, total int) {
+	tx := (g.W + t.tile - 1) / t.tile
+	ty := (g.H + t.tile - 1) / t.tile
+	if g.W != t.w || g.H != t.h {
+		// Dimension change: every fingerprint describes a different
+		// pixel layout; comparing hashes across strides is unsound.
+		t.valid = false
+		t.w, t.h, t.tx, t.ty = g.W, g.H, tx, ty
+	}
+	n := tx * ty
+	if cap(t.hash) < n {
+		t.hash = make([]uint64, n) // lint:alloc grows once per level geometry, then reused across frames
+	}
+	t.hash = t.hash[:n]
+	if cap(t.dirty) < n {
+		t.dirty = make([]bool, n) // lint:alloc grows once per level geometry, then reused across frames
+	}
+	t.dirty = t.dirty[:n]
+
+	total = n
+	fresh := !t.valid
+	for tyi := 0; tyi < ty; tyi++ {
+		y0 := tyi * t.tile
+		y1 := y0 + t.tile
+		if y1 > g.H {
+			y1 = g.H
+		}
+		for txi := 0; txi < tx; txi++ {
+			x0 := txi * t.tile
+			x1 := x0 + t.tile
+			if x1 > g.W {
+				x1 = g.W
+			}
+			h := hashTile(g.Pix, g.W, x0, y0, x1, y1)
+			i := tyi*tx + txi
+			if fresh {
+				t.dirty[i] = true
+				refreshes++
+			} else if h != t.hash[i] {
+				t.dirty[i] = true
+				misses++
+			} else {
+				t.dirty[i] = false
+			}
+			t.hash[i] = h
+		}
+	}
+	t.valid = true
+	return misses, refreshes, total
+}
+
+// hashTile mixes the tile's pixel bytes into a 64-bit fingerprint:
+// 8-byte little-endian chunks folded with the golden-ratio multiply
+// and a shift-xor finalizer per row, bytewise tail. Row offsets are
+// mixed in so translated content cannot cancel, and the seed keeps the
+// all-zero tile distinct from the empty one.
+func hashTile(pix []uint8, stride, x0, y0, x1, y1 int) uint64 {
+	const mul = 0x9e3779b97f4a7c15
+	h := uint64(0x8a5cd789635d2dff) ^ uint64(x1-x0)<<32 ^ uint64(y1-y0)
+	for y := y0; y < y1; y++ {
+		row := pix[y*stride+x0 : y*stride+x1]
+		h ^= uint64(y) + 1
+		for len(row) >= 8 {
+			h = (h ^ binary.LittleEndian.Uint64(row)) * mul
+			h ^= h >> 29
+			row = row[8:]
+		}
+		if len(row) > 0 {
+			var tail uint64
+			for i, b := range row {
+				tail |= uint64(b) << (8 * i)
+			}
+			h = (h ^ (tail | 1<<63)) * mul
+			h ^= h >> 29
+		}
+	}
+	return h
+}
+
+// AlignedTile reports whether the tile side is a positive multiple of
+// the config's cell size, the precondition for DirtyCellMask's
+// tile-to-cell arithmetic.
+func (c Config) AlignedTile(tile int) bool {
+	return tile > 0 && tile%c.CellSize == 0
+}
+
+// DirtyCellMask expands the last Update's dirty tiles into a per-cell
+// dirty mask over the cw x ch cell grid, with a one-cell halo around
+// every dirty tile. The halo over-covers the gradient stage's one-pixel
+// replicate-padded stencil, so every cell whose histogram could read a
+// changed pixel is marked; unmarked cells are pure functions of
+// hash-unchanged pixels. dst must hold cw*ch entries and is fully
+// overwritten. It returns the number of dirty cells.
+func (t *TileMap) DirtyCellMask(c Config, cw, ch int, dst []bool) int {
+	clear(dst)
+	tcells := t.tile / c.CellSize
+	n := 0
+	for tyi := 0; tyi < t.ty; tyi++ {
+		for txi := 0; txi < t.tx; txi++ {
+			if !t.dirty[tyi*t.tx+txi] {
+				continue
+			}
+			cx0, cy0 := txi*tcells-1, tyi*tcells-1
+			cx1, cy1 := (txi+1)*tcells, (tyi+1)*tcells
+			if cx0 < 0 {
+				cx0 = 0
+			}
+			if cy0 < 0 {
+				cy0 = 0
+			}
+			if cx1 >= cw {
+				cx1 = cw - 1
+			}
+			if cy1 >= ch {
+				cy1 = ch - 1
+			}
+			for cy := cy0; cy <= cy1; cy++ {
+				row := dst[cy*cw : (cy+1)*cw]
+				for cx := cx0; cx <= cx1; cx++ {
+					if !row[cx] {
+						row[cx] = true
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// DilateCellsToBlocks expands a dirty-cell mask into the dirty-block
+// mask of the corresponding BlockGrid: block (bx, by) reads cells
+// [bx, bx+BlockCells) x [by, by+BlockCells), so every block whose
+// window of cells contains a dirty cell is marked. dst must hold
+// nbx*nby entries and is fully overwritten; the return is the number
+// of dirty blocks.
+func DilateCellsToBlocks(c Config, cells []bool, cw int, nbx, nby int, dst []bool) int {
+	clear(dst)
+	n := 0
+	for cy := 0; cy*cw < len(cells); cy++ {
+		row := cells[cy*cw : (cy+1)*cw]
+		for cx, d := range row {
+			if !d {
+				continue
+			}
+			bx0, by0 := cx-c.BlockCells+1, cy-c.BlockCells+1
+			if bx0 < 0 {
+				bx0 = 0
+			}
+			if by0 < 0 {
+				by0 = 0
+			}
+			bx1, by1 := cx, cy
+			if bx1 >= nbx {
+				bx1 = nbx - 1
+			}
+			if by1 >= nby {
+				by1 = nby - 1
+			}
+			for by := by0; by <= by1; by++ {
+				brow := dst[by*nbx : (by+1)*nbx]
+				for bx := bx0; bx <= bx1; bx++ {
+					if !brow[bx] {
+						brow[bx] = true
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package hog
+
+import (
+	"testing"
+
+	"advdet/internal/img"
+)
+
+func tmFrame(w, h int, fill uint8) *img.Gray {
+	g := img.NewGray(w, h)
+	g.Fill(fill)
+	return g
+}
+
+func TestTileMapUpdateLifecycle(t *testing.T) {
+	tm := NewTileMap(0)
+	if tm.TileSize() != DefaultTileSize {
+		t.Fatalf("default tile size = %d, want %d", tm.TileSize(), DefaultTileSize)
+	}
+	g := tmFrame(200, 130, 100) // 4x3 tiles, ragged right and bottom
+	misses, refreshes, total := tm.Update(g)
+	if tx, ty := tm.Dims(); tx != 4 || ty != 3 {
+		t.Fatalf("dims = %dx%d, want 4x3", tx, ty)
+	}
+	if misses != 0 || refreshes != 12 || total != 12 {
+		t.Fatalf("first update = (%d, %d, %d), want all 12 refreshes", misses, refreshes, total)
+	}
+
+	// Unchanged frame: everything clean.
+	misses, refreshes, total = tm.Update(g)
+	if misses != 0 || refreshes != 0 || total != 12 {
+		t.Fatalf("unchanged update = (%d, %d, %d), want all clean", misses, refreshes, total)
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			if tm.Dirty(x, y) {
+				t.Fatalf("tile (%d,%d) dirty on an unchanged frame", x, y)
+			}
+		}
+	}
+
+	// One pixel changed: exactly its tile misses.
+	g.Pix[70*g.W+70] ^= 0xff // tile (1, 1)
+	misses, refreshes, _ = tm.Update(g)
+	if misses != 1 || refreshes != 0 {
+		t.Fatalf("single-pixel update = (%d, %d), want one miss", misses, refreshes)
+	}
+	if !tm.Dirty(1, 1) || tm.Dirty(0, 0) || tm.Dirty(2, 1) {
+		t.Fatal("dirty mask does not isolate the changed tile")
+	}
+
+	// Invalidate: all refreshes again.
+	tm.Invalidate()
+	misses, refreshes, _ = tm.Update(g)
+	if misses != 0 || refreshes != 12 {
+		t.Fatalf("post-invalidate update = (%d, %d), want all refreshes", misses, refreshes)
+	}
+}
+
+// TestTileMapDimensionChangeRefreshes pins the shrink-seam guard: a
+// constant-color frame hashes its full tiles identically under any row
+// stride, so without the exact-dimension check a 200->196 px shrink
+// that keeps the tile count would wrongly report interior tiles clean.
+func TestTileMapDimensionChangeRefreshes(t *testing.T) {
+	tm := NewTileMap(64)
+	tm.Update(tmFrame(200, 130, 77))
+	misses, refreshes, total := tm.Update(tmFrame(196, 130, 77)) // still 4x3 tiles
+	if tx, ty := tm.Dims(); tx != 4 || ty != 3 {
+		t.Fatalf("dims = %dx%d, want 4x3", tx, ty)
+	}
+	if misses != 0 || refreshes != total {
+		t.Fatalf("shrunk update = (%d, %d, %d), want every tile refreshed", misses, refreshes, total)
+	}
+}
+
+// TestHashTileSensitivity spot-checks the fingerprint: translation,
+// single-byte flips in body and tail, and content/padding swaps all
+// change the hash.
+func TestHashTileSensitivity(t *testing.T) {
+	g := tmFrame(100, 100, 0)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(i*31 + i/100)
+	}
+	base := hashTile(g.Pix, g.W, 0, 0, 70, 70) // ragged: 8-byte chunks + 6-byte tail
+	if hashTile(g.Pix, g.W, 1, 0, 71, 70) == base {
+		t.Fatal("horizontal translation not detected")
+	}
+	if hashTile(g.Pix, g.W, 0, 1, 70, 71) == base {
+		t.Fatal("vertical translation not detected")
+	}
+	g.Pix[10] ^= 1
+	if hashTile(g.Pix, g.W, 0, 0, 70, 70) == base {
+		t.Fatal("body byte flip not detected")
+	}
+	g.Pix[10] ^= 1
+	g.Pix[69] ^= 1 // last column of row 0: tail bytes
+	if hashTile(g.Pix, g.W, 0, 0, 70, 70) == base {
+		t.Fatal("tail byte flip not detected")
+	}
+	g.Pix[69] ^= 1
+	if hashTile(g.Pix, g.W, 0, 0, 70, 70) != base {
+		t.Fatal("hash not deterministic")
+	}
+	if hashTile(g.Pix, g.W, 0, 0, 64, 70) == hashTile(g.Pix, g.W, 0, 0, 70, 70) {
+		t.Fatal("width change not folded into the hash")
+	}
+}
+
+func TestAlignedTile(t *testing.T) {
+	c := DefaultConfig() // CellSize 8
+	if !c.AlignedTile(DefaultTileSize) || !c.AlignedTile(8) {
+		t.Fatal("cell-aligned tile rejected")
+	}
+	if c.AlignedTile(0) || c.AlignedTile(-8) || c.AlignedTile(60) {
+		t.Fatal("misaligned tile accepted")
+	}
+}
+
+// TestDirtyCellMaskHalo checks the one-cell halo: a single dirty tile
+// marks its own cells plus one ring, clamped at the grid edge.
+func TestDirtyCellMaskHalo(t *testing.T) {
+	tm := NewTileMap(64) // 8 cells per tile at CellSize 8
+	c := DefaultConfig()
+	g := tmFrame(192, 192, 50) // 3x3 tiles, 24x24 cells
+	tm.Update(g)
+	g.Pix[70*g.W+70] ^= 0xff // dirty tile (1,1) only
+	tm.Update(g)
+	cw, ch := 24, 24
+	dst := make([]bool, cw*ch)
+	n := tm.DirtyCellMask(c, cw, ch, dst)
+	// Tile (1,1) covers cells [8,16); the halo extends to [7,16].
+	want := 0
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			in := cx >= 7 && cx <= 16 && cy >= 7 && cy <= 16
+			if dst[cy*cw+cx] != in {
+				t.Fatalf("cell (%d,%d) dirty=%v, want %v", cx, cy, dst[cy*cw+cx], in)
+			}
+			if in {
+				want++
+			}
+		}
+	}
+	if n != want {
+		t.Fatalf("dirty cell count = %d, want %d", n, want)
+	}
+}
+
+// TestDilateCellsToBlocks checks the block expansion: block (bx,by)
+// reads cells [bx, bx+BlockCells), so a dirty cell marks the BlockCells
+// x BlockCells square of blocks up and left of it.
+func TestDilateCellsToBlocks(t *testing.T) {
+	c := DefaultConfig() // BlockCells 2
+	cw, ch := 10, 8
+	nbx, nby := cw-c.BlockCells+1, ch-c.BlockCells+1
+	cells := make([]bool, cw*ch)
+	cells[3*cw+4] = true // cell (4,3)
+	dst := make([]bool, nbx*nby)
+	n := DilateCellsToBlocks(c, cells, cw, nbx, nby, dst)
+	if n != 4 {
+		t.Fatalf("dirty blocks = %d, want 4", n)
+	}
+	for by := 0; by < nby; by++ {
+		for bx := 0; bx < nbx; bx++ {
+			in := bx >= 3 && bx <= 4 && by >= 2 && by <= 3
+			if dst[by*nbx+bx] != in {
+				t.Fatalf("block (%d,%d) dirty=%v, want %v", bx, by, dst[by*nbx+bx], in)
+			}
+		}
+	}
+	// Corner cell clamps to the single block reading it.
+	clear(cells)
+	cells[0] = true
+	if n := DilateCellsToBlocks(c, cells, cw, nbx, nby, dst); n != 1 || !dst[0] {
+		t.Fatalf("corner cell dilated to %d blocks", n)
+	}
+}

@@ -52,6 +52,10 @@ const (
 	StageScanBlocks
 	StageScanResponse
 	StageScanWindows
+	// StageScanTemporal is the temporal scan cache's per-frame overhead:
+	// tile fingerprinting plus dirty-mask propagation (wall time only;
+	// zero when no cache is attached).
+	StageScanTemporal
 	// StageFleetDispatch is one frame's trip through the fleet
 	// dispatcher's admission queue and batcher before an executor
 	// picked it up (wall time only; the dispatcher is host-side
@@ -65,6 +69,7 @@ var stageNames = [NumStages]string{
 	"sense", "model-select", "vehicle-scan", "pedestrian-scan",
 	"dma-stream", "reconfig", "reconfig-fault",
 	"scan-resize", "scan-feature", "scan-blocks", "scan-response", "scan-windows",
+	"scan-temporal",
 	"fleet-dispatch",
 }
 
@@ -95,13 +100,16 @@ const (
 	// GaugeLedgerBatches is the number of Merkle batches the attached
 	// ledger has sealed.
 	GaugeLedgerBatches
+	// GaugeTileHitRate is the temporal scan cache's hit rate over the
+	// last vehicle scan, in basis points (0-10000; 0 when no cache ran).
+	GaugeTileHitRate
 	// NumGauges bounds the gauge space.
 	NumGauges
 )
 
 var gaugeNames = [NumGauges]string{
 	"loaded_config", "reconfig_in_flight", "frame_index", "mode",
-	"ledger_events", "ledger_batches",
+	"ledger_events", "ledger_batches", "tile_hit_rate_bp",
 }
 
 func (g Gauge) String() string {
@@ -149,6 +157,34 @@ func (k FaultKind) String() string {
 	return faultNames[k]
 }
 
+// TileKind identifies one class of temporal-scan-cache tile event: a
+// fingerprint match that reused cached work, a mismatch that forced a
+// refresh, or a tile hashed with nothing to compare against (first
+// frame, explicit invalidation, geometry change).
+type TileKind int
+
+const (
+	// TileHits: tiles whose fingerprint matched and whose cached
+	// feature/block/response rows were reused as-is.
+	TileHits TileKind = iota
+	// TileMisses: tiles whose fingerprint differed from the cached one
+	// (frame content changed there).
+	TileMisses
+	// TileRefresh: tiles fingerprinted with no comparable cached hash.
+	TileRefresh
+	// NumTileKinds bounds the tile-kind space.
+	NumTileKinds
+)
+
+var tileNames = [NumTileKinds]string{"tile_hits", "tile_misses", "tile_refresh"}
+
+func (k TileKind) String() string {
+	if k < 0 || k >= NumTileKinds {
+		return "unknown"
+	}
+	return tileNames[k]
+}
+
 // stageSeries aggregates one stage: an invocation counter, running
 // totals in both clocks, and a fixed-bucket histogram over the
 // per-invocation simulated duration.
@@ -180,6 +216,7 @@ type Registry struct {
 	frame  frameSeries
 	gauges [NumGauges]atomic.Uint64
 	faults [NumFaultKinds]atomic.Uint64
+	tiles  [NumTileKinds]atomic.Uint64
 }
 
 // NewRegistry returns a registry with the default exponential buckets:
@@ -298,4 +335,23 @@ func (r *Registry) FaultCount(k FaultKind) uint64 {
 		return 0
 	}
 	return r.faults[k].Load()
+}
+
+// TileAdd counts n temporal-scan-cache tile events of one kind. No-op
+// on a nil registry.
+//
+// lint:hotpath
+func (r *Registry) TileAdd(k TileKind, n uint64) {
+	if r == nil || k < 0 || k >= NumTileKinds {
+		return
+	}
+	r.tiles[k].Add(n)
+}
+
+// TileCount reads a tile counter (zero on nil).
+func (r *Registry) TileCount(k TileKind) uint64 {
+	if r == nil || k < 0 || k >= NumTileKinds {
+		return 0
+	}
+	return r.tiles[k].Load()
 }

@@ -71,6 +71,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		p("advdet_reconfig_faults_total{kind=%q} %d\n", k.String(), r.faults[k].Load())
 	}
 
+	p("# HELP advdet_scan_tiles_total Temporal scan-cache tile events by kind.\n")
+	p("# TYPE advdet_scan_tiles_total counter\n")
+	for k := TileKind(0); k < NumTileKinds; k++ {
+		p("advdet_scan_tiles_total{kind=%q} %d\n", k.String(), r.tiles[k].Load())
+	}
+
 	p("# HELP advdet_gauge Instantaneous system state.\n")
 	p("# TYPE advdet_gauge gauge\n")
 	for g := Gauge(0); g < NumGauges; g++ {

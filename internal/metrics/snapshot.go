@@ -44,6 +44,12 @@ type FaultSnapshot struct {
 	Count uint64 `json:"count"`
 }
 
+// TileSnapshot is one exported temporal-scan-cache tile counter.
+type TileSnapshot struct {
+	Kind  string `json:"kind"`
+	Count uint64 `json:"count"`
+}
+
 // Snapshot is a consistent-enough copy of the registry for export:
 // individual cells are read atomically (the registry keeps no global
 // lock, matching how hardware event counters are sampled live).
@@ -53,6 +59,7 @@ type Snapshot struct {
 	Frames  FrameSnapshot   `json:"frames"`
 	Gauges  []GaugeSnapshot `json:"gauges"`
 	Faults  []FaultSnapshot `json:"faults"`
+	Tiles   []TileSnapshot  `json:"tiles"`
 }
 
 // Snapshot exports the registry. On a nil registry it returns a
@@ -99,6 +106,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k := FaultKind(0); k < NumFaultKinds; k++ {
 		snap.Faults = append(snap.Faults, FaultSnapshot{Kind: k.String(), Count: r.faults[k].Load()})
 	}
+	snap.Tiles = make([]TileSnapshot, 0, NumTileKinds)
+	for k := TileKind(0); k < NumTileKinds; k++ {
+		snap.Tiles = append(snap.Tiles, TileSnapshot{Kind: k.String(), Count: r.tiles[k].Load()})
+	}
 	return snap
 }
 
@@ -111,6 +122,17 @@ func (s Snapshot) FaultByKind(kind string) (FaultSnapshot, bool) {
 		}
 	}
 	return FaultSnapshot{}, false
+}
+
+// TileByKind returns the snapshot row for the named tile counter (zero
+// row, false if absent).
+func (s Snapshot) TileByKind(kind string) (TileSnapshot, bool) {
+	for _, t := range s.Tiles {
+		if t.Kind == kind {
+			return t, true
+		}
+	}
+	return TileSnapshot{}, false
 }
 
 // GaugeByName returns the snapshot row for the named gauge (zero row,

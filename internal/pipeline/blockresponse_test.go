@@ -141,6 +141,8 @@ func TestScanSteadyStateAllocs(t *testing.T) {
 		{"full-margin", func(d *DayDuskDetector) { d.NoEarlyReject = true }},
 		{"quantized", func(d *DayDuskDetector) { d.Quantized = true }},
 		{"prefilter", func(d *DayDuskDetector) { d.Prefilter = constCascade(64, 64, -1) }},
+		{"temporal", func(d *DayDuskDetector) { d.Temporal = NewTemporalCache() }},
+		{"temporal-quantized", func(d *DayDuskDetector) { d.Temporal = NewTemporalCache(); d.Quantized = true }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			det := *base

@@ -45,6 +45,12 @@ type DayDuskDetector struct {
 	// Prefilter, when non-nil and trained at the vehicle window
 	// geometry, integral-image-rejects scan windows before HOG scoring.
 	Prefilter *haar.Cascade
+	// Temporal, when non-nil, reuses the feature/block/response stack
+	// across consecutive frames, recomputing only what each frame's
+	// dirty tiles invalidate (see NewTemporalCache). Byte-identical
+	// output; a cache binds this detector to one frame sequence and
+	// must not be shared across detectors or concurrent scans.
+	Temporal *TemporalCache
 }
 
 // NewDayDuskDetector wraps a trained model with default scan settings.
@@ -101,7 +107,7 @@ func (d *DayDuskDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, worke
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
 		Kind: KindVehicle, NoBlockResponse: d.NoBlockResponse,
 		NoEarlyReject: d.NoEarlyReject, Quantized: d.Quantized,
-		Prefilter: d.Prefilter,
+		Prefilter: d.Prefilter, Temporal: d.Temporal,
 	}
 	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {

@@ -72,6 +72,12 @@ type hogScan struct {
 	// cascade trained at a different window geometry is ignored: its
 	// scores would be evaluated over the wrong pixels.
 	Prefilter *haar.Cascade
+	// Temporal, when non-nil, carries the feature/block/response stack
+	// across frames and recomputes only what the frame's dirty tiles
+	// invalidate. Output stays byte-identical to a cold scan; the cache
+	// serves one frame sequence and must not be shared across
+	// detectors or concurrent scans.
+	Temporal *TemporalCache
 }
 
 // rowTask addresses one window row of one pyramid level.
@@ -99,10 +105,19 @@ type ScanTimings struct {
 	Blocks    time.Duration // block L2Hys normalization (block grids)
 	Response  time.Duration // per-anchor SVM responses / quantization
 	Windows   time.Duration // window scoring + detection assembly
+	Temporal  time.Duration // tile fingerprinting + dirty-mask dilation
+	// TileHits/TileMisses/TileRefreshes are the temporal cache's tile
+	// accounting for this scan (all zero without a cache): reused,
+	// content-changed, and no-comparable-fingerprint tiles.
+	TileHits      int
+	TileMisses    int
+	TileRefreshes int
 	// BlockPath reports whether the block-response fast path ran.
 	BlockPath bool
 	// Quantized reports whether the fixed-point scoring path ran.
 	Quantized bool
+	// TemporalPath reports whether a temporal cache served the scan.
+	TemporalPath bool
 }
 
 // scanPositions counts the window positions of a scan axis.
@@ -123,10 +138,22 @@ func (s hogScan) run(ctx context.Context, g *img.Gray, workers int) ([]Detection
 
 // runTimed is run with optional per-stage wall-clock attribution
 // (tm may be nil; it is written only on success).
-func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *ScanTimings) ([]Detection, error) {
+func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *ScanTimings) (dets []Detection, err error) {
 	workers = par.Workers(workers)
 	sc := borrowScanScratch()
 	defer releaseScanScratch(sc)
+	tc := s.Temporal
+	if tc != nil {
+		// An abandoned scan (cancellation, validation failure) leaves
+		// cached planes out of step with the already-updated tile
+		// fingerprints; the next frame must scan cold rather than trust
+		// them.
+		defer func() {
+			if err != nil {
+				tc.Invalidate()
+			}
+		}()
+	}
 
 	var t ScanTimings
 	timed := tm != nil
@@ -151,6 +178,23 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 	sizes := img.PyramidSizes(g.W, g.H, s.Scale, s.WinW, s.WinH)
 	nl := len(sizes)
 	sc.setLevels(nl)
+	// The per-level stack lives in the pooled scratch — or, with a
+	// temporal cache, in the cache's own arenas, so that no later
+	// scratch borrow can overwrite state that must survive the frame
+	// boundary. These views are what both stages read and write.
+	maps, grids := sc.maps, sc.grids
+	resp, qgrids, qresp := sc.resp, sc.qgrids, sc.qresp
+	if tc != nil {
+		tc.begin(temporalSig{
+			model: s.Model, cfg: s.Cfg,
+			winW: s.WinW, winH: s.WinH, stride: s.Stride,
+			scale: s.Scale, thresh: s.Thresh,
+			noBlock: s.NoBlockResponse, noEarly: s.NoEarlyReject, quant: s.Quantized,
+			pref: s.Prefilter, w: g.W, h: g.H,
+		}, nl)
+		maps, grids = tc.maps, tc.grids
+		resp, qgrids, qresp = tc.resp, tc.qgrids, tc.qresp
+	}
 	first := 0
 	if nl > 0 && sizes[0][0] == g.W && sizes[0][1] == g.H {
 		sc.level0 = sc.levels[0]
@@ -193,17 +237,39 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 	// representation the scoring strategy needs.
 	for i := 0; i < nl; i++ {
 		level := sc.levels[i]
-		fm := sc.maps[i]
-		if err := fm.ComputeCtx(ctx, s.Cfg, level, workers, &sc.hs); err != nil {
-			return nil, err
+		fm := maps[i]
+		// Temporal refresh mode: fingerprint the level's tiles and
+		// decide whether its cached stack can be reused wholesale
+		// (clean), refreshed cell-by-cell (partial), or must be
+		// recomputed (full — also the only mode without a cache).
+		mode := tcFull
+		if tc != nil {
+			mode = tc.observe(i, level, s.Cfg)
+			lap(&t.Temporal)
+		}
+		switch mode {
+		case tcClean:
+			// Every tile fingerprint matched: the cached feature map is
+			// bitwise what ComputeCtx would produce.
+		case tcPartial:
+			if err := fm.ComputeDirtyCtx(ctx, s.Cfg, level, workers, tc.cellMask); err != nil {
+				return nil, err
+			}
+		default:
+			if err := fm.ComputeCtx(ctx, s.Cfg, level, workers, &sc.hs); err != nil {
+				return nil, err
+			}
 		}
 		lap(&t.Feature)
 		// Reset the level's scan state first: a level that skips the
 		// fast path below must never be read through a previous frame's
-		// plane or lattice.
-		sc.resp[i] = sc.resp[i][:0]
-		sc.qgrids[i] = sc.qgrids[i][:0]
-		sc.qresp[i] = sc.qresp[i][:0]
+		// plane or lattice. Cache-owned planes persist by design — their
+		// validity is keyed by the signature and the tile fingerprints.
+		if tc == nil {
+			resp[i] = resp[i][:0]
+			qgrids[i] = qgrids[i][:0]
+			qresp[i] = qresp[i][:0]
+		}
 		sc.lats[i] = svm.Lattice{}
 		sc.nax[i] = 0
 		if usePref && level.W >= s.WinW && level.H >= s.WinH {
@@ -218,9 +284,22 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 		if nax == 0 || nay == 0 {
 			continue
 		}
-		bg := sc.grids[i]
-		if err := bg.ComputeCtx(ctx, fm, workers); err != nil {
-			return nil, err
+		bg := grids[i]
+		dirtyBlocks := 0
+		switch mode {
+		case tcClean:
+			// Cached grid current; nothing to normalize.
+		case tcPartial:
+			cw, ch := s.Cfg.CellsFor(level.W, level.H)
+			pnbx, pnby := bg.Dims()
+			dirtyBlocks = tc.dirtyBlocks(s.Cfg, cw, ch, pnbx, pnby)
+			if err := bg.ComputeDirtyCtx(ctx, fm, workers, tc.blockMask[:pnbx*pnby]); err != nil {
+				return nil, err
+			}
+		default:
+			if err := bg.ComputeCtx(ctx, fm, workers); err != nil {
+				return nil, err
+			}
 		}
 		lap(&t.Blocks)
 		nbx, nby := bg.Dims()
@@ -235,20 +314,50 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 		}
 		switch {
 		case useQuant:
-			sc.qgrids[i] = fixed.QuantizeQ14(sc.qgrids[i], bg.Data())
-			if err := sc.qbm.CheckLattice(lat, len(sc.qgrids[i])); err != nil {
+			// A cached quantized plane whose length disagrees with the
+			// grid (first quantized frame after a regrow) is re-derived
+			// in full; quantization is elementwise, so a per-block
+			// requantize is bitwise the full pass.
+			fullQuant := mode == tcFull || len(qgrids[i]) != len(bg.Data())
+			switch {
+			case fullQuant:
+				qgrids[i] = fixed.QuantizeQ14(qgrids[i], bg.Data())
+			case mode == tcPartial && dirtyBlocks > 0:
+				requantDirtyBlocks(qgrids[i], bg.Data(), blockLen, tc.blockMask[:nbx*nby])
+			}
+			if err := sc.qbm.CheckLattice(lat, len(qgrids[i])); err != nil {
 				return nil, err
 			}
 			if !useEarly {
-				sc.qresp[i] = growI32(sc.qresp[i], nax*nay*bw*bh) // lint:alloc grows to the largest level once
-				if err := sc.qbm.Responses(ctx, workers, sc.qgrids[i], lat, sc.qresp[i]); err != nil {
-					return nil, err
+				need := nax * nay * bw * bh
+				fullResp := fullQuant || len(qresp[i]) != need
+				qresp[i] = growI32(qresp[i], need) // lint:alloc grows to the largest level once
+				switch {
+				case fullResp:
+					if err := sc.qbm.Responses(ctx, workers, qgrids[i], lat, qresp[i]); err != nil {
+						return nil, err
+					}
+				case mode == tcPartial && dirtyBlocks > 0:
+					tc.dirtyAnchors(lat, bw, bh)
+					if err := sc.qbm.ResponsesDirty(ctx, workers, qgrids[i], lat, qresp[i], tc.anchMask[:nax*nay]); err != nil {
+						return nil, err
+					}
 				}
 			}
 		case !useEarly:
-			sc.resp[i] = growF64(sc.resp[i], nax*nay*bw*bh) // lint:alloc grows to the largest level once
-			if err := sc.bm.Responses(ctx, workers, bg.Data(), lat, sc.resp[i]); err != nil {
-				return nil, err
+			need := nax * nay * bw * bh
+			fullResp := mode == tcFull || len(resp[i]) != need
+			resp[i] = growF64(resp[i], need) // lint:alloc grows to the largest level once
+			switch {
+			case fullResp:
+				if err := sc.bm.Responses(ctx, workers, bg.Data(), lat, resp[i]); err != nil {
+					return nil, err
+				}
+			case mode == tcPartial && dirtyBlocks > 0:
+				tc.dirtyAnchors(lat, bw, bh)
+				if err := sc.bm.ResponsesDirty(ctx, workers, bg.Data(), lat, resp[i], tc.anchMask[:nax*nay]); err != nil {
+					return nil, err
+				}
 			}
 		}
 		// With the early exit, margins are computed on demand in stage
@@ -282,11 +391,22 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 		}
 	}
 	descLen := s.Cfg.DescriptorLen(s.WinW, s.WinH)
-	err := par.ForEachLocal(ctx, workers, nt,
+	// Window-row reuse: with a cache holding the previous scan's rows
+	// (same signature, so the task list is identical), any row whose
+	// inputs are untouched this frame produces byte-identical
+	// detections — its scores are pure functions of blocks and pixels
+	// the dirty masks prove unchanged — so stage 3 serves the cached
+	// slice instead of rescoring the row.
+	serveRows := tc != nil && tc.rowsValid && len(tc.rowDets) == nt
+	err = par.ForEachLocal(ctx, workers, nt,
 		func() *rowScratch { return new(rowScratch) },
 		func(ti int, rs *rowScratch) {
 			rt := tasks[ti]
-			level, fm := sc.levels[rt.level], sc.maps[rt.level]
+			if serveRows && tc.rowServable(s.Cfg, rt.level, rt.y, s.WinH, sc.nax[rt.level] > 0, bh) {
+				results[ti] = tc.rowDets[ti]
+				return
+			}
+			level, fm := sc.levels[rt.level], maps[rt.level]
 			fx := float64(g.W) / float64(level.W)
 			fy := float64(g.H) / float64(level.H)
 			var dets []Detection
@@ -310,16 +430,62 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 				// normalization, zero allocation per window.
 				ay := rt.y / s.Stride
 				lat := sc.lats[rt.level]
-				blocks := sc.grids[rt.level].Data()
+				blocks := grids[rt.level].Data()
 				emit := func(ax int, m float64) {
 					dets = append(dets, Detection{Box: box(ax * s.Stride), Score: m, Kind: s.Kind}) // lint:alloc detections are rare post-threshold events; no useful pre-size exists
 				}
+				// Per-window reuse inside a partially dirty level: a
+				// window whose cell rectangle (block span and pixel
+				// span, whichever is larger) the prefix proves clean
+				// kept its inputs, so last frame's verdict stands and
+				// its cached detection — if it had one — is copied
+				// instead of rescoring. Windows in the dirty region
+				// fall through to the scoring branches below.
+				rowPartial := serveRows && tc.mode[rt.level] == tcPartial
+				var cached []Detection
+				cj := 0
+				if rowPartial {
+					cached = tc.rowDets[ti]
+				}
+				spanCX := (bw-1)*s.Cfg.BlockStride + s.Cfg.BlockCells
+				if p := (s.WinW + cell - 1) / cell; p > spanCX {
+					spanCX = p
+				}
+				spanCY := (bh-1)*s.Cfg.BlockStride + s.Cfg.BlockCells
+				if p := (s.WinH + cell - 1) / cell; p > spanCY {
+					spanCY = p
+				}
+				cy0 := rt.y / cell
+				serve := func(ax int) bool {
+					if !rowPartial {
+						return false
+					}
+					cx0 := ax * lat.StepX
+					if !tc.cellRectClean(rt.level, cx0, cy0, cx0+spanCX, cy0+spanCY) {
+						return false
+					}
+					// Cached rows are in ascending-x order and box is a
+					// pure function of ax, so a pointer walk pairs this
+					// window with its previous detection, if any.
+					x0 := int(float64(ax*s.Stride) * fx)
+					for cj < len(cached) && cached[cj].Box.X0 < x0 {
+						cj++
+					}
+					if cj < len(cached) && cached[cj].Box.X0 == x0 {
+						dets = append(dets, cached[cj]) // lint:alloc detections are rare post-threshold events; no useful pre-size exists
+						cj++
+					}
+					return true
+				}
 				switch {
-				case len(sc.qresp[rt.level]) > 0:
+				case len(qresp[rt.level]) > 0:
 					// Quantized plane: integer decisions, borderline
 					// margins resolved by the float oracle.
-					qresp := sc.qresp[rt.level]
+					qresp := qresp[rt.level]
 					for ax := 0; ax < nax; ax++ {
+						if serve(ax) {
+							continue
+						}
 						if !pass(ax * s.Stride) {
 							continue
 						}
@@ -328,10 +494,13 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 							emit(ax, m)
 						}
 					}
-				case len(sc.qgrids[rt.level]) > 0:
+				case len(qgrids[rt.level]) > 0:
 					// Quantized on-demand with integer early exit.
-					qblocks := sc.qgrids[rt.level]
+					qblocks := qgrids[rt.level]
 					for ax := 0; ax < nax; ax++ {
+						if serve(ax) {
+							continue
+						}
 						if !pass(ax * s.Stride) {
 							continue
 						}
@@ -340,12 +509,15 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 							emit(ax, m)
 						}
 					}
-				case len(sc.resp[rt.level]) > 0:
+				case len(resp[rt.level]) > 0:
 					// Full-margin plane (NoEarlyReject): a window's
 					// margin is the bias plus its contiguous cached
 					// partials.
-					resp := sc.resp[rt.level]
+					resp := resp[rt.level]
 					for ax := 0; ax < nax; ax++ {
+						if serve(ax) {
+							continue
+						}
 						if !pass(ax * s.Stride) {
 							continue
 						}
@@ -360,6 +532,9 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 						rs.partial = make([]float64, bw*bh) // lint:alloc once per worker per scan
 					}
 					for ax := 0; ax < nax; ax++ {
+						if serve(ax) {
+							continue
+						}
 						if !pass(ax * s.Stride) {
 							continue
 						}
@@ -402,10 +577,18 @@ func (s hogScan) runTimed(ctx context.Context, g *img.Gray, workers int, tm *Sca
 	for _, r := range results {
 		all = append(all, r...)
 	}
+	if tc != nil {
+		tc.storeRows(results)
+	}
 	lap(&t.Windows)
 	if timed {
 		t.BlockPath = useBlocks
 		t.Quantized = useQuant
+		if tc != nil {
+			t.TemporalPath = true
+			fs := tc.FrameStats()
+			t.TileHits, t.TileMisses, t.TileRefreshes = fs.Hits, fs.Misses, fs.Refreshes
+		}
 		*tm = t
 	}
 	return all, nil

@@ -43,6 +43,9 @@ type PedestrianDetector struct {
 	// when trained at this detector's window geometry
 	// (see DayDuskDetector.Prefilter).
 	Prefilter *haar.Cascade
+	// Temporal reuses the feature/block/response stack across frames
+	// (see DayDuskDetector.Temporal).
+	Temporal *TemporalCache
 }
 
 // NewPedestrianDetector wraps a trained model with default scan
@@ -90,7 +93,7 @@ func (d *PedestrianDetector) DetectTimedCtx(ctx context.Context, g *img.Gray, wo
 		Stride: d.Stride, Scale: d.Scale, Thresh: d.DetectThresh,
 		Kind: KindPedestrian, NoBlockResponse: d.NoBlockResponse,
 		NoEarlyReject: d.NoEarlyReject, Quantized: d.Quantized,
-		Prefilter: d.Prefilter,
+		Prefilter: d.Prefilter, Temporal: d.Temporal,
 	}
 	dets, err := scan.runTimed(ctx, g, workers, tm)
 	if err != nil {

@@ -270,6 +270,53 @@ func (bm *BlockModel) Responses(ctx context.Context, workers int, blocks []float
 	})
 }
 
+// ResponsesDirty refreshes only the anchors marked in dirty (an
+// NAX*NAY row-major mask) of a response plane previously filled by
+// Responses over the same lattice, leaving every other anchor's
+// partials untouched. An anchor's partials are pure functions of its
+// own blocks, computed here with the identical inner loop and
+// accumulation order, so a refreshed plane is bitwise identical to a
+// full recompute whenever the caller guarantees that clean anchors'
+// blocks are unchanged — the temporal scan cache derives that mask by
+// dilating dirty blocks over the window span. Fanned out and
+// deterministic exactly like Responses.
+//
+// lint:hotpath
+func (bm *BlockModel) ResponsesDirty(ctx context.Context, workers int, blocks []float64, lat Lattice, dst []float64, dirty []bool) error {
+	if err := lat.validate(bm, len(blocks), len(dst)); err != nil {
+		return err
+	}
+	if len(dirty) != lat.NAX*lat.NAY {
+		return fmt.Errorf("svm: dirty mask holds %d anchors, lattice has %dx%d", len(dirty), lat.NAX, lat.NAY) // lint:alloc cold validation error path, runs once per reshape not per window
+	}
+	perWin := bm.BW * bm.BH
+	return par.ForEach(ctx, workers, lat.NAY, func(ay int) {
+		base := ay * lat.NAX * perWin
+		drow := dirty[ay*lat.NAX : (ay+1)*lat.NAX]
+		for ax := 0; ax < lat.NAX; ax++ {
+			if !drow[ax] {
+				continue
+			}
+			out := dst[base+ax*perWin:][:perWin]
+			p := 0
+			for pby := 0; pby < bm.BH; pby++ {
+				cy := ay*lat.StepY + pby*lat.BlockStride
+				for pbx := 0; pbx < bm.BW; pbx++ {
+					cx := ax*lat.StepX + pbx*lat.BlockStride
+					blk := blocks[(cy*lat.NBX+cx)*bm.BlockLen:][:bm.BlockLen]
+					w := bm.w[p*bm.BlockLen:][:bm.BlockLen]
+					var s float64
+					for i, v := range blk {
+						s += w[i] * v
+					}
+					out[p] = s
+					p++
+				}
+			}
+		}
+	})
+}
+
 // MarginAt returns the full window margin at anchor (ax, ay) of a
 // NAX-wide lattice from a response buffer filled by Responses: the
 // bias plus the window's BW*BH cached partials. The partial sums are

@@ -263,6 +263,48 @@ func (qm *QuantBlockModel) Responses(ctx context.Context, workers int, qblocks [
 	})
 }
 
+// ResponsesDirty refreshes only the anchors marked in dirty (an
+// NAX*NAY row-major mask) of a quantized response plane previously
+// filled by Responses over the same lattice — the int32 analogue of
+// BlockModel.ResponsesDirty, with the identical per-anchor integer
+// datapath, so a refreshed plane is bitwise identical to a full
+// recompute whenever clean anchors' quantized blocks are unchanged.
+//
+// lint:hotpath
+func (qm *QuantBlockModel) ResponsesDirty(ctx context.Context, workers int, qblocks []int16, lat Lattice, dst []int32, dirty []bool) error {
+	if err := qm.CheckLattice(lat, len(qblocks)); err != nil {
+		return err
+	}
+	perWin := qm.BW * qm.BH
+	if need := lat.NAX * lat.NAY * perWin; len(dst) < need {
+		return fmt.Errorf("svm: quant response buffer holds %d values, lattice needs %d", len(dst), need) // lint:alloc cold validation error path, runs once per reshape not per window
+	}
+	if len(dirty) != lat.NAX*lat.NAY {
+		return fmt.Errorf("svm: dirty mask holds %d anchors, lattice has %dx%d", len(dirty), lat.NAX, lat.NAY) // lint:alloc cold validation error path, runs once per reshape not per window
+	}
+	return par.ForEach(ctx, workers, lat.NAY, func(ay int) {
+		base := ay * lat.NAX * perWin
+		drow := dirty[ay*lat.NAX : (ay+1)*lat.NAX]
+		for ax := 0; ax < lat.NAX; ax++ {
+			if !drow[ax] {
+				continue
+			}
+			out := dst[base+ax*perWin:][:perWin]
+			p := 0
+			for pby := 0; pby < qm.BH; pby++ {
+				cy := ay*lat.StepY + pby*lat.BlockStride
+				for pbx := 0; pbx < qm.BW; pbx++ {
+					cx := ax*lat.StepX + pbx*lat.BlockStride
+					blk := qblocks[(cy*lat.NBX+cx)*qm.BlockLen:][:qm.BlockLen]
+					wq := qm.wq[p*qm.BlockLen:][:qm.BlockLen]
+					out[p] = fixed.SatI32(fixed.RoundShiftI64(fixed.DotI16(wq, blk), qm.rescale))
+					p++
+				}
+			}
+		}
+	})
+}
+
 // DecideAt classifies the window at anchor (ax, ay) of a NAX-wide
 // lattice from a response plane filled by Responses. Saturating adds
 // are order-independent here for the same reason MarginAt tolerates

@@ -10,6 +10,13 @@ type Scene struct {
 	Pedestrians []img.Rect // ground-truth pedestrian boxes
 	Cond        Condition
 	Lux         float64 // ambient light sensor reading
+	// Dirty lists the regions that changed since the previous frame of
+	// the same sequence — the ground truth a temporal scan cache's tile
+	// fingerprints should rediscover. Generators that re-render the
+	// whole frame (RenderScene, Drive: per-frame sensor noise touches
+	// every pixel) report one full-frame rect; StaticHighway reports
+	// the union of each actor's previous and current boxes.
+	Dirty []img.Rect
 }
 
 // SceneConfig controls the frame renderer.
@@ -80,7 +87,8 @@ func RenderScene(rng *RNG, cfg SceneConfig) *Scene {
 			scale(200, p.ambient+0.1), scale(200, p.ambient+0.1), scale(180, p.ambient+0.1))
 	}
 
-	sc := &Scene{Frame: m, Cond: cfg.Cond, Lux: LuxFor(cfg.Cond, rng)}
+	sc := &Scene{Frame: m, Cond: cfg.Cond, Lux: LuxFor(cfg.Cond, rng),
+		Dirty: []img.Rect{{X0: 0, Y0: 0, X1: w, Y1: h}}}
 
 	// Street lamps: bright white/yellow blobs above the horizon line.
 	if cfg.Cond != Day {

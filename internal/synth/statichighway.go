@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"math"
+
+	"advdet/internal/img"
+)
+
+// StaticHighway renders the temporal scan cache's friendly case: a
+// fixed roadside camera watching a highway. The backdrop — sky, road,
+// lane markings, sensor noise — is rendered once at construction and
+// reused verbatim every frame, so only the moving vehicles change
+// pixels between consecutive frames. Scene.Dirty reports exactly those
+// regions (the union of each vehicle's previous and current boxes),
+// giving cache tests and benchmarks a ground truth to compare tile
+// fingerprints against.
+//
+// Drive, by contrast, models a camera moving with traffic: its
+// per-frame backdrop re-randomization (noise on every pixel) makes
+// every frame fully dirty, the cache's adversarial case.
+type StaticHighway struct {
+	W, H int
+	Cond Condition
+	Seed uint64
+
+	backdrop *img.RGB
+	lux      float64
+	vehicles []driveObject
+}
+
+// NewStaticHighway builds the fixed-camera sequence with nVehicles
+// persistent actors drifting through the scene.
+func NewStaticHighway(seed uint64, w, h int, cond Condition, nVehicles int) *StaticHighway {
+	rng := NewRNG(seed)
+	cfg := SceneConfig{W: w, H: h, Cond: cond} // zero actors: backdrop only
+	if cond != Day {
+		cfg.RoadLights = 2
+	}
+	s := &StaticHighway{
+		W: w, H: h, Cond: cond, Seed: seed,
+		backdrop: RenderScene(rng, cfg).Frame,
+		lux:      LuxFor(cond, NewRNG(seed^0x11)),
+	}
+	for i := 0; i < nVehicles; i++ {
+		s.vehicles = append(s.vehicles, driveObject{
+			seed:       rng.Uint64(),
+			depth0:     rng.Range(0.45, 0.8),
+			depthAmp:   rng.Range(0.05, 0.15),
+			depthFreq:  rng.Range(0.01, 0.04),
+			phase:      rng.Range(0, 2*math.Pi),
+			lateral:    rng.Range(0.05, 0.12),
+			lateralVel: rng.Range(-0.0005, 0.0005),
+		})
+	}
+	return s
+}
+
+// boxAt evaluates one vehicle's frame-i bounding box — a pure function
+// of (vehicle, i), so Frame can reconstruct frame i-1's boxes for the
+// dirty report without keeping mutable history (frames remain random
+// access).
+func (s *StaticHighway) boxAt(v driveObject, i int) img.Rect {
+	w, h := s.W, s.H
+	horizon := int(float64(h) * 0.42)
+	depth := v.depthAt(i)
+	vw := int(float64(h) * 0.12 * (0.4 + depth*1.8))
+	if vw < 24 {
+		vw = 24
+	}
+	vy := horizon + int(depth*depth*float64(h-horizon)*0.75) - vw/4
+	lat := v.lateral + v.lateralVel*float64(i)
+	vx := w/2 + int(float64(w)*lat) + int((1-depth)*float64(w)*0.05)
+	box := img.Rect{X0: vx, Y0: vy, X1: vx + vw, Y1: vy + vw}
+	return box.Intersect(img.Rect{X0: 0, Y0: 0, X1: w, Y1: h})
+}
+
+// Frame renders frame i: the shared backdrop copied into a fresh
+// buffer, the persistent vehicles blitted at their frame-i poses, and
+// Dirty covering everything that differs from frame i-1. Frame 0
+// reports the whole frame dirty (there is no previous frame).
+func (s *StaticHighway) Frame(i int) *Scene {
+	sc := &Scene{
+		Frame: s.backdrop.Clone(),
+		Cond:  s.Cond,
+		Lux:   s.lux,
+	}
+	if i == 0 {
+		sc.Dirty = []img.Rect{{X0: 0, Y0: 0, X1: s.W, Y1: s.H}}
+	}
+	for _, v := range s.vehicles {
+		box := s.boxAt(v, i)
+		if box.W() < 16 || box.H() < 16 {
+			continue
+		}
+		// Appearance is a pure function of the vehicle seed and the box
+		// size, so a vehicle whose box hasn't changed renders the exact
+		// same pixels — invisible to a content-addressed cache, exactly
+		// like a parked car.
+		crop := VehicleCrop(NewRNG(v.seed), box.W(), box.H(), s.Cond)
+		blit(sc.Frame, crop, box.X0, box.Y0)
+		sc.Vehicles = append(sc.Vehicles, box)
+		if i > 0 {
+			if prev := s.boxAt(v, i-1); prev.W() > 0 && prev.H() > 0 {
+				sc.Dirty = append(sc.Dirty, prev)
+			}
+			sc.Dirty = append(sc.Dirty, box)
+		}
+	}
+	return sc
+}

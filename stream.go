@@ -113,6 +113,14 @@ func WithStreamQuantizedScan() StreamOption {
 	return func(c *streamConfig) { c.opt.ScanQuantized = true }
 }
 
+// WithStreamTemporalCache reuses this stream's feature/block/response
+// buffers across its consecutive frames (see WithTemporalCache). Each
+// stream gets its own caches, so the option is safe on engines whose
+// streams share one Detectors value.
+func WithStreamTemporalCache() StreamOption {
+	return func(c *streamConfig) { c.opt.ScanTemporalCache = true }
+}
+
 // WithStreamNoEarlyReject disables the partial-margin early exit for
 // this stream's HOG scans (see WithoutEarlyReject).
 func WithStreamNoEarlyReject() StreamOption {
